@@ -1,0 +1,82 @@
+// Command modcon-bench regenerates the paper's quantitative claims.
+//
+// Each experiment (E1–E15, see DESIGN.md §3 and EXPERIMENTS.md) sweeps the
+// relevant parameter, runs many simulated executions per cell, and prints a
+// table comparing measurements against the corresponding theorem.
+//
+// Usage:
+//
+//	modcon-bench                 # run every experiment at default scale
+//	modcon-bench -run E1,E6      # run selected experiments
+//	modcon-bench -trials 50      # shrink/grow per-cell trial counts
+//	modcon-bench -markdown       # emit EXPERIMENTS.md-ready markdown
+//	modcon-bench -list           # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/modular-consensus/modcon/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "modcon-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("modcon-bench", flag.ContinueOnError)
+	var (
+		runList  = fs.String("run", "", "comma-separated experiment ids (default: all)")
+		trials   = fs.Int("trials", 0, "per-cell trials (0 = experiment default)")
+		seed     = fs.Uint64("seed", 1, "base seed")
+		markdown = fs.Bool("markdown", false, "emit markdown instead of aligned text")
+		list     = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	var selected []exp.Experiment
+	if *runList == "" {
+		selected = exp.All()
+	} else {
+		for _, id := range strings.Split(*runList, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := exp.ByID(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	cfg := exp.Config{Trials: *trials, Seed: *seed}
+	for i, e := range selected {
+		start := time.Now()
+		table := e.Run(cfg)
+		if *markdown {
+			fmt.Println(table.Markdown())
+		} else {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Print(table)
+			fmt.Printf("(%s in %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+// Command modcon-trace runs a single consensus execution and prints the
+// full operation-level trace: every read, write, probabilistic write (with
+// its coin), local coin flip, object invocation, and decision, in the exact
+// order the adversary scheduled them.
+//
+// Usage:
+//
+//	modcon-trace -n 4 -m 2 -adversary first-mover-attack -seed 7
+//	modcon-trace -n 3 -inputs 2,0,1 -m 3 -adversary uniform-random
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/modular-consensus/modcon"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "modcon-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func newAdversary(name string, sigma float64) (modcon.Scheduler, error) {
+	switch name {
+	case "round-robin":
+		return modcon.NewRoundRobin(), nil
+	case "uniform-random":
+		return modcon.NewUniformRandom(), nil
+	case "lockstep":
+		return modcon.NewLaggard(), nil
+	case "frontrunner":
+		return modcon.NewFrontrunner(), nil
+	case "first-mover-attack":
+		return modcon.NewFirstMoverAttack(), nil
+	case "eager-write-attack":
+		return modcon.NewEagerWriteAttack(), nil
+	case "split-vote":
+		return modcon.NewSplitVote(), nil
+	case "adaptive-spoiler":
+		return modcon.NewAdaptiveSpoiler(), nil
+	case "noisy":
+		return modcon.NewNoisy(sigma), nil
+	case "priority":
+		return modcon.NewPriority(nil), nil
+	default:
+		return nil, fmt.Errorf("unknown adversary %q", name)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("modcon-trace", flag.ContinueOnError)
+	var (
+		n       = fs.Int("n", 4, "number of processes")
+		m       = fs.Int("m", 2, "number of values")
+		inputs  = fs.String("inputs", "", "comma-separated inputs (default: i mod m)")
+		adv     = fs.String("adversary", "uniform-random", "adversary scheduler")
+		sigma   = fs.Float64("sigma", 0.3, "noisy scheduler jitter")
+		seed    = fs.Uint64("seed", 1, "seed")
+		quiet   = fs.Bool("summary", false, "print only the summary")
+		maxOps  = fs.Int("max-steps", 0, "step limit (0 = default)")
+		nostage = fs.Bool("no-stages", false, "hide per-process stage summary")
+		jsonOut = fs.String("json", "", "also write the trace as JSON to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	in := make([]modcon.Value, *n)
+	for i := range in {
+		in[i] = modcon.Value(i % *m)
+	}
+	if *inputs != "" {
+		parts := strings.Split(*inputs, ",")
+		if len(parts) != *n {
+			return fmt.Errorf("-inputs has %d values for n=%d", len(parts), *n)
+		}
+		for i, p := range parts {
+			x, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad input %q: %w", p, err)
+			}
+			in[i] = modcon.Value(x)
+		}
+	}
+
+	scheduler, err := newAdversary(*adv, *sigma)
+	if err != nil {
+		return err
+	}
+	cons, err := modcon.New(*n, *m)
+	if err != nil {
+		return err
+	}
+	out, err := cons.Solve(in, scheduler, *seed, modcon.RunConfig{Traced: true, MaxSteps: *maxOps})
+	if err != nil {
+		return err
+	}
+
+	if !*quiet {
+		fmt.Print(out.Trace)
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := out.Trace.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s\n", *jsonOut)
+	}
+	fmt.Printf("\ninputs:     %v\n", in)
+	fmt.Printf("decided:    %s\n", out.Value)
+	fmt.Printf("total work: %d ops, individual work: %d ops\n", out.TotalWork, out.MaxWork())
+	if !*nostage {
+		for pid := range out.Outputs {
+			where := fmt.Sprintf("stage %d", out.Stage[pid])
+			if out.Stage[pid] == 0 {
+				where = "fast path"
+			}
+			if out.FellBack[pid] {
+				where = "fallback K"
+			}
+			fmt.Printf("p%-3d decided %s at %s after %d ops\n",
+				pid, out.Outputs[pid], where, out.Work[pid])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunDefault(t *testing.T) {
+	if err := run([]string{"-n", "3", "-seed", "2", "-summary"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExplicitInputs(t *testing.T) {
+	if err := run([]string{"-n", "3", "-m", "3", "-inputs", "2,0,1", "-summary"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInputCountMismatch(t *testing.T) {
+	if err := run([]string{"-n", "3", "-inputs", "0,1"}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunBadInput(t *testing.T) {
+	if err := run([]string{"-n", "2", "-inputs", "0,x"}); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestRunAllAdversaries(t *testing.T) {
+	for _, adv := range []string{
+		"round-robin", "uniform-random", "lockstep", "frontrunner",
+		"first-mover-attack", "eager-write-attack", "split-vote",
+		"adaptive-spoiler", "noisy", "priority",
+	} {
+		if err := run([]string{"-n", "2", "-adversary", adv, "-summary", "-seed", "5"}); err != nil {
+			t.Fatalf("%s: %v", adv, err)
+		}
+	}
+}
+
+func TestRunUnknownAdversary(t *testing.T) {
+	if err := run([]string{"-adversary", "byzantine"}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunJSONExport(t *testing.T) {
+	path := t.TempDir() + "/trace.json"
+	if err := run([]string{"-n", "2", "-summary", "-json", path}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+// Command quorumgen prints the quorum systems behind the paper's m-valued
+// ratifier (§6.2): the Bollobás-optimal pool assignment and the bit-vector
+// encoding, plus the space table comparing both against the paper's
+// formulas.
+//
+// Usage:
+//
+//	quorumgen -m 6            # print W_v/R_v for every value
+//	quorumgen -table          # registers-vs-m table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/modular-consensus/modcon/internal/quorum"
+	"github.com/modular-consensus/modcon/internal/value"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "quorumgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("quorumgen", flag.ContinueOnError)
+	var (
+		m     = fs.Int("m", 6, "number of values")
+		table = fs.Bool("table", false, "print the space table instead")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *table {
+		fmt.Printf("%8s  %12s  %16s  %12s\n", "m", "pool regs", "bitvector regs", "2⌈lg m⌉+1")
+		for _, mm := range []int{2, 4, 8, 16, 64, 256, 1024, 4096, 1 << 16, 1 << 20} {
+			row := quorum.Space(mm)
+			fmt.Printf("%8d  %12d  %16d  %12d\n", row.M, row.PoolRegisters, row.BitVecRegisters, row.PaperBitVecExact)
+		}
+		return nil
+	}
+
+	if *m < 2 {
+		return fmt.Errorf("m=%d must be at least 2", *m)
+	}
+	for _, s := range []quorum.Scheme{quorum.NewPool(*m), quorum.NewBitVector(*m)} {
+		if err := quorum.Verify(s); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d values over %d registers (Bollobás sum %.6f)\n",
+			s.Name(), s.M(), s.PoolSize(), quorum.BollobasSum(s))
+		for v := 0; v < s.M(); v++ {
+			fmt.Printf("  v=%-4d W=%v R=%v\n", v,
+				s.WriteQuorum(value.Value(v)), s.ReadQuorum(value.Value(v)))
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunQuorums(t *testing.T) {
+	if err := run([]string{"-m", "6"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTable(t *testing.T) {
+	if err := run([]string{"-table"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadM(t *testing.T) {
+	if err := run([]string{"-m", "1"}); err == nil {
+		t.Fatal("expected error for m=1")
+	}
+}

@@ -1,0 +1,347 @@
+package modcon
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/modular-consensus/modcon/internal/check"
+	"github.com/modular-consensus/modcon/internal/conciliator"
+	"github.com/modular-consensus/modcon/internal/core"
+	"github.com/modular-consensus/modcon/internal/fallback"
+	"github.com/modular-consensus/modcon/internal/harness"
+	"github.com/modular-consensus/modcon/internal/ratifier"
+	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/sharedcoin"
+	"github.com/modular-consensus/modcon/internal/value"
+)
+
+// RatifierScheme selects the quorum system of the protocol's ratifiers
+// (§6.2 of the paper).
+type RatifierScheme int
+
+const (
+	// SchemeAuto picks Binary for m = 2 and Pool otherwise.
+	SchemeAuto RatifierScheme = iota
+	// SchemeBinary is the 3-register binary ratifier (m = 2 only).
+	SchemeBinary
+	// SchemePool is the Bollobás-optimal scheme: lg m + Θ(log log m)
+	// registers.
+	SchemePool
+	// SchemeBitVector is the simpler 2⌈lg m⌉+1-register scheme.
+	SchemeBitVector
+	// SchemeCollect is the cheap-collect ratifier (4 ops with cheap
+	// collects).
+	SchemeCollect
+)
+
+// ConciliatorKind selects the protocol's conciliator family (§5).
+type ConciliatorKind int
+
+const (
+	// ConciliatorImpatient is the paper's ImpatientFirstMoverConciliator:
+	// O(log n) individual work, O(n) expected total work (Theorem 7).
+	ConciliatorImpatient ConciliatorKind = iota
+	// ConciliatorConstantRate is the Chor–Israeli–Li / Cheung baseline with
+	// fixed 1/n write probability: Θ(n) individual work.
+	ConciliatorConstantRate
+	// ConciliatorSharedCoin builds conciliators from voting weak shared
+	// coins (§5.1; binary only).
+	ConciliatorSharedCoin
+	// ConciliatorNone omits conciliators entirely: the ratifier-only
+	// protocol R of §4.2, which requires a noisy or priority scheduler to
+	// terminate.
+	ConciliatorNone
+)
+
+// Option configures a Consensus spec.
+type Option interface {
+	apply(*config)
+}
+
+type optionFunc func(*config)
+
+func (f optionFunc) apply(c *config) { f(c) }
+
+type config struct {
+	scheme        RatifierScheme
+	conciliator   ConciliatorKind
+	fastPath      bool
+	stages        int
+	fallback      bool
+	detectWrites  bool
+	growth        conciliator.Growth
+	coinThreshold int
+}
+
+// WithScheme selects the ratifier quorum scheme.
+func WithScheme(s RatifierScheme) Option {
+	return optionFunc(func(c *config) { c.scheme = s })
+}
+
+// WithConciliator selects the conciliator family.
+func WithConciliator(k ConciliatorKind) Option {
+	return optionFunc(func(c *config) { c.conciliator = k })
+}
+
+// WithFastPath toggles the R₋₁; R₀ prefix (§4.1.1); default on.
+func WithFastPath(on bool) Option {
+	return optionFunc(func(c *config) { c.fastPath = on })
+}
+
+// WithStages truncates the chain after k (Cᵢ; Rᵢ) stages (§4.1.2).
+func WithStages(k int) Option {
+	return optionFunc(func(c *config) { c.stages = k })
+}
+
+// WithFallback appends the bounded-space CIL consensus K after the last
+// stage, making the protocol a consensus object for any Stages value.
+func WithFallback(on bool) Option {
+	return optionFunc(func(c *config) { c.fallback = on })
+}
+
+// WithWriteDetection lets conciliators return immediately after a
+// probabilistic write they observe to succeed (footnote 2 ablation).
+func WithWriteDetection(on bool) Option {
+	return optionFunc(func(c *config) { c.detectWrites = on })
+}
+
+// WithCoinThreshold overrides the voting shared coin's total-vote threshold
+// (default n²); only meaningful with ConciliatorSharedCoin.
+func WithCoinThreshold(votes int) Option {
+	return optionFunc(func(c *config) { c.coinThreshold = votes })
+}
+
+// Consensus is a reusable specification of a consensus protocol for n
+// processes and m values. Every Solve call builds a fresh instance (the
+// underlying objects are one-shot) and runs one simulated execution.
+type Consensus struct {
+	n, m int
+	cfg  config
+}
+
+// New returns a consensus spec for n processes over inputs {0, …, m-1}
+// assembled per the paper's recipe: fast-path ratifier pair, then
+// alternating impatient conciliators and quorum ratifiers.
+func New(n, m int, opts ...Option) (*Consensus, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("modcon: n=%d must be positive", n)
+	}
+	if m < 2 {
+		return nil, fmt.Errorf("modcon: m=%d must be at least 2", m)
+	}
+	cfg := config{
+		scheme:      SchemeAuto,
+		conciliator: ConciliatorImpatient,
+		fastPath:    true,
+		growth:      conciliator.GrowthDoubling,
+	}
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	if cfg.scheme == SchemeBinary && m != 2 {
+		return nil, fmt.Errorf("modcon: binary scheme supports m=2, got m=%d", m)
+	}
+	if cfg.conciliator == ConciliatorSharedCoin && m != 2 {
+		return nil, fmt.Errorf("modcon: shared-coin conciliators support m=2, got m=%d", m)
+	}
+	if cfg.conciliator == ConciliatorNone && !cfg.fallback && cfg.stages == 0 {
+		return nil, errors.New("modcon: ratifier-only protocol needs explicit Stages or Fallback")
+	}
+	return &Consensus{n: n, m: m, cfg: cfg}, nil
+}
+
+// NewBinary is shorthand for New(n, 2, opts...).
+func NewBinary(n int, opts ...Option) (*Consensus, error) {
+	return New(n, 2, opts...)
+}
+
+// N returns the process count.
+func (c *Consensus) N() int { return c.n }
+
+// M returns the value-domain size.
+func (c *Consensus) M() int { return c.m }
+
+// Build constructs a fresh one-shot protocol instance and the register file
+// it lives in. Most callers want Solve; Build exists for embedding the
+// protocol in larger simulated systems.
+func (c *Consensus) Build() (*Registers, *core.Protocol, error) {
+	file := register.NewFile()
+
+	newRatifier := func(f *register.File, index int) core.Object {
+		switch c.cfg.scheme {
+		case SchemeBinary:
+			return ratifier.NewBinary(f, index)
+		case SchemePool:
+			return ratifier.NewPool(f, c.m, index)
+		case SchemeBitVector:
+			return ratifier.NewBitVector(f, c.m, index)
+		case SchemeCollect:
+			return ratifier.NewCollect(f, c.n, index)
+		default: // SchemeAuto
+			if c.m == 2 {
+				return ratifier.NewBinary(f, index)
+			}
+			return ratifier.NewPool(f, c.m, index)
+		}
+	}
+
+	var newConciliator core.Builder
+	switch c.cfg.conciliator {
+	case ConciliatorNone:
+		newConciliator = nil
+	case ConciliatorSharedCoin:
+		newConciliator = func(f *register.File, index int) core.Object {
+			coin := sharedcoin.NewVoting(f, c.n, index)
+			if c.cfg.coinThreshold > 0 {
+				coin.Threshold = c.cfg.coinThreshold
+			}
+			return conciliator.NewFromCoin(f, coin, index)
+		}
+	default:
+		growth := conciliator.GrowthDoubling
+		if c.cfg.conciliator == ConciliatorConstantRate {
+			growth = conciliator.GrowthConstant
+		}
+		newConciliator = func(f *register.File, index int) core.Object {
+			imp := conciliator.NewImpatient(f, c.n, index)
+			imp.Growth = growth
+			imp.DetectSuccess = c.cfg.detectWrites
+			return imp
+		}
+	}
+
+	opts := core.Options{
+		N:              c.n,
+		File:           file,
+		NewRatifier:    newRatifier,
+		NewConciliator: newConciliator,
+		Stages:         c.cfg.stages,
+		FastPath:       c.cfg.fastPath,
+	}
+	if c.cfg.fallback {
+		opts.Fallback = fallback.New(file, c.n, 0)
+	}
+	proto, err := core.NewProtocol(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return file, proto, nil
+}
+
+// RunConfig tunes a single Solve execution.
+type RunConfig struct {
+	// Traced records the full execution in Outcome.Trace.
+	Traced bool
+	// CheapCollect enables the O(1)-collect cost model (needed by
+	// SchemeCollect to hit its 4-op bound).
+	CheapCollect bool
+	// CrashAfter crashes pid after its given operation count.
+	CrashAfter map[int]int
+	// MaxSteps bounds total work (0 = simulator default).
+	MaxSteps int
+}
+
+// Outcome reports one consensus execution.
+type Outcome struct {
+	// Value is the agreed decision value (of the processes that decided).
+	Value Value
+	// Outputs holds the per-process outputs (None if crashed/undecided).
+	Outputs []Value
+	// Decided reports which processes decided.
+	Decided []bool
+	// Stage is the per-process deciding stage: 0 = fast path, i ≥ 1 = stage
+	// (Cᵢ; Rᵢ), -1 = undecided or decided in the fallback.
+	Stage []int
+	// FellBack reports which processes decided in the fallback object.
+	FellBack []bool
+	// TotalWork and Work are the paper's cost measures.
+	TotalWork int
+	Work      []int
+	// Trace is non-nil when RunConfig.Traced was set.
+	Trace *Trace
+}
+
+// MaxWork returns the individual work (max over processes).
+func (o *Outcome) MaxWork() int {
+	m := 0
+	for _, w := range o.Work {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// Solve runs one simulated execution with the given per-process inputs
+// (len n, or a single value for all) under the adversary s. It returns an
+// error for malformed configurations or step-limit exhaustion, and it
+// *verifies agreement and validity* before returning: a safety violation —
+// which would indicate a bug, not bad luck — is reported as an error.
+func (c *Consensus) Solve(inputs []Value, s Scheduler, seed uint64, run ...RunConfig) (*Outcome, error) {
+	var rc RunConfig
+	switch len(run) {
+	case 0:
+	case 1:
+		rc = run[0]
+	default:
+		return nil, errors.New("modcon: pass at most one RunConfig")
+	}
+	for _, v := range inputs {
+		if v.IsNone() || v < 0 || int64(v) >= int64(c.m) {
+			return nil, fmt.Errorf("modcon: input %s outside [0, %d)", v, c.m)
+		}
+	}
+	file, proto, err := c.Build()
+	if err != nil {
+		return nil, err
+	}
+	pr, err := harness.RunProtocol(proto, harness.ObjectConfig{
+		N: c.n, File: file, Inputs: inputs, Scheduler: s, Seed: seed,
+		Traced: rc.Traced, CheapCollect: rc.CheapCollect,
+		CrashAfter: rc.CrashAfter, MaxSteps: rc.MaxSteps,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Outcome{
+		Outputs:   pr.Result.Outputs,
+		Decided:   pr.Decided,
+		Stage:     make([]int, c.n),
+		FellBack:  make([]bool, c.n),
+		TotalWork: pr.Result.TotalWork,
+		Work:      pr.Result.Work,
+		Trace:     pr.Trace,
+		Value:     None,
+	}
+	for pid := range out.Stage {
+		out.Stage[pid], out.FellBack[pid] = proto.DecidedStage(pid)
+	}
+	decided := pr.DecidedOutputs()
+	if len(decided) > 0 {
+		out.Value = decided[0]
+	}
+	full := inputs
+	if len(full) == 1 {
+		full = make([]Value, c.n)
+		for i := range full {
+			full[i] = inputs[0]
+		}
+	}
+	if err := check.Consensus(full, decided); err != nil {
+		return out, fmt.Errorf("modcon: SAFETY VIOLATION (bug): %w", err)
+	}
+	return out, nil
+}
+
+// Verify re-checks an outcome against inputs (exported so examples and
+// external harnesses can assert safety themselves).
+func Verify(inputs []Value, o *Outcome) error {
+	var decided []value.Value
+	for pid, d := range o.Decided {
+		if d {
+			decided = append(decided, o.Outputs[pid])
+		}
+	}
+	return check.Consensus(inputs, decided)
+}

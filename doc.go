@@ -1,0 +1,46 @@
+// Package modcon is a from-scratch implementation of James Aspnes's
+// "A Modular Approach to Shared-Memory Consensus, with Applications to the
+// Probabilistic-Write Model" (PODC 2010).
+//
+// The paper decomposes randomized shared-memory consensus into two new
+// classes of one-shot objects:
+//
+//   - Conciliators produce agreement with constant probability δ > 0 under
+//     any allowed adversary, but never claim it.
+//   - Ratifiers detect agreement deterministically: unanimous inputs force
+//     everyone to decide, and any decision pins all other outputs.
+//
+// An alternating chain (R₋₁; R₀; C₁; R₁; C₂; R₂; …) of these objects is a
+// full randomized consensus protocol whose expected cost is the sum of one
+// conciliator and one ratifier — for the probabilistic-write model this
+// gives O(log n) expected individual work and O(n log m) expected total
+// work, with O(n) total work for binary consensus (matching the
+// Attiya–Censor lower bound).
+//
+// # What is here
+//
+// The package exposes a small façade over the full implementation:
+//
+//   - New and NewBinary assemble the paper's consensus protocols over a
+//     simulated asynchronous shared memory whose interleaving is chosen by
+//     a pluggable adversary scheduler.
+//   - The adversary portfolio (RoundRobin, UniformRandom, FirstMoverAttack,
+//     Noisy, Priority, …) covers the adversary classes of §2.1.
+//   - Objects (conciliators, ratifiers, weak shared coins, the CIL-style
+//     bounded-space fallback) can be composed freely via the Object
+//     interface and Compose.
+//
+// A quick taste (see examples/quickstart for the runnable version):
+//
+//	cons, _ := modcon.NewBinary(8)
+//	out, _ := cons.Solve([]modcon.Value{0, 1, 0, 1, 1, 0, 1, 0},
+//	    modcon.NewUniformRandom(), 42)
+//	fmt.Println(out.Value) // every process decided this value
+//
+// The heavy machinery lives in internal packages: internal/sim (the
+// scheduler-driven shared-memory runtime), internal/core (deciding objects,
+// composition, protocol assembly), internal/conciliator, internal/ratifier,
+// internal/quorum, internal/sharedcoin, internal/fallback, and
+// internal/harness (the experiment framework behind cmd/modcon-bench, which
+// regenerates every quantitative claim of the paper; see EXPERIMENTS.md).
+package modcon

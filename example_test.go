@@ -1,0 +1,86 @@
+package modcon_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/modular-consensus/modcon"
+)
+
+// Solve binary consensus among four processes with split inputs under a
+// fixed round-robin schedule. Executions are deterministic functions of
+// (spec, scheduler, seed), so the decided value is reproducible.
+func ExampleConsensus_Solve() {
+	cons, err := modcon.NewBinary(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := cons.Solve([]modcon.Value{0, 1, 0, 1}, modcon.NewRoundRobin(), 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("decided:", out.Value)
+	fmt.Println("everyone agrees:", out.Outputs[0] == out.Outputs[3])
+	// Output:
+	// decided: 0
+	// everyone agrees: true
+}
+
+// Unanimous inputs take the fast path (§4.1.1): both fast-path ratifiers
+// accept and no conciliator is ever touched, so individual work is constant
+// in n.
+func ExampleConsensus_Solve_fastPath() {
+	cons, err := modcon.NewBinary(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := cons.Solve([]modcon.Value{1}, modcon.NewRoundRobin(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("decided:", out.Value)
+	fmt.Println("stage:", out.Stage[0])
+	fmt.Println("max individual work ≤ 8:", out.MaxWork() <= 8)
+	// Output:
+	// decided: 1
+	// stage: 0
+	// max individual work ≤ 8: true
+}
+
+// m-valued consensus with the Bollobás-optimal ratifier quorums: nine
+// processes elect one of their pids.
+func ExampleNew_leaderElection() {
+	const n = 9
+	cons, err := modcon.New(n, n, modcon.WithScheme(modcon.SchemePool))
+	if err != nil {
+		log.Fatal(err)
+	}
+	proposals := make([]modcon.Value, n)
+	for pid := range proposals {
+		proposals[pid] = modcon.Value(pid)
+	}
+	out, err := cons.Solve(proposals, modcon.NewUniformRandom(), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("a single leader was elected:", !out.Value.IsNone())
+	// Output:
+	// a single leader was elected: true
+}
+
+// Crash up to n-1 processes: the protocols are wait-free, so survivors
+// still decide.
+func ExampleConsensus_Solve_crashes() {
+	cons, err := modcon.NewBinary(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := cons.Solve([]modcon.Value{0, 1, 1}, modcon.NewUniformRandom(), 5,
+		modcon.RunConfig{CrashAfter: map[int]int{0: 2, 1: 3}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("survivor decided:", out.Decided[2])
+	// Output:
+	// survivor decided: true
+}

@@ -1,0 +1,115 @@
+// Custom protocol assembly: the point of the paper's modular decomposition
+// is that conciliators and ratifiers are interchangeable parts. This
+// example builds three different consensus protocols from the exported
+// objects and races them on the same workload:
+//
+//  1. the paper's recipe (impatient conciliators + ratifiers),
+//  2. the pre-2010 recipe (constant-rate CIL/Cheung conciliators), and
+//  3. a "belt and suspenders" chain that ends in the bounded-space CIL
+//     consensus object, so it decides even if every conciliator stage
+//     fails.
+//
+// Safety is identical for all three — it comes from the ratifiers — while
+// the work profile differs exactly as the theorems predict.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/modular-consensus/modcon"
+)
+
+const (
+	n      = 16
+	m      = 4
+	stages = 8
+	trials = 150
+)
+
+// buildChain assembles `stages` conciliator+ratifier pairs, with a CIL tail
+// when withFallback is set.
+func buildChain(file *modcon.Registers, impatient, withFallback bool) (modcon.Object, error) {
+	var objs []modcon.Object
+	for i := 1; i <= stages; i++ {
+		if impatient {
+			objs = append(objs, modcon.NewImpatientConciliator(file, n, i))
+		} else {
+			objs = append(objs, modcon.NewConstantRateConciliator(file, n, i))
+		}
+		r, err := modcon.NewRatifier(file, m, i)
+		if err != nil {
+			return nil, err
+		}
+		objs = append(objs, r)
+	}
+	if withFallback {
+		objs = append(objs, modcon.NewCILConsensus(file, n, 0))
+	}
+	return modcon.Compose(objs...), nil
+}
+
+func race(name string, impatient, withFallback bool) error {
+	totalWork, maxWork, undecided := 0, 0, 0
+	for seed := uint64(0); seed < trials; seed++ {
+		file := modcon.NewRegisters()
+		chain, err := buildChain(file, impatient, withFallback)
+		if err != nil {
+			return err
+		}
+		inputs := make([]modcon.Value, n)
+		for i := range inputs {
+			inputs[i] = modcon.Value((i + int(seed)) % m)
+		}
+		decided := make([]bool, n)
+		outs := make([]modcon.Value, n)
+		res, err := modcon.Simulate(n, file, modcon.NewFirstMoverAttack(), seed,
+			func(e modcon.Env) modcon.Value {
+				d := chain.Invoke(e, inputs[e.PID()])
+				decided[e.PID()] = d.Decided
+				outs[e.PID()] = d.V
+				return d.V
+			})
+		if err != nil {
+			return err
+		}
+		var agreedOutputs []modcon.Value
+		for pid := range outs {
+			if decided[pid] {
+				agreedOutputs = append(agreedOutputs, outs[pid])
+			} else {
+				undecided++
+			}
+		}
+		if err := modcon.CheckConsensus(inputs, agreedOutputs); err != nil {
+			return fmt.Errorf("%s seed %d: %w", name, seed, err)
+		}
+		totalWork += res.TotalWork
+		for _, w := range res.Work {
+			if w > maxWork {
+				maxWork = w
+			}
+		}
+	}
+	fmt.Printf("%-34s  mean total %6.1f ops   worst individual %3d ops   undecided %d/%d\n",
+		name, float64(totalWork)/trials, maxWork, undecided, trials*n)
+	return nil
+}
+
+func main() {
+	fmt.Printf("racing 3 hand-assembled protocols: n=%d, m=%d, %d stages, first-mover attack, %d trials\n\n",
+		n, m, stages, trials)
+	for _, cfg := range []struct {
+		name                    string
+		impatient, withFallback bool
+	}{
+		{"paper recipe (impatient)", true, false},
+		{"pre-2010 recipe (constant-rate)", false, false},
+		{"impatient + CIL fallback", true, true},
+	} {
+		if err := race(cfg.name, cfg.impatient, cfg.withFallback); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("\nall protocols are safe (ratifiers); the conciliator choice only moves the work")
+}

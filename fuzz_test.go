@@ -1,0 +1,45 @@
+package modcon
+
+import "testing"
+
+// FuzzSolve runs full consensus executions with fuzzed sizes, seeds, input
+// patterns and adversaries. Solve verifies agreement and validity
+// internally, so any safety bug surfaces as an error.
+func FuzzSolve(f *testing.F) {
+	f.Add(uint8(4), uint8(2), uint64(1), uint8(0), uint16(0b0101))
+	f.Add(uint8(7), uint8(5), uint64(99), uint8(3), uint16(0xFFFF))
+	f.Fuzz(func(t *testing.T, nRaw, mRaw uint8, seed uint64, advRaw uint8, pattern uint16) {
+		n := int(nRaw)%8 + 1
+		m := int(mRaw)%6 + 2
+		cons, err := New(n, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs := make([]Value, n)
+		for i := range inputs {
+			inputs[i] = Value((int(pattern>>uint(i%16)) + i) % m)
+		}
+		var s Scheduler
+		switch advRaw % 5 {
+		case 0:
+			s = NewRoundRobin()
+		case 1:
+			s = NewUniformRandom()
+		case 2:
+			s = NewLaggard()
+		case 3:
+			s = NewFirstMoverAttack()
+		default:
+			s = NewEagerWriteAttack()
+		}
+		out, err := cons.Solve(inputs, s, seed)
+		if err != nil {
+			t.Fatalf("n=%d m=%d adv=%d: %v", n, m, advRaw%5, err)
+		}
+		for pid, d := range out.Decided {
+			if !d {
+				t.Fatalf("pid %d undecided", pid)
+			}
+		}
+	})
+}

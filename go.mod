@@ -1,0 +1,3 @@
+module github.com/modular-consensus/modcon
+
+go 1.22

@@ -1,0 +1,179 @@
+// Package check verifies executions against the paper's correctness
+// properties (§3): agreement, validity, coherence, acceptance, and
+// probabilistic agreement (as an empirical estimate), plus work bounds.
+//
+// Result-level checks look only at inputs and outputs; trace-level checks
+// reconstruct per-object invocations from Invoke/Return events and verify
+// the weak-consensus conditions object by object — including for the
+// intermediate objects of a composition, which result-level checks cannot
+// see.
+package check
+
+import (
+	"fmt"
+
+	"github.com/modular-consensus/modcon/internal/trace"
+	"github.com/modular-consensus/modcon/internal/value"
+)
+
+// Agreement verifies that all outputs are equal. Crashed or non-terminated
+// processes should be excluded by the caller (pass Result.HaltedOutputs()).
+func Agreement(outputs []value.Value) error {
+	for i := 1; i < len(outputs); i++ {
+		if outputs[i] != outputs[0] {
+			return fmt.Errorf("check: agreement violated: output[%d]=%s but output[0]=%s", i, outputs[i], outputs[0])
+		}
+	}
+	return nil
+}
+
+// Validity verifies that every output equals some process's input.
+func Validity(inputs, outputs []value.Value) error {
+	in := make(map[value.Value]bool, len(inputs))
+	for _, v := range inputs {
+		in[v] = true
+	}
+	for i, v := range outputs {
+		if !in[v] {
+			return fmt.Errorf("check: validity violated: output[%d]=%s is nobody's input %v", i, v, inputs)
+		}
+	}
+	return nil
+}
+
+// Consensus verifies agreement and validity together for the halted
+// processes of an execution.
+func Consensus(inputs, haltedOutputs []value.Value) error {
+	if err := Agreement(haltedOutputs); err != nil {
+		return err
+	}
+	return Validity(inputs, haltedOutputs)
+}
+
+// objectRecord collects one object's observed interface from a trace.
+type objectRecord struct {
+	inputs  []value.Value
+	outputs []value.Decision
+}
+
+// gather reconstructs per-object records from Invoke/Return events.
+func gather(log *trace.Log) map[string]*objectRecord {
+	objs := make(map[string]*objectRecord)
+	get := func(label string) *objectRecord {
+		r := objs[label]
+		if r == nil {
+			r = &objectRecord{}
+			objs[label] = r
+		}
+		return r
+	}
+	for _, e := range log.Events() {
+		switch e.Kind {
+		case trace.Invoke:
+			get(e.Label).inputs = append(get(e.Label).inputs, e.Val)
+		case trace.Return:
+			get(e.Label).outputs = append(get(e.Label).outputs, value.Decision{Decided: e.Decided, V: e.Val})
+		}
+	}
+	return objs
+}
+
+// Objects verifies, for every labeled object appearing in the trace, the
+// three weak-consensus properties plus acceptance:
+//
+//   - validity: every output value is one of the object's input values;
+//   - coherence: if any process output (1, v), every output is (·, v);
+//   - acceptance: if all inputs equal v, every completed output is (1, v).
+//
+// Acceptance is only meaningful for objects the caller knows to be
+// ratifiers; pass their label prefix (e.g. "R") as ratifierPrefix, or ""
+// to skip acceptance.
+func Objects(log *trace.Log, ratifierPrefix string) error {
+	for label, rec := range gather(log) {
+		if len(rec.inputs) == 0 && len(rec.outputs) == 0 {
+			continue
+		}
+		in := make(map[value.Value]bool, len(rec.inputs))
+		allEqual := true
+		for _, v := range rec.inputs {
+			in[v] = true
+			if v != rec.inputs[0] {
+				allEqual = false
+			}
+		}
+		var decidedVal value.Value
+		decided := false
+		for _, d := range rec.outputs {
+			if !in[d.V] {
+				return fmt.Errorf("check: object %s: output %s is not among its inputs (validity)", label, d)
+			}
+			if d.Decided {
+				if decided && d.V != decidedVal {
+					return fmt.Errorf("check: object %s: two decisions %s and %s (coherence)", label, decidedVal, d.V)
+				}
+				decided, decidedVal = true, d.V
+			}
+		}
+		if decided {
+			for _, d := range rec.outputs {
+				if d.V != decidedVal {
+					return fmt.Errorf("check: object %s: decision %s but output %s (coherence)", label, decidedVal, d)
+				}
+			}
+		}
+		if ratifierPrefix != "" && isRatifier(label, ratifierPrefix) && allEqual && len(rec.inputs) > 0 {
+			for _, d := range rec.outputs {
+				if !d.Decided || d.V != rec.inputs[0] {
+					return fmt.Errorf("check: ratifier %s: all inputs %s but output %s (acceptance)", label, rec.inputs[0], d)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// isRatifier matches labels like "R3", "R-1" for prefix "R", without
+// matching e.g. "RC0" collect ratifiers when the prefix is "R".
+func isRatifier(label, prefix string) bool {
+	if len(label) <= len(prefix) || label[:len(prefix)] != prefix {
+		return false
+	}
+	rest := label[len(prefix):]
+	if rest[0] == '-' {
+		rest = rest[1:]
+	}
+	if rest == "" {
+		return false
+	}
+	for _, ch := range rest {
+		if ch < '0' || ch > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// IndividualWorkBound verifies that no process exceeded the given operation
+// budget.
+func IndividualWorkBound(work []int, bound int) error {
+	for pid, w := range work {
+		if w > bound {
+			return fmt.Errorf("check: process %d performed %d operations, bound %d", pid, w, bound)
+		}
+	}
+	return nil
+}
+
+// Unanimous reports whether all values in xs are equal (and xs is
+// non-empty); it is the event whose probability a conciliator's δ bounds.
+func Unanimous(xs []value.Value) bool {
+	if len(xs) == 0 {
+		return false
+	}
+	for _, v := range xs {
+		if v != xs[0] {
+			return false
+		}
+	}
+	return true
+}

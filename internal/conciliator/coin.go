@@ -1,0 +1,65 @@
+package conciliator
+
+import (
+	"fmt"
+
+	"github.com/modular-consensus/modcon/internal/core"
+	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/sharedcoin"
+	"github.com/modular-consensus/modcon/internal/value"
+)
+
+// FromCoin is Procedure CoinConciliator (§5.1, Theorem 6): a 2-valued
+// conciliator built from any weak shared coin, with validity enforced by two
+// binary registers.
+//
+//	shared data: binary registers r₀ and r₁, initially 0; weak shared coin
+//
+//	r_v ← 1
+//	if r_{¬v} = 1 then return (0, SharedCoin())
+//	else return (0, v)
+//
+// If some process skips the coin and returns v, it wrote r_v before reading
+// 0 from r_{¬v}; every process with input ¬v therefore sees r_v = 1 and runs
+// the coin, so with probability ≥ δ (the coin's agreement probability on
+// side v) all outputs equal v.
+type FromCoin struct {
+	r0, r1 register.Reg
+	coin   sharedcoin.Coin
+	label  string
+}
+
+var _ core.Object = (*FromCoin)(nil)
+
+// NewFromCoin allocates the conciliator's two binary registers and wires in
+// the shared coin.
+func NewFromCoin(file *register.File, coin sharedcoin.Coin, index int) *FromCoin {
+	label := fmt.Sprintf("CC%d", index)
+	c := &FromCoin{
+		r0:    file.Alloc1(label + ".r0"),
+		r1:    file.Alloc1(label + ".r1"),
+		coin:  coin,
+		label: label,
+	}
+	file.Init(c.r0, 0)
+	file.Init(c.r1, 0)
+	return c
+}
+
+// Invoke implements core.Object. Inputs must be 0 or 1.
+func (c *FromCoin) Invoke(e core.Env, v value.Value) value.Decision {
+	mine, other := c.r0, c.r1
+	if v == 1 {
+		mine, other = c.r1, c.r0
+	} else if v != 0 {
+		panic(fmt.Sprintf("conciliator: FromCoin input %s is not binary", v))
+	}
+	e.Write(mine, 1)
+	if e.Read(other) == 1 {
+		return value.Continue(c.coin.Flip(e))
+	}
+	return value.Continue(v)
+}
+
+// Label implements core.Object.
+func (c *FromCoin) Label() string { return c.label }

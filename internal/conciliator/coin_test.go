@@ -1,0 +1,153 @@
+package conciliator
+
+import (
+	"testing"
+
+	"github.com/modular-consensus/modcon/internal/check"
+	"github.com/modular-consensus/modcon/internal/harness"
+	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/sched"
+	"github.com/modular-consensus/modcon/internal/sharedcoin"
+	"github.com/modular-consensus/modcon/internal/value"
+)
+
+func runCoinConciliator(t *testing.T, n int, inputs []value.Value, seed uint64, voting bool) *harness.ObjectRun {
+	t.Helper()
+	file := register.NewFile()
+	var coin sharedcoin.Coin
+	if voting {
+		coin = sharedcoin.NewVoting(file, n, 1)
+	} else {
+		coin = sharedcoin.NewLocal(1)
+	}
+	c := NewFromCoin(file, coin, 1)
+	run, err := harness.RunObject(c, harness.ObjectConfig{
+		N: n, File: file, Inputs: inputs, Scheduler: sched.NewUniformRandom(), Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+func TestFromCoinValidity(t *testing.T) {
+	// Theorem 6: validity — if all inputs are v, nobody runs the coin and
+	// everybody returns v.
+	for _, v := range []value.Value{0, 1} {
+		for seed := uint64(0); seed < 30; seed++ {
+			run := runCoinConciliator(t, 4, []value.Value{v}, seed, false)
+			for _, got := range run.Outputs() {
+				if got != v {
+					t.Fatalf("unanimous input %s produced %s", v, got)
+				}
+			}
+		}
+	}
+}
+
+func TestFromCoinOutputsAreBinaryAndUndecided(t *testing.T) {
+	inputs := []value.Value{0, 1, 0, 1}
+	for seed := uint64(0); seed < 50; seed++ {
+		run := runCoinConciliator(t, 4, inputs, seed, false)
+		for pid, d := range run.Decisions {
+			if d.Decided {
+				t.Fatalf("conciliator decided at pid %d", pid)
+			}
+			if d.V != 0 && d.V != 1 {
+				t.Fatalf("pid %d output %s", pid, d.V)
+			}
+		}
+	}
+}
+
+func TestFromCoinAgreementWithVotingCoin(t *testing.T) {
+	// With a genuine weak shared coin the conciliator agrees with constant
+	// probability on mixed inputs.
+	const trials = 200
+	n := 4
+	agree := 0
+	inputs := []value.Value{0, 1, 0, 1}
+	for seed := uint64(0); seed < trials; seed++ {
+		run := runCoinConciliator(t, n, inputs, seed, true)
+		if check.Unanimous(run.Outputs()) {
+			agree++
+		}
+	}
+	if agree < trials/10 {
+		t.Errorf("agreement %d/%d below constant probability", agree, trials)
+	}
+}
+
+func TestFromCoinWorkOverhead(t *testing.T) {
+	// The wrapper adds exactly 2 register operations per process on top of
+	// the coin (1 write + 1 read); processes skipping the coin do exactly 2.
+	file := register.NewFile()
+	c := NewFromCoin(file, sharedcoin.NewLocal(1), 1)
+	run, err := harness.RunObject(c, harness.ObjectConfig{
+		N: 1, File: file, Inputs: []value.Value{0}, Scheduler: sched.NewRoundRobin(), Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Result.TotalWork != 2 {
+		t.Fatalf("solo work %d, want 2 (write r_v + read r_{¬v})", run.Result.TotalWork)
+	}
+}
+
+func TestFromCoinFirstMoverSkipsCoin(t *testing.T) {
+	// If p0 runs alone first with input 0, it returns 0 without the coin;
+	// any later process with input 1 must then run the coin (it sees
+	// r_0 = 1). Use the frontrunner scheduler for the solo prefix.
+	file := register.NewFile()
+	c := NewFromCoin(file, sharedcoin.NewLocal(1), 1)
+	run, err := harness.RunObject(c, harness.ObjectConfig{
+		N: 2, File: file, Inputs: []value.Value{0, 1}, Scheduler: sched.NewFrontrunner(), Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Decisions[0].V != 0 {
+		t.Fatalf("first mover output %s, want its own input 0", run.Decisions[0].V)
+	}
+}
+
+func TestFromCoinRejectsNonBinary(t *testing.T) {
+	file := register.NewFile()
+	c := NewFromCoin(file, sharedcoin.NewLocal(1), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on input 2")
+		}
+	}()
+	_, _ = harness.RunObject(c, harness.ObjectConfig{
+		N: 1, File: file, Inputs: []value.Value{2}, Scheduler: sched.NewRoundRobin(),
+	})
+}
+
+func TestFromCoinLabel(t *testing.T) {
+	file := register.NewFile()
+	if got := NewFromCoin(file, sharedcoin.NewLocal(1), 4).Label(); got != "CC4" {
+		t.Errorf("label = %q", got)
+	}
+}
+
+func TestFromCoinWithWeightedCoin(t *testing.T) {
+	// The weighted voting coin plugs into the Theorem 6 conciliator like
+	// any weak shared coin.
+	n := 4
+	inputs := []value.Value{0, 1, 0, 1}
+	for seed := uint64(0); seed < 20; seed++ {
+		file := register.NewFile()
+		coin := sharedcoin.NewWeighted(file, n, 1)
+		c := NewFromCoin(file, coin, 1)
+		run, err := harness.RunObject(c, harness.ObjectConfig{
+			N: n, File: file, Inputs: inputs, Scheduler: sched.NewUniformRandom(), Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := check.Validity(inputs, run.Outputs()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package conciliator
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/modular-consensus/modcon/internal/check"
+	"github.com/modular-consensus/modcon/internal/harness"
+	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/sched"
+	"github.com/modular-consensus/modcon/internal/value"
+)
+
+// runOnce builds a fresh Impatient conciliator and executes it.
+func runOnce(t *testing.T, n int, inputs []value.Value, s sched.Scheduler, seed uint64, mod func(*Impatient)) *harness.ObjectRun {
+	t.Helper()
+	file := register.NewFile()
+	c := NewImpatient(file, n, 1)
+	if mod != nil {
+		mod(c)
+	}
+	run, err := harness.RunObject(c, harness.ObjectConfig{
+		N: n, File: file, Inputs: inputs, Scheduler: s, Seed: seed,
+	})
+	if err != nil {
+		t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+	}
+	return run
+}
+
+func distinctInputs(n int) []value.Value {
+	in := make([]value.Value, n)
+	for i := range in {
+		in[i] = value.Value(i)
+	}
+	return in
+}
+
+func TestValidityAndNeverDecides(t *testing.T) {
+	// A conciliator must output somebody's input and must always return
+	// decision bit 0 (coherence is vacuous).
+	schedulers := []func() sched.Scheduler{
+		func() sched.Scheduler { return sched.NewRoundRobin() },
+		func() sched.Scheduler { return sched.NewUniformRandom() },
+		func() sched.Scheduler { return sched.NewFirstMoverAttack() },
+		func() sched.Scheduler { return sched.NewEagerWriteAttack() },
+		func() sched.Scheduler { return sched.NewLaggard() },
+	}
+	for _, mk := range schedulers {
+		for _, n := range []int{1, 2, 3, 8, 17} {
+			for seed := uint64(0); seed < 20; seed++ {
+				run := runOnce(t, n, distinctInputs(n), mk(), seed, nil)
+				if err := check.Validity(distinctInputs(n), run.Outputs()); err != nil {
+					t.Fatal(err)
+				}
+				for pid, d := range run.Decisions {
+					if d.Decided {
+						t.Fatalf("conciliator decided at pid %d", pid)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAllSameInputAgree(t *testing.T) {
+	// Validity pins the output when all inputs are equal.
+	for seed := uint64(0); seed < 50; seed++ {
+		run := runOnce(t, 5, []value.Value{7}, sched.NewUniformRandom(), seed, nil)
+		for _, v := range run.Outputs() {
+			if v != 7 {
+				t.Fatalf("output %s with unanimous input 7", v)
+			}
+		}
+	}
+}
+
+func TestIndividualWorkBound(t *testing.T) {
+	// Theorem 7: at most 2 lg n + O(1) operations per process, on *every*
+	// execution, for every adversary.
+	for _, n := range []int{1, 2, 3, 4, 7, 16, 33, 128, 1000} {
+		file := register.NewFile()
+		c := NewImpatient(file, n, 1)
+		bound := c.MaxIndividualWork()
+		paper := 2*int(math.Ceil(math.Log2(float64(n)))) + 5
+		if n == 1 {
+			paper = 5
+		}
+		if bound > paper {
+			t.Fatalf("n=%d: MaxIndividualWork=%d exceeds 2⌈lg n⌉+5=%d", n, bound, paper)
+		}
+		for seed := uint64(0); seed < 10; seed++ {
+			for _, s := range []sched.Scheduler{sched.NewRoundRobin(), sched.NewFirstMoverAttack(), sched.NewFrontrunner()} {
+				run := runOnce(t, n, distinctInputs(n), s, seed, nil)
+				if err := check.IndividualWorkBound(run.Result.Work, bound); err != nil {
+					t.Fatalf("n=%d seed=%d %s: %v", n, seed, s.Name(), err)
+				}
+			}
+		}
+	}
+}
+
+func TestExpectedTotalWorkLinear(t *testing.T) {
+	// Theorem 7: expected total work ≤ 6n, even under the attack scheduler.
+	for _, n := range []int{4, 16, 64} {
+		for _, mk := range []func() sched.Scheduler{
+			func() sched.Scheduler { return sched.NewRoundRobin() },
+			func() sched.Scheduler { return sched.NewFirstMoverAttack() },
+		} {
+			const trials = 150
+			total := 0
+			var name string
+			for seed := uint64(0); seed < trials; seed++ {
+				s := mk()
+				name = s.Name()
+				run := runOnce(t, n, distinctInputs(n), s, seed, nil)
+				total += run.Result.TotalWork
+			}
+			mean := float64(total) / trials
+			if mean > 6*float64(n)+10 {
+				t.Errorf("n=%d %s: mean total work %.1f exceeds 6n=%d", n, name, mean, 6*n)
+			}
+		}
+	}
+}
+
+func TestAgreementProbabilityAboveDelta(t *testing.T) {
+	// Theorem 7: agreement probability ≥ (1-e^{-1/4})/4 ≈ 0.0553 for any
+	// location-oblivious adversary. Empirically even the tuned attack
+	// leaves substantially more than δ; assert the bound itself with head
+	// room for sampling error.
+	const trials = 600
+	for _, n := range []int{2, 8, 32} {
+		for _, mk := range []func() sched.Scheduler{
+			func() sched.Scheduler { return sched.NewFirstMoverAttack() },
+			func() sched.Scheduler { return sched.NewEagerWriteAttack() },
+			func() sched.Scheduler { return sched.NewRoundRobin() },
+			func() sched.Scheduler { return sched.NewLaggard() },
+		} {
+			agree := 0
+			var name string
+			for seed := uint64(0); seed < trials; seed++ {
+				s := mk()
+				name = s.Name()
+				run := runOnce(t, n, distinctInputs(n), s, seed, nil)
+				if check.Unanimous(run.Outputs()) {
+					agree++
+				}
+			}
+			delta := float64(agree) / trials
+			if delta < 0.0553 {
+				t.Errorf("n=%d %s: empirical δ = %.4f below paper bound 0.0553", n, name, delta)
+			}
+		}
+	}
+}
+
+func TestDetectSuccessSavesWork(t *testing.T) {
+	// Footnote 2: returning immediately after a detected successful write
+	// saves up to 2 operations; it must never produce invalid outputs.
+	n := 16
+	saved := false
+	for seed := uint64(0); seed < 100; seed++ {
+		plain := runOnce(t, n, distinctInputs(n), sched.NewRoundRobin(), seed, nil)
+		detect := runOnce(t, n, distinctInputs(n), sched.NewRoundRobin(), seed,
+			func(c *Impatient) { c.DetectSuccess = true })
+		if err := check.Validity(distinctInputs(n), detect.Outputs()); err != nil {
+			t.Fatal(err)
+		}
+		if detect.Result.TotalWork < plain.Result.TotalWork {
+			saved = true
+		}
+		if detect.Result.TotalWork > plain.Result.TotalWork {
+			t.Fatalf("seed %d: detection increased work %d -> %d", seed,
+				plain.Result.TotalWork, detect.Result.TotalWork)
+		}
+	}
+	if !saved {
+		t.Error("write detection never saved any work in 100 runs")
+	}
+}
+
+func TestConstantRateSoloIsLinear(t *testing.T) {
+	// The CIL/Cheung baseline running solo needs Θ(n) expected operations;
+	// the impatient conciliator needs Θ(log n). This is the paper's core
+	// individual-work separation.
+	n := 64
+	const trials = 60
+	sumConst, sumImp := 0, 0
+	for seed := uint64(0); seed < trials; seed++ {
+		fileC := register.NewFile()
+		cc := NewConstantRate(fileC, n, 1)
+		runC, err := harness.RunObject(cc, harness.ObjectConfig{
+			N: 1, File: fileC, Inputs: []value.Value{3}, Scheduler: sched.NewRoundRobin(), Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumConst += runC.Result.TotalWork
+
+		fileI := register.NewFile()
+		ci := NewImpatient(fileI, n, 1) // n=64 probabilities, one participant
+		runI2, err := harness.RunObject(ci, harness.ObjectConfig{
+			N: 1, File: fileI, Inputs: []value.Value{3}, Scheduler: sched.NewRoundRobin(), Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumImp += runI2.Result.TotalWork
+	}
+	meanConst := float64(sumConst) / trials
+	meanImp := float64(sumImp) / trials
+	if meanConst < float64(n)/2 {
+		t.Errorf("constant-rate solo mean work %.1f, expected ≈ 2n = %d", meanConst, 2*n)
+	}
+	if meanImp > 4*math.Log2(float64(n)) {
+		t.Errorf("impatient solo mean work %.1f, expected ≈ 2 lg n = %.1f", meanImp, 2*math.Log2(float64(n)))
+	}
+	if meanConst < 3*meanImp {
+		t.Errorf("separation too small: constant %.1f vs impatient %.1f", meanConst, meanImp)
+	}
+}
+
+func TestGrowthSchedules(t *testing.T) {
+	// All growth schedules remain valid conciliators; their solo work
+	// ordering is log n < √n-ish < n.
+	n := 256
+	means := make(map[Growth]float64)
+	for _, g := range []Growth{GrowthDoubling, GrowthLinear, GrowthConstant} {
+		sum := 0
+		const trials = 40
+		for seed := uint64(0); seed < trials; seed++ {
+			file := register.NewFile()
+			c := NewImpatient(file, n, 1)
+			c.Growth = g
+			run, err := harness.RunObject(c, harness.ObjectConfig{
+				N: 1, File: file, Inputs: []value.Value{1}, Scheduler: sched.NewRoundRobin(), Seed: seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := run.Outputs()[0]; got != 1 {
+				t.Fatalf("growth %v: output %s", g, got)
+			}
+			sum += run.Result.TotalWork
+		}
+		means[g] = float64(sum) / trials
+	}
+	if !(means[GrowthDoubling] < means[GrowthLinear] && means[GrowthLinear] < means[GrowthConstant]) {
+		t.Errorf("solo work ordering violated: doubling=%.1f linear=%.1f constant=%.1f",
+			means[GrowthDoubling], means[GrowthLinear], means[GrowthConstant])
+	}
+}
+
+func TestProbNumSchedule(t *testing.T) {
+	file := register.NewFile()
+	c := NewImpatient(file, 16, 1)
+	wantDoubling := []uint64{1, 2, 4, 8, 16, 16, 16}
+	for k, want := range wantDoubling {
+		if got := c.probNum(k); got != want {
+			t.Errorf("doubling probNum(%d) = %d, want %d", k, got, want)
+		}
+	}
+	c.Growth = GrowthLinear
+	wantLinear := []uint64{1, 2, 3, 4}
+	for k, want := range wantLinear {
+		if got := c.probNum(k); got != want {
+			t.Errorf("linear probNum(%d) = %d, want %d", k, got, want)
+		}
+	}
+	if got := c.probNum(100); got != 16 {
+		t.Errorf("linear probNum(100) = %d, want capped 16", got)
+	}
+	c.Growth = GrowthConstant
+	for _, k := range []int{0, 5, 1000} {
+		if got := c.probNum(k); got != 1 {
+			t.Errorf("constant probNum(%d) = %d, want 1", k, got)
+		}
+	}
+	// Large k must not overflow.
+	c.Growth = GrowthDoubling
+	if got := c.probNum(64); got != 16 {
+		t.Errorf("doubling probNum(64) = %d, want 16", got)
+	}
+}
+
+func TestMaxIndividualWorkBaseline(t *testing.T) {
+	file := register.NewFile()
+	c := NewConstantRate(file, 8, 1)
+	if got := c.MaxIndividualWork(); got != -1 {
+		t.Errorf("constant-rate MaxIndividualWork = %d, want -1 (unbounded)", got)
+	}
+	c2 := NewConstantRate(file, 1, 2)
+	if got := c2.MaxIndividualWork(); got <= 0 {
+		t.Errorf("n=1 constant-rate MaxIndividualWork = %d, want positive", got)
+	}
+}
+
+func TestRejectsNoneInput(t *testing.T) {
+	file := register.NewFile()
+	c := NewImpatient(file, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ⊥ input")
+		}
+	}()
+	_, _ = harness.RunObject(c, harness.ObjectConfig{
+		N: 2, File: file, Inputs: []value.Value{value.None}, Scheduler: sched.NewRoundRobin(),
+	})
+}
+
+func TestLabels(t *testing.T) {
+	file := register.NewFile()
+	for i, want := range map[int]string{1: "C1", 7: "C7"} {
+		if got := NewImpatient(file, 2, i).Label(); got != want {
+			t.Errorf("label = %q, want %q", got, want)
+		}
+	}
+	for _, g := range []Growth{GrowthDoubling, GrowthConstant, GrowthLinear, Growth(9)} {
+		if g.String() == "" {
+			t.Errorf("Growth(%d) has empty string", g)
+		}
+	}
+	if fmt.Sprint(Growth(9)) != "growth(9)" {
+		t.Errorf("unknown growth prints %q", fmt.Sprint(Growth(9)))
+	}
+}

@@ -1,0 +1,47 @@
+package conciliator
+
+import (
+	"fmt"
+
+	"github.com/modular-consensus/modcon/internal/core"
+	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/value"
+)
+
+// NaiveFirstMover is the deterministic-write strawman that motivates the
+// probabilistic-write assumption (§2.1): each process reads the register
+// and, if it is empty, writes its value outright. Against *oblivious*
+// schedules it often works, but an adaptive (or even location-oblivious
+// with deterministic writes visible) adversary sees the pending write
+// values and can always order one conflicting write after a reader has
+// committed to the previous value — driving the agreement probability to
+// zero. It exists as a negative control for experiments and tests; it is
+// still a valid weak consensus object (validity, termination, coherence),
+// just not a conciliator.
+type NaiveFirstMover struct {
+	r     register.Reg
+	label string
+}
+
+var _ core.Object = (*NaiveFirstMover)(nil)
+
+// NewNaiveFirstMover allocates the strawman's single register.
+func NewNaiveFirstMover(file *register.File, index int) *NaiveFirstMover {
+	label := fmt.Sprintf("NC%d", index)
+	return &NaiveFirstMover{r: file.Alloc1(label + ".r"), label: label}
+}
+
+// Invoke implements core.Object.
+func (c *NaiveFirstMover) Invoke(e core.Env, v value.Value) value.Decision {
+	if v.IsNone() {
+		panic("conciliator: ⊥ is not a legal input")
+	}
+	if u := e.Read(c.r); !u.IsNone() {
+		return value.Continue(u)
+	}
+	e.Write(c.r, v)
+	return value.Continue(e.Read(c.r))
+}
+
+// Label implements core.Object.
+func (c *NaiveFirstMover) Label() string { return c.label }

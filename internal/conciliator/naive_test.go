@@ -1,0 +1,80 @@
+package conciliator
+
+import (
+	"testing"
+
+	"github.com/modular-consensus/modcon/internal/check"
+	"github.com/modular-consensus/modcon/internal/harness"
+	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/sched"
+	"github.com/modular-consensus/modcon/internal/value"
+)
+
+func runNaive(t *testing.T, n int, inputs []value.Value, s sched.Scheduler, seed uint64) *harness.ObjectRun {
+	t.Helper()
+	file := register.NewFile()
+	c := NewNaiveFirstMover(file, 1)
+	run, err := harness.RunObject(c, harness.ObjectConfig{
+		N: n, File: file, Inputs: inputs, Scheduler: s, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+func TestNaiveIsWeakConsensusObject(t *testing.T) {
+	// Validity and never-decides hold under any adversary.
+	for seed := uint64(0); seed < 30; seed++ {
+		run := runNaive(t, 4, []value.Value{0, 1, 2, 3}, sched.NewUniformRandom(), seed)
+		if err := check.Validity([]value.Value{0, 1, 2, 3}, run.Outputs()); err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range run.Decisions {
+			if d.Decided {
+				t.Fatal("naive conciliator decided")
+			}
+		}
+	}
+}
+
+func TestNaiveWorksUnderFrontrunner(t *testing.T) {
+	// A solo prefix makes the first mover win outright.
+	run := runNaive(t, 3, []value.Value{5, 6, 7}, sched.NewFrontrunner(), 1)
+	if !check.Unanimous(run.Outputs()) {
+		t.Fatalf("outputs %v", run.Outputs())
+	}
+}
+
+func TestNaiveDiesAgainstAdaptiveAdversary(t *testing.T) {
+	// The adaptive spoiler sees pending deterministic write values and
+	// forces disagreement essentially always — this is exactly why the
+	// probabilistic-write model exists (§2.1). Constant δ is impossible.
+	const trials = 200
+	agree := 0
+	for seed := uint64(0); seed < trials; seed++ {
+		run := runNaive(t, 4, []value.Value{0, 1, 2, 3}, sched.NewAdaptiveSpoiler(), seed)
+		if check.Unanimous(run.Outputs()) {
+			agree++
+		}
+	}
+	if agree > trials/20 {
+		t.Fatalf("naive first-mover agreed %d/%d times against the adaptive adversary; expected near-total failure", agree, trials)
+	}
+}
+
+func TestImpatientSurvivesAdaptiveSpoiler(t *testing.T) {
+	// By contrast, the probabilistic-write conciliator retains constant
+	// agreement probability even against the spoiler: it cannot veto coins.
+	const trials = 200
+	agree := 0
+	for seed := uint64(0); seed < trials; seed++ {
+		run := runOnce(t, 4, []value.Value{0, 1, 2, 3}, sched.NewAdaptiveSpoiler(), seed, nil)
+		if check.Unanimous(run.Outputs()) {
+			agree++
+		}
+	}
+	if agree < trials/18 { // the paper's δ ≈ 0.0553
+		t.Fatalf("impatient conciliator agreed only %d/%d times against the spoiler", agree, trials)
+	}
+}

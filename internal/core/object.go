@@ -1,0 +1,98 @@
+// Package core implements the paper's primary contribution (§3–§4): the
+// decomposition of randomized consensus into *deciding objects* — one-shot
+// shared-memory objects whose outputs carry a decision bit — and the two
+// classes the paper introduces:
+//
+//   - conciliators, which produce agreement with some constant probability
+//     δ > 0 but never claim it (they always return decision bit 0), and
+//   - ratifiers, which never produce agreement but detect it: if all inputs
+//     are equal they force everyone to decide (acceptance), and if anyone
+//     decides, coherence pins every other output to the decided value.
+//
+// A weak consensus object satisfies validity, termination, and coherence.
+// Composition (X; Y) preserves all three (Lemmas 1–3, Corollary 4), so an
+// alternating chain of ratifiers and conciliators — with a ratifier-pair
+// fast path in front — is a full randomized consensus protocol (§4.1).
+//
+// Concrete conciliators and ratifiers live in internal/conciliator and
+// internal/ratifier; this package defines the object model and assembles
+// chains into consensus protocols.
+package core
+
+import (
+	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/value"
+)
+
+// Env is the process-side view of the shared-memory world, implemented by
+// the simulated backend (internal/sim) and the live sync/atomic backend
+// (internal/live). Objects perform all shared-memory access through it.
+type Env interface {
+	// PID returns the calling process's id in [0, N()).
+	PID() int
+	// N returns the number of processes.
+	N() int
+	// Read atomically reads a register (cost 1).
+	Read(r register.Reg) value.Value
+	// Write atomically writes a register (cost 1).
+	Write(r register.Reg, v value.Value)
+	// ProbWrite attempts a probabilistic write that takes effect with
+	// probability min(1, num/den) (cost 1 either way). The returned success
+	// bit exists for the detection ablation; the paper's protocols ignore
+	// it (footnote 2).
+	ProbWrite(r register.Reg, v value.Value, num, den uint64) bool
+	// Collect reads a register array: one operation under the cheap-collect
+	// model, arr.Len reads otherwise.
+	Collect(arr register.Array) []value.Value
+	// CheapCollect reports whether Collect costs a single operation.
+	CheapCollect() bool
+	// CoinUint64 flips 64 local coin bits (cost 0).
+	CoinUint64() uint64
+	// CoinBool flips one fair local coin (cost 0).
+	CoinBool() bool
+	// CoinIntn draws a uniform local integer in [0, n) (cost 0).
+	CoinIntn(n int) int
+	// MarkInvoke and MarkReturn annotate traces with object boundaries.
+	MarkInvoke(label string, v value.Value)
+	MarkReturn(label string, d value.Decision)
+}
+
+// Object is a one-shot deciding object (§3): each process executes Invoke at
+// most once, with its input value, and receives an output annotated with a
+// decision bit — value.Decide(v) to terminate immediately with v,
+// value.Continue(v) to carry v into the next object of a composition.
+//
+// A correctly implemented Object is safe for concurrent Invoke by distinct
+// processes (each with its own Env); all cross-process state lives in
+// registers.
+type Object interface {
+	// Invoke executes the object's operation for the calling process.
+	Invoke(e Env, v value.Value) value.Decision
+	// Label names the object instance in traces and reports.
+	Label() string
+}
+
+// Func adapts a function to the Object interface.
+type Func struct {
+	// Name is the trace label.
+	Name string
+	// F is the operation body.
+	F func(e Env, v value.Value) value.Decision
+}
+
+// Invoke implements Object.
+func (o Func) Invoke(e Env, v value.Value) value.Decision { return o.F(e, v) }
+
+// Label implements Object.
+func (o Func) Label() string { return o.Name }
+
+// Identity is the weakest weak consensus object: it copies its input to its
+// output with decision bit 0 (§3 notes it satisfies validity, termination
+// and coherence vacuously). Useful as a composition unit and in tests.
+type Identity struct{}
+
+// Invoke implements Object.
+func (Identity) Invoke(_ Env, v value.Value) value.Decision { return value.Continue(v) }
+
+// Label implements Object.
+func (Identity) Label() string { return "identity" }

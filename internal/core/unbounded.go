@@ -1,0 +1,108 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/value"
+)
+
+// Unbounded is the literal unbounded construction of §4.1.1:
+//
+//	U = R₋₁; R₀; C₁; R₁; C₂; R₂; …
+//
+// with stages materialized lazily: stage i's conciliator and ratifier are
+// constructed (and their registers allocated) the first time any process
+// reaches them. Termination holds with probability 1 — every conciliator
+// produces agreement with probability ≥ δ, and the following ratifier then
+// forces a decision — so the expected number of materialized stages is at
+// most 1/δ, but no a-priori bound is ever imposed (contrast with the
+// truncated Options.Stages construction, which trades a (1-δ)^k failure
+// probability for bounded space).
+//
+// Lazy materialization mutates the shared register file, so Unbounded is
+// for the simulated backend, whose runtime serializes all process steps.
+// The live backend snapshots the file into atomic memory up front and must
+// use a pre-materialized Protocol instead.
+type Unbounded struct {
+	file           *register.File
+	newRatifier    Builder
+	newConciliator Builder
+
+	mu        sync.Mutex
+	stages    []Object // flattened: R₋₁, R₀, C₁, R₁, C₂, R₂, …
+	decidedAt []int32  // per-pid chain index, -1 if undecided
+	n         int
+}
+
+// NewUnbounded builds the unbounded construction.
+func NewUnbounded(n int, file *register.File, newRatifier, newConciliator Builder) (*Unbounded, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: N=%d must be positive", n)
+	}
+	if file == nil {
+		return nil, errors.New("core: nil register file")
+	}
+	if newRatifier == nil || newConciliator == nil {
+		return nil, errors.New("core: unbounded construction needs both builders")
+	}
+	u := &Unbounded{
+		file:           file,
+		newRatifier:    newRatifier,
+		newConciliator: newConciliator,
+		n:              n,
+		decidedAt:      make([]int32, n),
+	}
+	for i := range u.decidedAt {
+		u.decidedAt[i] = -1
+	}
+	// The fast path R₋₁; R₀ always exists.
+	u.stages = append(u.stages, newRatifier(file, -1), newRatifier(file, 0))
+	return u, nil
+}
+
+// object returns the idx-th chain object, materializing stages on demand.
+func (u *Unbounded) object(idx int) Object {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	for len(u.stages) <= idx {
+		// Chain indices 2,3 are C₁,R₁; 4,5 are C₂,R₂; …
+		stage := (len(u.stages)-2)/2 + 1
+		if (len(u.stages)-2)%2 == 0 {
+			u.stages = append(u.stages, u.newConciliator(u.file, stage))
+		} else {
+			u.stages = append(u.stages, u.newRatifier(u.file, stage))
+		}
+	}
+	return u.stages[idx]
+}
+
+// Run executes the construction for the calling process. Unlike the
+// truncated Protocol it cannot run off the end; it returns only on a
+// decision.
+func (u *Unbounded) Run(e Env, v value.Value) value.Value {
+	for idx := 0; ; idx++ {
+		obj := u.object(idx)
+		e.MarkInvoke(obj.Label(), v)
+		d := obj.Invoke(e, v)
+		e.MarkReturn(obj.Label(), d)
+		if d.Decided {
+			u.decidedAt[e.PID()] = int32(idx)
+			return d.V
+		}
+		v = d.V
+	}
+}
+
+// Materialized returns how many chain objects exist so far (including the
+// two fast-path ratifiers).
+func (u *Unbounded) Materialized() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return len(u.stages)
+}
+
+// DecidedIndex returns the chain index where pid decided, or -1.
+func (u *Unbounded) DecidedIndex(pid int) int { return int(u.decidedAt[pid]) }

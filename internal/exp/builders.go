@@ -1,0 +1,108 @@
+package exp
+
+import (
+	"fmt"
+
+	"github.com/modular-consensus/modcon/internal/conciliator"
+	"github.com/modular-consensus/modcon/internal/core"
+	"github.com/modular-consensus/modcon/internal/fallback"
+	"github.com/modular-consensus/modcon/internal/harness"
+	"github.com/modular-consensus/modcon/internal/ratifier"
+	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/sched"
+	"github.com/modular-consensus/modcon/internal/value"
+)
+
+// protoSpec describes a consensus protocol assembly for the experiments.
+type protoSpec struct {
+	n, m         int
+	growth       conciliator.Growth
+	noConc       bool // ratifier-only protocol R
+	bitVector    bool // bit-vector ratifiers instead of pool/binary
+	fastPath     bool
+	stages       int
+	fallbackK    bool
+	detectWrites bool
+}
+
+// defaultSpec is the paper's recommended assembly.
+func defaultSpec(n, m int) protoSpec {
+	return protoSpec{n: n, m: m, growth: conciliator.GrowthDoubling, fastPath: true}
+}
+
+// build constructs a fresh one-shot protocol instance.
+func (s protoSpec) build() (*register.File, *core.Protocol) {
+	file := register.NewFile()
+	newRatifier := func(f *register.File, i int) core.Object {
+		switch {
+		case s.bitVector:
+			return ratifier.NewBitVector(f, s.m, i)
+		case s.m == 2:
+			return ratifier.NewBinary(f, i)
+		default:
+			return ratifier.NewPool(f, s.m, i)
+		}
+	}
+	var newConc core.Builder
+	if !s.noConc {
+		newConc = func(f *register.File, i int) core.Object {
+			c := conciliator.NewImpatient(f, s.n, i)
+			c.Growth = s.growth
+			c.DetectSuccess = s.detectWrites
+			return c
+		}
+	}
+	opts := core.Options{
+		N:              s.n,
+		File:           file,
+		NewRatifier:    newRatifier,
+		NewConciliator: newConc,
+		Stages:         s.stages,
+		FastPath:       s.fastPath,
+	}
+	if s.fallbackK {
+		opts.Fallback = fallback.New(file, s.n, 0)
+	}
+	proto, err := core.NewProtocol(opts)
+	if err != nil {
+		panic(fmt.Sprintf("harness: bad protocol spec: %v", err))
+	}
+	return file, proto
+}
+
+// mixedInputs gives process i input (i+shift) mod m.
+func mixedInputs(n, m, shift int) []value.Value {
+	in := make([]value.Value, n)
+	for i := range in {
+		in[i] = value.Value((i + shift) % m)
+	}
+	return in
+}
+
+// adversaryPortfolio returns the named adversary constructors used across
+// experiments. Conciliator experiments report the minimum δ over these.
+func adversaryPortfolio() []struct {
+	Name string
+	New  func() sched.Scheduler
+} {
+	return []struct {
+		Name string
+		New  func() sched.Scheduler
+	}{
+		{"round-robin", func() sched.Scheduler { return sched.NewRoundRobin() }},
+		{"uniform-random", func() sched.Scheduler { return sched.NewUniformRandom() }},
+		{"lockstep", func() sched.Scheduler { return sched.NewLaggard() }},
+		{"first-mover-attack", func() sched.Scheduler { return sched.NewFirstMoverAttack() }},
+		{"eager-write-attack", func() sched.Scheduler { return sched.NewEagerWriteAttack() }},
+	}
+}
+
+// consensusTrial runs one fresh protocol execution and returns the outcome.
+func consensusTrial(spec protoSpec, s sched.Scheduler, seed uint64, maxSteps int) (*harness.ProtocolRun, *core.Protocol, error) {
+	file, proto := spec.build()
+	run, err := harness.RunProtocol(proto, harness.ObjectConfig{
+		N: spec.n, File: file, Inputs: mixedInputs(spec.n, spec.m, int(seed)),
+		Scheduler: s, Seed: seed, MaxSteps: maxSteps,
+	})
+	return run, proto, err
+}

@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"fmt"
+
+	"github.com/modular-consensus/modcon/internal/check"
+	"github.com/modular-consensus/modcon/internal/conciliator"
+	"github.com/modular-consensus/modcon/internal/core"
+	"github.com/modular-consensus/modcon/internal/harness"
+	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/sched"
+	"github.com/modular-consensus/modcon/internal/stats"
+)
+
+// E15Ablations isolates the paper's individual design choices: write-success
+// detection (footnote 2), the doubling impatience schedule (vs constant and
+// linear), the fast path (§4.1.1), and pool vs bit-vector quorums (§6.2).
+func E15Ablations(cfg Config) *Table {
+	t := &Table{
+		ID:         "E15",
+		Title:      "Ablations of the paper's design choices",
+		PaperClaim: "footnote 2 (detection saves ≤2 ops); §5.2 (doubling impatience); §4.1.1 (fast path); §6.2 (quorum schemes)",
+		Columns:    []string{"ablation", "variant", "mean individual", "mean total", "δ̂ / notes"},
+	}
+	trials := cfg.trials(250)
+	n := 64
+
+	// 1. Impatience growth schedule, conciliator alone under attack.
+	for _, g := range []conciliator.Growth{conciliator.GrowthDoubling, conciliator.GrowthLinear, conciliator.GrowthConstant} {
+		agree := 0
+		var ind, tot []float64
+		for i := 0; i < trials; i++ {
+			ok, total, individual := conciliatorTrial(n, g, false, sched.NewFirstMoverAttack(), cfg.Seed+uint64(i))
+			if ok {
+				agree++
+			}
+			ind = append(ind, float64(individual))
+			tot = append(tot, float64(total))
+		}
+		t.AddRow("impatience growth", g.String(),
+			fmt.Sprintf("%.1f", stats.Summarize(ind).Mean),
+			fmt.Sprintf("%.0f", stats.Summarize(tot).Mean),
+			fmt.Sprintf("δ̂=%s", stats.NewProportion(agree, trials).String()))
+	}
+
+	// 2. Write-success detection, conciliator alone under round-robin.
+	for _, detect := range []bool{false, true} {
+		var ind, tot []float64
+		for i := 0; i < trials; i++ {
+			_, total, individual := conciliatorTrial(n, conciliator.GrowthDoubling, detect, sched.NewRoundRobin(), cfg.Seed+uint64(i))
+			ind = append(ind, float64(individual))
+			tot = append(tot, float64(total))
+		}
+		t.AddRow("write detection", fmt.Sprintf("detect=%v", detect),
+			fmt.Sprintf("%.1f", stats.Summarize(ind).Mean),
+			fmt.Sprintf("%.0f", stats.Summarize(tot).Mean),
+			"footnote 2: ≤2 ops saved")
+	}
+
+	// 3. Fast path on agreeing inputs, full protocol.
+	for _, fp := range []bool{true, false} {
+		var ind, tot []float64
+		for i := 0; i < trials/2; i++ {
+			spec := defaultSpec(n, 2)
+			spec.fastPath = fp
+			file, proto := spec.build()
+			run, err := harness.RunProtocol(proto, harness.ObjectConfig{
+				N: n, File: file, Inputs: mixedInputs(n, 1, 0),
+				Scheduler: sched.NewUniformRandom(), Seed: cfg.Seed + uint64(i),
+			})
+			if err != nil {
+				panic(err)
+			}
+			if err := check.Consensus(mixedInputs(n, 1, 0), run.DecidedOutputs()); err != nil {
+				panic(err)
+			}
+			ind = append(ind, float64(run.Result.MaxIndividualWork()))
+			tot = append(tot, float64(run.Result.TotalWork))
+		}
+		t.AddRow("fast path (unanimous inputs)", fmt.Sprintf("fastpath=%v", fp),
+			fmt.Sprintf("%.1f", stats.Summarize(ind).Mean),
+			fmt.Sprintf("%.0f", stats.Summarize(tot).Mean),
+			"")
+	}
+
+	// 4. Probabilistic vs deterministic first-mover writes under the
+	// adaptive spoiler (the §2.1 motivation for the model).
+	for _, naive := range []bool{false, true} {
+		name := "probabilistic (impatient)"
+		agree := 0
+		var tot []float64
+		for i := 0; i < trials; i++ {
+			file := register.NewFile()
+			var obj core.Object
+			if naive {
+				name = "deterministic (naive)"
+				obj = conciliator.NewNaiveFirstMover(file, 1)
+			} else {
+				obj = conciliator.NewImpatient(file, n, 1)
+			}
+			run, err := harness.RunObject(obj, harness.ObjectConfig{
+				N: 8, File: file, Inputs: mixedInputs(8, 8, i),
+				Scheduler: sched.NewAdaptiveSpoiler(), Seed: cfg.Seed + uint64(i),
+			})
+			if err != nil {
+				panic(err)
+			}
+			if check.Unanimous(run.Outputs()) {
+				agree++
+			}
+			tot = append(tot, float64(run.Result.TotalWork))
+		}
+		t.AddRow("write model (adaptive spoiler)", name,
+			"-",
+			fmt.Sprintf("%.0f", stats.Summarize(tot).Mean),
+			fmt.Sprintf("δ̂=%s", stats.NewProportion(agree, trials).String()))
+	}
+
+	// 5. Quorum scheme, m-valued consensus.
+	m := 256
+	for _, bv := range []bool{false, true} {
+		name := "pool"
+		if bv {
+			name = "bitvector"
+		}
+		var ind, tot []float64
+		for i := 0; i < trials/2; i++ {
+			spec := defaultSpec(n, m)
+			spec.bitVector = bv
+			run, _, err := consensusTrial(spec, sched.NewUniformRandom(), cfg.Seed+uint64(i), 0)
+			if err != nil {
+				panic(err)
+			}
+			ind = append(ind, float64(run.Result.MaxIndividualWork()))
+			tot = append(tot, float64(run.Result.TotalWork))
+		}
+		t.AddRow(fmt.Sprintf("quorum scheme (m=%d)", m), name,
+			fmt.Sprintf("%.1f", stats.Summarize(ind).Mean),
+			fmt.Sprintf("%.0f", stats.Summarize(tot).Mean),
+			"")
+	}
+	return t
+}

@@ -1,0 +1,192 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/modular-consensus/modcon/internal/check"
+	"github.com/modular-consensus/modcon/internal/conciliator"
+	"github.com/modular-consensus/modcon/internal/harness"
+	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/sched"
+	"github.com/modular-consensus/modcon/internal/stats"
+)
+
+// thm7Delta is the paper's lower bound on the impatient conciliator's
+// agreement probability: (1 - e^{-1/4})/4.
+var thm7Delta = (1 - math.Exp(-0.25)) / 4
+
+// conciliatorTrial runs one fresh impatient conciliator with distinct
+// inputs and reports whether all outputs agreed, plus work measures.
+func conciliatorTrial(n int, growth conciliator.Growth, detect bool, s sched.Scheduler, seed uint64) (agreed bool, total, individual int) {
+	file := register.NewFile()
+	c := conciliator.NewImpatient(file, n, 1)
+	c.Growth = growth
+	c.DetectSuccess = detect
+	run, err := harness.RunObject(c, harness.ObjectConfig{
+		N: n, File: file, Inputs: mixedInputs(n, n, int(seed)), Scheduler: s, Seed: seed,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("harness: conciliator trial failed: %v", err))
+	}
+	return check.Unanimous(run.Outputs()), run.Result.TotalWork, run.Result.MaxIndividualWork()
+}
+
+// E1ConciliatorAgreement estimates the impatient conciliator's agreement
+// probability per adversary and n, against Theorem 7's δ ≈ 0.0553.
+func E1ConciliatorAgreement(cfg Config) *Table {
+	t := &Table{
+		ID:         "E1",
+		Title:      "Impatient conciliator agreement probability",
+		PaperClaim: fmt.Sprintf("Theorem 7: agreement probability ≥ (1-e^{-1/4})/4 ≈ %.4f for any location-oblivious adversary", thm7Delta),
+		Columns:    []string{"n", "adversary", "δ̂ (95% CI)", "≥ paper bound?"},
+	}
+	trials := cfg.trials(400)
+	minDelta := 1.0
+	for _, n := range []int{2, 4, 8, 16, 32, 64} {
+		for _, adv := range adversaryPortfolio() {
+			agree := 0
+			for i := 0; i < trials; i++ {
+				ok, _, _ := conciliatorTrial(n, conciliator.GrowthDoubling, false, adv.New(), cfg.Seed+uint64(i))
+				if ok {
+					agree++
+				}
+			}
+			p := stats.NewProportion(agree, trials)
+			verdict := "yes"
+			if p.P < thm7Delta {
+				verdict = "NO"
+			}
+			if p.P < minDelta {
+				minDelta = p.P
+			}
+			t.AddRow(fmt.Sprintf("%d", n), adv.Name, p.String(), verdict)
+		}
+	}
+	t.AddNote("minimum empirical δ over the portfolio: %.4f (paper lower bound %.4f)", minDelta, thm7Delta)
+	return t
+}
+
+// E2ConciliatorTotalWork measures expected total work against the 6n bound.
+func E2ConciliatorTotalWork(cfg Config) *Table {
+	t := &Table{
+		ID:         "E2",
+		Title:      "Impatient conciliator expected total work",
+		PaperClaim: "Theorem 7: termination in expected 6n total work",
+		Columns:    []string{"n", "adversary", "mean total work", "6n", "ratio"},
+	}
+	trials := cfg.trials(300)
+	var ns, ys []float64
+	for _, n := range []int{4, 8, 16, 32, 64, 128} {
+		for _, adv := range adversaryPortfolio() {
+			var works []float64
+			for i := 0; i < trials; i++ {
+				_, total, _ := conciliatorTrial(n, conciliator.GrowthDoubling, false, adv.New(), cfg.Seed+uint64(i))
+				works = append(works, float64(total))
+			}
+			s := stats.Summarize(works)
+			t.AddRow(fmt.Sprintf("%d", n), adv.Name,
+				fmt.Sprintf("%.1f ± %.1f", s.Mean, s.StandardErrorOfM),
+				fmt.Sprintf("%d", 6*n),
+				fmt.Sprintf("%.2f", s.Mean/float64(6*n)))
+			if adv.Name == "first-mover-attack" {
+				ns = append(ns, float64(n))
+				ys = append(ys, s.Mean)
+			}
+		}
+	}
+	fit := stats.BestShape(ns, ys, stats.ShapeLog, stats.ShapeLinear, stats.ShapeNLogN)
+	t.AddNote("total work growth under attack: best fit %s", fit)
+	return t
+}
+
+// E3ConciliatorIndividualWork measures the worst-case individual work
+// against the 2 lg n + O(1) bound.
+func E3ConciliatorIndividualWork(cfg Config) *Table {
+	t := &Table{
+		ID:         "E3",
+		Title:      "Impatient conciliator individual work",
+		PaperClaim: "Theorem 7: at most 2 lg n + O(1) individual work (deterministic bound)",
+		Columns:    []string{"n", "max observed (all adversaries)", "mean observed", "2⌈lg n⌉+5", "within bound?"},
+	}
+	trials := cfg.trials(150)
+	var ns, ys []float64
+	for _, n := range []int{2, 4, 8, 16, 32, 64, 128, 256} {
+		maxObs, sum, count := 0, 0.0, 0
+		for _, adv := range adversaryPortfolio() {
+			for i := 0; i < trials; i++ {
+				_, _, ind := conciliatorTrial(n, conciliator.GrowthDoubling, false, adv.New(), cfg.Seed+uint64(i))
+				if ind > maxObs {
+					maxObs = ind
+				}
+				sum += float64(ind)
+				count++
+			}
+		}
+		bound := 2*int(math.Ceil(math.Log2(float64(n)))) + 5
+		verdict := "yes"
+		if maxObs > bound {
+			verdict = "NO"
+		}
+		mean := sum / float64(count)
+		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", maxObs),
+			fmt.Sprintf("%.1f", mean), fmt.Sprintf("%d", bound), verdict)
+		ns = append(ns, float64(n))
+		ys = append(ys, float64(maxObs))
+	}
+	fit := stats.BestShape(ns, ys, stats.ShapeConst, stats.ShapeLog, stats.ShapeLinear)
+	t.AddNote("worst-case individual work growth: best fit %s", fit)
+	return t
+}
+
+// E8BaselineComparison pits the impatient conciliator against the
+// constant-rate Chor–Israeli–Li/Cheung baseline on solo executions, the
+// regime that exposes the individual-work separation.
+func E8BaselineComparison(cfg Config) *Table {
+	t := &Table{
+		ID:         "E8",
+		Title:      "Individual work: impatient (2^k/n) vs constant-rate (1/n) first-mover conciliators",
+		PaperClaim: "\"No previous protocol in this model uses sublinear individual work\": impatient is O(log n), constant-rate is Θ(n)",
+		Columns:    []string{"n", "impatient mean ops", "constant-rate mean ops", "speedup"},
+	}
+	trials := cfg.trials(200)
+	var ns, impY, constY []float64
+	for _, n := range []int{8, 16, 32, 64, 128, 256, 512} {
+		var imp, con []float64
+		for i := 0; i < trials; i++ {
+			// Solo execution: the conciliator is built for n processes but
+			// only one participates — the schedule an oblivious adversary
+			// produces by running one process to completion first.
+			file := register.NewFile()
+			c := conciliator.NewImpatient(file, n, 1)
+			run, err := harness.RunObject(c, harness.ObjectConfig{
+				N: 1, File: file, Inputs: mixedInputs(1, 2, 0),
+				Scheduler: sched.NewRoundRobin(), Seed: cfg.Seed + uint64(i),
+			})
+			if err != nil {
+				panic(err)
+			}
+			imp = append(imp, float64(run.Result.TotalWork))
+
+			file2 := register.NewFile()
+			c2 := conciliator.NewConstantRate(file2, n, 1)
+			run2, err := harness.RunObject(c2, harness.ObjectConfig{
+				N: 1, File: file2, Inputs: mixedInputs(1, 2, 0),
+				Scheduler: sched.NewRoundRobin(), Seed: cfg.Seed + uint64(i),
+			})
+			if err != nil {
+				panic(err)
+			}
+			con = append(con, float64(run2.Result.TotalWork))
+		}
+		mi, mc := stats.Summarize(imp).Mean, stats.Summarize(con).Mean
+		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%.1f", mi), fmt.Sprintf("%.1f", mc),
+			fmt.Sprintf("%.1fx", mc/mi))
+		ns = append(ns, float64(n))
+		impY = append(impY, mi)
+		constY = append(constY, mc)
+	}
+	t.AddNote("impatient growth: %s", stats.BestShape(ns, impY, stats.ShapeLog, stats.ShapeLinear))
+	t.AddNote("constant-rate growth: %s", stats.BestShape(ns, constY, stats.ShapeLog, stats.ShapeLinear))
+	return t
+}

@@ -1,0 +1,136 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 17 {
+		t.Fatalf("registry has %d experiments, want 17", len(all))
+	}
+	seen := make(map[string]bool)
+	for i, e := range all {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %d incomplete: %+v", i, e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, ok := ByID("E6"); !ok {
+		t.Fatal("ByID(E6) missing")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("ByID(E99) found a ghost")
+	}
+}
+
+// TestEveryExperimentRunsTiny executes each experiment at a minimal trial
+// count and validates the table structure. Correctness of the *values* is
+// asserted by the per-module tests; this guards the harness plumbing.
+func TestEveryExperimentRunsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all experiments")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			table := e.Run(Config{Trials: 2, Seed: 7})
+			if table.ID != e.ID {
+				t.Fatalf("table id %q", table.ID)
+			}
+			if len(table.Columns) == 0 || len(table.Rows) == 0 {
+				t.Fatalf("empty table: %+v", table)
+			}
+			for _, row := range table.Rows {
+				if len(row) != len(table.Columns) {
+					t.Fatalf("ragged row %v", row)
+				}
+			}
+			if table.PaperClaim == "" {
+				t.Fatal("missing paper claim")
+			}
+			s := table.String()
+			if !strings.Contains(s, e.ID) || !strings.Contains(s, table.Columns[0]) {
+				t.Fatalf("rendering broken:\n%s", s)
+			}
+			md := table.Markdown()
+			if !strings.HasPrefix(md, "### "+e.ID) || !strings.Contains(md, "|") {
+				t.Fatalf("markdown broken:\n%s", md)
+			}
+		})
+	}
+}
+
+func TestE1MeetsPaperBoundAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	table := E1ConciliatorAgreement(Config{Trials: 120, Seed: 3})
+	for _, row := range table.Rows {
+		if row[len(row)-1] == "NO" {
+			t.Errorf("row below paper bound: %v", row)
+		}
+	}
+}
+
+func TestE4AllPropertiesOK(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	table := E4RatifierSpaceWork(Config{Trials: 5, Seed: 3})
+	for _, row := range table.Rows {
+		if row[len(row)-1] != "ok" {
+			t.Errorf("ratifier property failure: %v", row)
+		}
+	}
+}
+
+func TestE5OptimalityExact(t *testing.T) {
+	table := E5QuorumOptimality(Config{Trials: 1, Seed: 1})
+	for _, row := range table.Rows {
+		if row[1] != row[2] {
+			t.Errorf("pool does not realize the Bollobás maximum: %v", row)
+		}
+		if !strings.HasPrefix(row[3], "1.000000") {
+			t.Errorf("full pool Bollobás sum not 1: %v", row)
+		}
+	}
+	for _, n := range table.Notes {
+		if strings.Contains(n, "FAILED") {
+			t.Errorf("verification note: %s", n)
+		}
+	}
+}
+
+func TestTablePanicsOnRaggedRow(t *testing.T) {
+	table := &Table{ID: "X", Columns: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	table.AddRow("only-one")
+}
+
+func TestConfigTrialsDefault(t *testing.T) {
+	if got := (Config{}).trials(50); got != 50 {
+		t.Fatalf("default trials %d", got)
+	}
+	if got := (Config{Trials: 7}).trials(50); got != 7 {
+		t.Fatalf("override trials %d", got)
+	}
+}
+
+func TestMixedInputs(t *testing.T) {
+	in := mixedInputs(4, 2, 1)
+	want := []int64{1, 0, 1, 0}
+	for i, v := range in {
+		if int64(v) != want[i] {
+			t.Fatalf("mixedInputs = %v", in)
+		}
+	}
+}

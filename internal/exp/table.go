@@ -1,0 +1,159 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result: the rows cmd/modcon-bench prints
+// and EXPERIMENTS.md records.
+type Table struct {
+	// ID is the experiment id ("E1").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// PaperClaim quotes the quantitative claim being reproduced.
+	PaperClaim string
+	// Columns are the header labels.
+	Columns []string
+	// Rows hold the measurements, one slice per row.
+	Rows [][]string
+	// Notes carry fit results, verdicts, and caveats.
+	Notes []string
+}
+
+// AddRow appends a row of formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("harness: row with %d cells for %d columns in %s", len(cells), len(t.Columns), t.ID))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a formatted note line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned plain text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	if t.PaperClaim != "" {
+		fmt.Fprintf(&b, "paper: %s\n", t.PaperClaim)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown section.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	if t.PaperClaim != "" {
+		fmt.Fprintf(&b, "**Paper claim:** %s\n\n", t.PaperClaim)
+	}
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	if len(t.Notes) > 0 {
+		b.WriteByte('\n')
+		for _, n := range t.Notes {
+			fmt.Fprintf(&b, "- %s\n", n)
+		}
+	}
+	return b.String()
+}
+
+// Config scales an experiment run.
+type Config struct {
+	// Trials is the per-cell trial count; 0 uses each experiment's default.
+	Trials int
+	// Seed offsets all trial seeds so independent runs can be compared.
+	Seed uint64
+}
+
+func (c Config) trials(def int) int {
+	if c.Trials > 0 {
+		return c.Trials
+	}
+	return def
+}
+
+// Experiment is one reproducible experiment from DESIGN.md §3.
+type Experiment struct {
+	// ID is the experiment id ("E1").
+	ID string
+	// Title is the short description.
+	Title string
+	// Run executes the experiment and returns its table.
+	Run func(cfg Config) *Table
+}
+
+// All returns the registered experiments in id order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "E1", Title: "Conciliator agreement probability (Thm 7)", Run: E1ConciliatorAgreement},
+		{ID: "E2", Title: "Conciliator total work ≤ 6n (Thm 7)", Run: E2ConciliatorTotalWork},
+		{ID: "E3", Title: "Conciliator individual work ≤ 2 lg n + O(1) (Thm 7)", Run: E3ConciliatorIndividualWork},
+		{ID: "E4", Title: "Ratifier space and work vs m (Thm 8, Thm 10)", Run: E4RatifierSpaceWork},
+		{ID: "E5", Title: "Quorum optimality (Thm 9, Bollobás)", Run: E5QuorumOptimality},
+		{ID: "E6", Title: "Binary consensus work scaling (headline, Thm 5)", Run: E6BinaryConsensus},
+		{ID: "E7", Title: "m-valued consensus total work O(n log m)", Run: E7MValuedConsensus},
+		{ID: "E8", Title: "Impatient vs constant-rate baseline individual work", Run: E8BaselineComparison},
+		{ID: "E9", Title: "Fast path on agreeing inputs (§4.1.1)", Run: E9FastPath},
+		{ID: "E10", Title: "Shared-coin conciliator (Thm 6)", Run: E10CoinConciliator},
+		{ID: "E11", Title: "Ratifier-only protocol under noisy scheduling (§4.2)", Run: E11NoisyRatifierOnly},
+		{ID: "E12", Title: "Ratifier-only protocol under priority scheduling (§4.2)", Run: E12PriorityRatifierOnly},
+		{ID: "E13", Title: "Bounded construction and fallback probability (§4.1.2)", Run: E13BoundedConstruction},
+		{ID: "E14", Title: "Termination tail vs step budget (Attiya–Censor tightness)", Run: E14TerminationTail},
+		{ID: "E15", Title: "Ablations: detection, growth, fast path, quorums", Run: E15Ablations},
+		{ID: "E16", Title: "k-set agreement extension", Run: E16SetAgreement},
+		{ID: "E17", Title: "Multi-slot consensus sequences (extension)", Run: E17Sequences},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,217 @@
+package fallback
+
+import (
+	"testing"
+
+	"github.com/modular-consensus/modcon/internal/check"
+	"github.com/modular-consensus/modcon/internal/harness"
+	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/sched"
+	"github.com/modular-consensus/modcon/internal/value"
+)
+
+func runCIL(t *testing.T, n int, inputs []value.Value, s sched.Scheduler, seed uint64, crash map[int]int) *harness.ObjectRun {
+	t.Helper()
+	file := register.NewFile()
+	k := New(file, n, 0)
+	run, err := harness.RunObject(k, harness.ObjectConfig{
+		N: n, File: file, Inputs: inputs, Scheduler: s, Seed: seed,
+		CrashAfter: crash, MaxSteps: 2_000_000,
+	})
+	if err != nil {
+		t.Fatalf("n=%d seed=%d %s: %v", n, seed, s.Name(), err)
+	}
+	return run
+}
+
+func TestCILIsConsensus(t *testing.T) {
+	// Agreement + validity + termination + always decides, across
+	// adversaries, process counts and input patterns.
+	advs := []func() sched.Scheduler{
+		func() sched.Scheduler { return sched.NewRoundRobin() },
+		func() sched.Scheduler { return sched.NewUniformRandom() },
+		func() sched.Scheduler { return sched.NewLaggard() },
+		func() sched.Scheduler { return sched.NewFrontrunner() },
+		func() sched.Scheduler { return sched.NewFirstMoverAttack() },
+	}
+	for _, n := range []int{1, 2, 3, 6} {
+		for _, mk := range advs {
+			for seed := uint64(0); seed < 8; seed++ {
+				inputs := make([]value.Value, n)
+				for i := range inputs {
+					inputs[i] = value.Value(i % 3)
+				}
+				run := runCIL(t, n, inputs, mk(), seed, nil)
+				if err := check.Consensus(inputs, run.Outputs()); err != nil {
+					t.Fatal(err)
+				}
+				for pid, d := range run.Decisions {
+					if !d.Decided {
+						t.Fatalf("pid %d did not decide: %s", pid, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCILSoloDecidesImmediately(t *testing.T) {
+	run := runCIL(t, 1, []value.Value{5}, sched.NewRoundRobin(), 1, nil)
+	if d := run.Decisions[0]; !d.Decided || d.V != 5 {
+		t.Fatalf("solo returned %s", d)
+	}
+	// Write (1,v), collect (1 read), guard advance to (2,v), collect = 4 ops.
+	if run.Result.TotalWork != 4 {
+		t.Fatalf("solo work %d, want 4", run.Result.TotalWork)
+	}
+}
+
+func TestCILWaitFreeUnderCrashes(t *testing.T) {
+	// n-1 processes crash early; the survivor must still decide (validity:
+	// with any surviving value).
+	n := 4
+	for seed := uint64(0); seed < 10; seed++ {
+		inputs := []value.Value{0, 1, 2, 3}
+		crash := map[int]int{0: 3, 1: 5, 2: 2}
+		run := runCIL(t, n, inputs, sched.NewUniformRandom(), seed, crash)
+		if !run.Decisions[3].Decided {
+			t.Fatalf("seed %d: survivor did not decide", seed)
+		}
+		if err := check.Validity(inputs, run.Outputs()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCILAgreementWithLateCrash(t *testing.T) {
+	// A process that crashes after deciding must not break agreement for
+	// the rest: run pid 0 to completion first, then crash pid 1 mid-flight.
+	n := 3
+	for seed := uint64(0); seed < 10; seed++ {
+		inputs := []value.Value{7, 8, 9}
+		run := runCIL(t, n, inputs, sched.NewFrontrunner(), seed, map[int]int{1: 8})
+		if err := check.Agreement(run.Outputs()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCILUnanimousInputs(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		run := runCIL(t, 5, []value.Value{4}, sched.NewUniformRandom(), seed, nil)
+		for _, v := range run.Outputs() {
+			if v != 4 {
+				t.Fatalf("unanimous 4 produced %s", v)
+			}
+		}
+	}
+}
+
+func TestCILBoundedSpace(t *testing.T) {
+	file := register.NewFile()
+	k := New(file, 7, 0)
+	if got := k.Registers(); got != 7 {
+		t.Fatalf("Registers = %d, want n=7", got)
+	}
+	if file.Len() != 7 {
+		t.Fatalf("file has %d registers", file.Len())
+	}
+}
+
+func TestCILRejectsBadInputs(t *testing.T) {
+	for _, v := range []value.Value{value.None, -3, value.MaxPairValue + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("input %s did not panic", v)
+				}
+			}()
+			file := register.NewFile()
+			k := New(file, 1, 0)
+			_, _ = harness.RunObject(k, harness.ObjectConfig{
+				N: 1, File: file, Inputs: []value.Value{v}, Scheduler: sched.NewRoundRobin(),
+			})
+		}()
+	}
+}
+
+func TestCILExpectedWorkReasonable(t *testing.T) {
+	// The race should finish in polynomial work; empirically a handful of
+	// rounds. Guard against regressions with a loose mean bound.
+	n := 4
+	const trials = 30
+	total := 0
+	for seed := uint64(0); seed < trials; seed++ {
+		inputs := []value.Value{0, 1, 0, 1}
+		run := runCIL(t, n, inputs, sched.NewUniformRandom(), seed, nil)
+		total += run.Result.TotalWork
+	}
+	mean := float64(total) / trials
+	if mean > 40*float64(n*n*n) {
+		t.Errorf("mean work %.0f looks super-polynomial for n=%d", mean, n)
+	}
+}
+
+func TestCILLabel(t *testing.T) {
+	file := register.NewFile()
+	if got := New(file, 2, 3).Label(); got != "K3" {
+		t.Errorf("label %q", got)
+	}
+}
+
+func TestCILAgreementStress(t *testing.T) {
+	// Hammer the subtle safety argument: many seeds, adversaries, input
+	// patterns, and crash patterns; every completed pair of outputs must
+	// agree and be valid.
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	advs := []func() sched.Scheduler{
+		func() sched.Scheduler { return sched.NewRoundRobin() },
+		func() sched.Scheduler { return sched.NewUniformRandom() },
+		func() sched.Scheduler { return sched.NewLaggard() },
+		func() sched.Scheduler { return sched.NewFrontrunner() },
+		func() sched.Scheduler { return sched.NewFirstMoverAttack() },
+		func() sched.Scheduler { return sched.NewNoisy(0.3) },
+	}
+	for _, n := range []int{2, 3, 5} {
+		for ai, mk := range advs {
+			for seed := uint64(0); seed < 40; seed++ {
+				inputs := make([]value.Value, n)
+				for i := range inputs {
+					inputs[i] = value.Value((i*7 + int(seed)) % (n + 1))
+				}
+				var crash map[int]int
+				switch seed % 4 {
+				case 1:
+					crash = map[int]int{int(seed) % n: 1 + int(seed)%9}
+				case 2:
+					crash = map[int]int{0: 2, n - 1: 6}
+				}
+				run := runCIL(t, n, inputs, mk(), seed, crash)
+				if err := check.Validity(inputs, run.Outputs()); err != nil {
+					t.Fatalf("n=%d adv=%d seed=%d crash=%v: %v", n, ai, seed, crash, err)
+				}
+				if err := check.Agreement(run.Outputs()); err != nil {
+					t.Fatalf("n=%d adv=%d seed=%d crash=%v: %v", n, ai, seed, crash, err)
+				}
+			}
+		}
+	}
+}
+
+func TestCILRejectsDeterministicAdvance(t *testing.T) {
+	// Probability-1 advances forfeit the termination argument (FLP-style
+	// lockstep livelock); the object refuses to run that configuration.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for advance probability 1")
+		}
+	}()
+	file := register.NewFile()
+	k := New(file, 2, 0)
+	k.AdvanceNum, k.AdvanceDen = 4, 4
+	_, _ = harness.RunObject(k, harness.ObjectConfig{
+		N: 2, File: file, Inputs: []value.Value{0, 1}, Scheduler: sched.NewRoundRobin(),
+	})
+}

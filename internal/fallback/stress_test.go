@@ -1,0 +1,79 @@
+package fallback
+
+import (
+	"testing"
+
+	"github.com/modular-consensus/modcon/internal/check"
+	"github.com/modular-consensus/modcon/internal/harness"
+	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/sched"
+	"github.com/modular-consensus/modcon/internal/value"
+)
+
+func TestCILHighProbeRateStress(t *testing.T) {
+	// High advance probability makes simultaneous probe landings (two
+	// front-runners advancing in the same round) common, the precondition
+	// for the silent-adopt hazard.
+	bad := 0
+	for seed := uint64(0); seed < 3000; seed++ {
+		for _, mk := range []func() sched.Scheduler{
+			func() sched.Scheduler { return sched.NewUniformRandom() },
+			func() sched.Scheduler { return sched.NewRoundRobin() },
+			func() sched.Scheduler { return sched.NewLaggard() },
+		} {
+			file := register.NewFile()
+			k := New(file, 3, 0)
+			k.AdvanceNum, k.AdvanceDen = 1, 2
+			inputs := []value.Value{0, 1, 2}
+			run, err := harness.RunObject(k, harness.ObjectConfig{
+				N: 3, File: file, Inputs: inputs, Scheduler: mk(), Seed: seed,
+				MaxSteps: 500_000,
+			})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if err := check.Agreement(run.Outputs()); err != nil {
+				bad++
+				if bad <= 3 {
+					t.Logf("seed %d: %v", seed, err)
+				}
+			}
+		}
+	}
+	if bad > 0 {
+		t.Fatalf("%d agreement violations", bad)
+	}
+}
+
+func TestCILDeepStress(t *testing.T) {
+	// Sweep sizes and advance probabilities: high rates make simultaneous
+	// probe landings (and hence transient same-round conflicts) common.
+	// This is the configuration that exposed both the silent-adopt and the
+	// same-round-retraction safety bugs during development.
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	for _, n := range []int{2, 3, 4, 6} {
+		for _, num := range []uint64{1, 2, 3} {
+			for seed := uint64(0); seed < 1500; seed++ {
+				file := register.NewFile()
+				k := New(file, n, 0)
+				k.AdvanceNum, k.AdvanceDen = num, 4
+				inputs := make([]value.Value, n)
+				for i := range inputs {
+					inputs[i] = value.Value(i % (n/2 + 1))
+				}
+				run, err := harness.RunObject(k, harness.ObjectConfig{
+					N: n, File: file, Inputs: inputs,
+					Scheduler: sched.NewUniformRandom(), Seed: seed, MaxSteps: 1_000_000,
+				})
+				if err != nil {
+					t.Fatalf("n=%d num=%d seed=%d: %v", n, num, seed, err)
+				}
+				if err := check.Consensus(inputs, run.Outputs()); err != nil {
+					t.Fatalf("n=%d num=%d seed=%d: %v", n, num, seed, err)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package harness runs protocols and objects under the simulator, many
+// trials at a time, and aggregates the statistics the experiments report.
+package harness
+
+import (
+	"fmt"
+
+	"github.com/modular-consensus/modcon/internal/core"
+	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/sched"
+	"github.com/modular-consensus/modcon/internal/sim"
+	"github.com/modular-consensus/modcon/internal/trace"
+	"github.com/modular-consensus/modcon/internal/value"
+)
+
+// The simulated environment must satisfy the object model's Env contract.
+var _ core.Env = (*sim.Env)(nil)
+
+// ObjectRun is the outcome of one execution of a single deciding object.
+type ObjectRun struct {
+	// Result carries work accounting and halting information.
+	Result *sim.Result
+	// Decisions holds each process's (d, v) output; the zero Decision (with
+	// V = 0) never occurs for legal objects, and crashed processes keep
+	// Decided=false, V=None.
+	Decisions []value.Decision
+	// Trace is non-nil if tracing was requested.
+	Trace *trace.Log
+}
+
+// Outputs returns the output values of processes that completed the object.
+func (r *ObjectRun) Outputs() []value.Value {
+	var out []value.Value
+	for pid, h := range r.Result.Halted {
+		if h {
+			out = append(out, r.Decisions[pid].V)
+		}
+	}
+	return out
+}
+
+// ObjectConfig describes one object execution.
+type ObjectConfig struct {
+	// N is the process count.
+	N int
+	// File is the register file the object was built against.
+	File *register.File
+	// Inputs are per-process input values (len N), or a single value used
+	// by all processes.
+	Inputs []value.Value
+	// Scheduler is the adversary (required).
+	Scheduler sched.Scheduler
+	// Seed drives all randomness.
+	Seed uint64
+	// Traced requests a full execution trace.
+	Traced bool
+	// CheapCollect enables the cheap-collect cost model.
+	CheapCollect bool
+	// CrashAfter is forwarded to the simulator.
+	CrashAfter map[int]int
+	// MaxSteps is forwarded to the simulator (0 = default).
+	MaxSteps int
+}
+
+func (cfg *ObjectConfig) inputs() ([]value.Value, error) {
+	switch len(cfg.Inputs) {
+	case cfg.N:
+		return cfg.Inputs, nil
+	case 1:
+		in := make([]value.Value, cfg.N)
+		for i := range in {
+			in[i] = cfg.Inputs[0]
+		}
+		return in, nil
+	default:
+		return nil, fmt.Errorf("harness: %d inputs for %d processes", len(cfg.Inputs), cfg.N)
+	}
+}
+
+// RunObject executes obj once: every process invokes it with its input.
+func RunObject(obj core.Object, cfg ObjectConfig) (*ObjectRun, error) {
+	inputs, err := cfg.inputs()
+	if err != nil {
+		return nil, err
+	}
+	run := &ObjectRun{Decisions: make([]value.Decision, cfg.N)}
+	for i := range run.Decisions {
+		run.Decisions[i] = value.Decision{V: value.None}
+	}
+	if cfg.Traced {
+		run.Trace = trace.New()
+	}
+	prog := func(e *sim.Env) value.Value {
+		v := inputs[e.PID()]
+		e.MarkInvoke(obj.Label(), v)
+		d := obj.Invoke(e, v)
+		e.MarkReturn(obj.Label(), d)
+		run.Decisions[e.PID()] = d
+		return d.V
+	}
+	res, err := sim.Run(sim.Config{
+		N:            cfg.N,
+		File:         cfg.File,
+		Scheduler:    cfg.Scheduler,
+		Seed:         cfg.Seed,
+		Trace:        run.Trace,
+		CheapCollect: cfg.CheapCollect,
+		CrashAfter:   cfg.CrashAfter,
+		MaxSteps:     cfg.MaxSteps,
+	}, prog)
+	run.Result = res
+	return run, err
+}
+
+// ProtocolRun is the outcome of one execution of a consensus protocol.
+type ProtocolRun struct {
+	// Result carries work accounting and halting information.
+	Result *sim.Result
+	// Decided reports, per process, whether the protocol chain produced a
+	// decision (false for crashed processes and chain exhaustion).
+	Decided []bool
+	// Trace is non-nil if tracing was requested.
+	Trace *trace.Log
+}
+
+// DecidedOutputs returns the outputs of processes that genuinely decided.
+func (r *ProtocolRun) DecidedOutputs() []value.Value {
+	var out []value.Value
+	for pid, d := range r.Decided {
+		if d && r.Result.Halted[pid] {
+			out = append(out, r.Result.Outputs[pid])
+		}
+	}
+	return out
+}
+
+// RunProtocol executes a consensus protocol built by core.NewProtocol.
+func RunProtocol(p *core.Protocol, cfg ObjectConfig) (*ProtocolRun, error) {
+	inputs, err := cfg.inputs()
+	if err != nil {
+		return nil, err
+	}
+	run := &ProtocolRun{Decided: make([]bool, cfg.N)}
+	if cfg.Traced {
+		run.Trace = trace.New()
+	}
+	prog := func(e *sim.Env) value.Value {
+		out, ok := p.Run(e, inputs[e.PID()])
+		run.Decided[e.PID()] = ok
+		return out
+	}
+	res, err := sim.Run(sim.Config{
+		N:            cfg.N,
+		File:         cfg.File,
+		Scheduler:    cfg.Scheduler,
+		Seed:         cfg.Seed,
+		Trace:        run.Trace,
+		CheapCollect: cfg.CheapCollect,
+		CrashAfter:   cfg.CrashAfter,
+		MaxSteps:     cfg.MaxSteps,
+	}, prog)
+	run.Result = res
+	return run, err
+}

@@ -1,0 +1,168 @@
+// Package live runs the same deciding objects on real hardware concurrency:
+// registers are backed by sync/atomic, processes are free-running
+// goroutines, and the "adversary" is the Go scheduler. This backend exists
+// for testing.B benchmarks that measure wall-clock behavior rather than the
+// model's operation counts — the simulated backend (internal/sim) remains
+// the ground truth for the paper's cost measures, which this backend also
+// tracks (operation counts are exact; only the interleaving is
+// uncontrolled).
+package live
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/modular-consensus/modcon/internal/core"
+	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/value"
+	"github.com/modular-consensus/modcon/internal/xrand"
+)
+
+// Memory is an atomic-register file mirroring a register.File layout,
+// including initial values (protocols initialize announcement registers to
+// 0 at construction time).
+type Memory struct {
+	cells []paddedCell
+}
+
+// paddedCell keeps each register on its own cache line so benchmark
+// contention reflects algorithmic sharing, not false sharing.
+type paddedCell struct {
+	v value.AtomicValue
+	_ [56]byte
+}
+
+// NewMemory builds atomic memory with the same size and initial contents as
+// file.
+func NewMemory(file *register.File) *Memory {
+	m := &Memory{cells: make([]paddedCell, file.Len())}
+	for i := range m.cells {
+		m.cells[i].v.Store(file.Load(register.Reg(i)))
+	}
+	return m
+}
+
+// Load atomically reads register r.
+func (m *Memory) Load(r register.Reg) value.Value { return m.cells[r].v.Load() }
+
+// Store atomically writes register r.
+func (m *Memory) Store(r register.Reg, v value.Value) { m.cells[r].v.Store(v) }
+
+// Env implements core.Env over atomic memory for one goroutine-process.
+type Env struct {
+	mem   *Memory
+	pid   int
+	n     int
+	cheap bool
+	src   *xrand.Source
+	ops   int
+}
+
+var _ core.Env = (*Env)(nil)
+
+// PID implements core.Env.
+func (e *Env) PID() int { return e.pid }
+
+// N implements core.Env.
+func (e *Env) N() int { return e.n }
+
+// Read implements core.Env.
+func (e *Env) Read(r register.Reg) value.Value {
+	e.ops++
+	return e.mem.Load(r)
+}
+
+// Write implements core.Env.
+func (e *Env) Write(r register.Reg, v value.Value) {
+	e.ops++
+	e.mem.Store(r, v)
+}
+
+// ProbWrite implements core.Env: the coin is local, the store atomic. (The
+// hardware scheduler cannot condition on the coin any more than the model's
+// location-oblivious adversary can.)
+func (e *Env) ProbWrite(r register.Reg, v value.Value, num, den uint64) bool {
+	e.ops++
+	if !e.src.Bernoulli(num, den) {
+		return false
+	}
+	e.mem.Store(r, v)
+	return true
+}
+
+// Collect implements core.Env: a read sweep (one op under the cheap model).
+func (e *Env) Collect(arr register.Array) []value.Value {
+	out := make([]value.Value, arr.Len)
+	for i := range out {
+		out[i] = e.mem.Load(arr.At(i))
+	}
+	if e.cheap {
+		e.ops++
+	} else {
+		e.ops += arr.Len
+	}
+	return out
+}
+
+// CheapCollect implements core.Env.
+func (e *Env) CheapCollect() bool { return e.cheap }
+
+// CoinUint64 implements core.Env.
+func (e *Env) CoinUint64() uint64 { return e.src.Uint64() }
+
+// CoinBool implements core.Env.
+func (e *Env) CoinBool() bool { return e.src.Bool() }
+
+// CoinIntn implements core.Env.
+func (e *Env) CoinIntn(n int) int { return e.src.Intn(n) }
+
+// MarkInvoke implements core.Env (no tracing in live mode).
+func (e *Env) MarkInvoke(string, value.Value) {}
+
+// MarkReturn implements core.Env (no tracing in live mode).
+func (e *Env) MarkReturn(string, value.Decision) {}
+
+// Ops returns the operations this process has performed.
+func (e *Env) Ops() int { return e.ops }
+
+// Result reports a live execution.
+type Result struct {
+	// Outputs holds per-process return values.
+	Outputs []value.Value
+	// Work is the per-process operation count.
+	Work []int
+	// TotalWork sums Work.
+	TotalWork int
+}
+
+// Run executes prog for n free-running goroutine-processes over atomic
+// memory mirroring file, and blocks until all return.
+func Run(n int, file *register.File, seed uint64, cheapCollect bool, prog func(e *Env) value.Value) (*Result, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("live: n=%d must be positive", n)
+	}
+	mem := NewMemory(file)
+	res := &Result{
+		Outputs: make([]value.Value, n),
+		Work:    make([]int, n),
+	}
+	root := xrand.New(seed)
+	envs := make([]*Env, n)
+	for pid := 0; pid < n; pid++ {
+		envs[pid] = &Env{mem: mem, pid: pid, n: n, cheap: cheapCollect, src: root.Split(uint64(pid + 1))}
+	}
+	var wg sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			res.Outputs[pid] = prog(envs[pid])
+		}(pid)
+	}
+	wg.Wait()
+	for pid, e := range envs {
+		res.Work[pid] = e.Ops()
+		res.TotalWork += e.Ops()
+	}
+	return res, nil
+}

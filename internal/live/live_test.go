@@ -1,0 +1,182 @@
+package live
+
+import (
+	"testing"
+
+	"github.com/modular-consensus/modcon/internal/check"
+	"github.com/modular-consensus/modcon/internal/conciliator"
+	"github.com/modular-consensus/modcon/internal/core"
+	"github.com/modular-consensus/modcon/internal/fallback"
+	"github.com/modular-consensus/modcon/internal/ratifier"
+	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/value"
+)
+
+func TestMemoryMirrorsFile(t *testing.T) {
+	file := register.NewFile()
+	a := file.Alloc1("a")
+	b := file.Alloc1("b")
+	file.Init(b, 0)
+	file.Store(a, 9)
+	mem := NewMemory(file)
+	if got := mem.Load(a); got != 9 {
+		t.Fatalf("a = %s", got)
+	}
+	if got := mem.Load(b); got != 0 {
+		t.Fatalf("b = %s", got)
+	}
+	mem.Store(a, 4)
+	if got := mem.Load(a); got != 4 {
+		t.Fatalf("a after store = %s", got)
+	}
+	if file.Load(a) != 9 {
+		t.Fatal("live store leaked into the simulated file")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	file := register.NewFile()
+	if _, err := Run(0, file, 1, false, func(e *Env) value.Value { return 0 }); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	file := register.NewFile()
+	r := file.Alloc1("x")
+	res, err := Run(4, file, 1, false, func(e *Env) value.Value {
+		e.Write(r, value.Value(e.PID()))
+		return e.Read(r) // some pid's value
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid, out := range res.Outputs {
+		if out < 0 || out > 3 {
+			t.Fatalf("pid %d read %s", pid, out)
+		}
+	}
+	if res.TotalWork != 8 {
+		t.Fatalf("TotalWork = %d, want 8", res.TotalWork)
+	}
+	for _, w := range res.Work {
+		if w != 2 {
+			t.Fatalf("Work = %v", res.Work)
+		}
+	}
+}
+
+func TestCoinDeterminismPerSeedPerPid(t *testing.T) {
+	file := register.NewFile()
+	run := func() []value.Value {
+		res, err := Run(3, file, 42, false, func(e *Env) value.Value {
+			return value.Value(e.CoinIntn(1 << 20))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Outputs
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("coin streams not reproducible per (seed, pid)")
+		}
+	}
+	if a[0] == a[1] && a[1] == a[2] {
+		t.Fatal("all pids share one coin stream")
+	}
+}
+
+func TestCollectCostModes(t *testing.T) {
+	file := register.NewFile()
+	arr := file.Alloc(5, "arr")
+	res, err := Run(1, file, 1, true, func(e *Env) value.Value {
+		e.Collect(arr)
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalWork != 1 {
+		t.Fatalf("cheap collect cost %d", res.TotalWork)
+	}
+	res, err = Run(1, file, 1, false, func(e *Env) value.Value {
+		e.Collect(arr)
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalWork != 5 {
+		t.Fatalf("linear collect cost %d", res.TotalWork)
+	}
+}
+
+// buildConsensus assembles the paper's binary protocol against a file.
+func buildConsensus(n int) (*register.File, *core.Protocol, error) {
+	file := register.NewFile()
+	proto, err := core.NewProtocol(core.Options{
+		N:    n,
+		File: file,
+		NewRatifier: func(f *register.File, i int) core.Object {
+			return ratifier.NewBinary(f, i)
+		},
+		NewConciliator: func(f *register.File, i int) core.Object {
+			return conciliator.NewImpatient(f, n, i)
+		},
+		FastPath: true,
+		Fallback: fallback.New(file, n, 0),
+		Stages:   64,
+	})
+	return file, proto, err
+}
+
+func TestLiveBinaryConsensus(t *testing.T) {
+	// The full protocol under real goroutine concurrency: agreement and
+	// validity must hold on every run (safety is schedule-independent).
+	for _, n := range []int{2, 4, 8} {
+		for seed := uint64(0); seed < 20; seed++ {
+			file, proto, err := buildConsensus(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inputs := make([]value.Value, n)
+			for i := range inputs {
+				inputs[i] = value.Value(i % 2)
+			}
+			res, err := Run(n, file, seed, false, func(e *Env) value.Value {
+				out, ok := proto.Run(e, inputs[e.PID()])
+				if !ok {
+					t.Errorf("pid %d fell off the chain", e.PID())
+				}
+				return out
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := check.Consensus(inputs, res.Outputs); err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+		}
+	}
+}
+
+func TestLiveConsensusRace(t *testing.T) {
+	// Run with -race in CI: exercises concurrent atomic access patterns.
+	file, proto, err := buildConsensus(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []value.Value{0, 1, 1, 0}
+	res, err := Run(4, file, 7, false, func(e *Env) value.Value {
+		out, _ := proto.Run(e, inputs[e.PID()])
+		return out
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check.Consensus(inputs, res.Outputs); err != nil {
+		t.Fatal(err)
+	}
+}

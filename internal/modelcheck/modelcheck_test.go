@@ -1,0 +1,188 @@
+package modelcheck
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/modular-consensus/modcon/internal/core"
+	"github.com/modular-consensus/modcon/internal/ratifier"
+	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/value"
+)
+
+func binaryRatifier(file *register.File) core.Object { return ratifier.NewBinary(file, 1) }
+
+func TestBinaryRatifierTwoProcessesExhaustive(t *testing.T) {
+	// Every interleaving of two processes with conflicting inputs: the
+	// strongest possible evidence for Theorem 8 at this size.
+	stats, err := Exhaustive(binaryRatifier, []value.Value{0, 1}, Options{RatifierPrefix: "R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each process does ≤4 ops: C(8,4)=70 schedules maximum; early exits
+	// shrink some branches but the tree must still be substantial.
+	if stats.Schedules < 20 {
+		t.Fatalf("only %d schedules explored: %+v", stats.Schedules, stats)
+	}
+	if stats.MaxSteps > 8 {
+		t.Fatalf("schedule of %d steps exceeds the 4-op bound: %+v", stats.MaxSteps, stats)
+	}
+	t.Logf("verified %d schedules (%d probes, max %d steps)", stats.Schedules, stats.Probes, stats.MaxSteps)
+}
+
+func TestBinaryRatifierUnanimousExhaustive(t *testing.T) {
+	// Acceptance at every interleaving: all inputs 1 ⇒ all outputs (1,1).
+	for _, v := range []value.Value{0, 1} {
+		stats, err := Exhaustive(binaryRatifier, []value.Value{v, v}, Options{RatifierPrefix: "R"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Schedules == 0 {
+			t.Fatal("no schedules explored")
+		}
+	}
+}
+
+func TestBinaryRatifierThreeProcessesExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive n=3 exploration")
+	}
+	for _, inputs := range [][]value.Value{
+		{0, 1, 0}, {0, 1, 1}, {1, 0, 1}, {0, 0, 0},
+	} {
+		stats, err := Exhaustive(binaryRatifier, inputs, Options{RatifierPrefix: "R"})
+		if err != nil {
+			t.Fatalf("inputs %v: %v", inputs, err)
+		}
+		t.Logf("inputs %v: %d schedules, %d probes", inputs, stats.Schedules, stats.Probes)
+	}
+}
+
+func TestPoolRatifierThreeValuesExhaustive(t *testing.T) {
+	build := func(file *register.File) core.Object { return ratifier.NewPool(file, 3, 1) }
+	stats, err := Exhaustive(build, []value.Value{0, 2}, Options{RatifierPrefix: "R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Schedules == 0 {
+		t.Fatal("no schedules explored")
+	}
+}
+
+func TestCollectRatifierExhaustive(t *testing.T) {
+	build := func(file *register.File) core.Object { return ratifier.NewCollect(file, 2, 1) }
+	stats, err := Exhaustive(build, []value.Value{0, 1}, Options{RatifierPrefix: "RC"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Schedules == 0 {
+		t.Fatal("no schedules explored")
+	}
+}
+
+func TestCompositionOfRatifiersExhaustive(t *testing.T) {
+	// R1; R2 composed is still a weak consensus object (Corollary 4):
+	// verify all interleavings of the two-object chain.
+	build := func(file *register.File) core.Object {
+		return core.Compose(ratifier.NewBinary(file, 1), ratifier.NewBinary(file, 2))
+	}
+	stats, err := Exhaustive(build, []value.Value{0, 1}, Options{RatifierPrefix: "R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MaxSteps > 16 {
+		t.Fatalf("chain of two 4-op ratifiers took %d steps", stats.MaxSteps)
+	}
+}
+
+// buggyRatifier decides its own input unconditionally — a coherence bomb
+// the checker must find.
+type buggyRatifier struct{ r register.Reg }
+
+func (b buggyRatifier) Invoke(e core.Env, v value.Value) value.Decision {
+	e.Write(b.r, v)
+	return value.Decide(v)
+}
+
+func (b buggyRatifier) Label() string { return "R9" }
+
+func TestDetectsCoherenceViolation(t *testing.T) {
+	build := func(file *register.File) core.Object {
+		return buggyRatifier{r: file.Alloc1("x")}
+	}
+	_, err := Exhaustive(build, []value.Value{0, 1}, Options{RatifierPrefix: "R"})
+	if err == nil || !strings.Contains(err.Error(), "coherence") {
+		t.Fatalf("err = %v, want coherence violation", err)
+	}
+}
+
+// lyingRatifier returns a value nobody proposed.
+type lyingRatifier struct{ r register.Reg }
+
+func (b lyingRatifier) Invoke(e core.Env, v value.Value) value.Decision {
+	e.Read(b.r)
+	return value.Continue(42)
+}
+
+func (b lyingRatifier) Label() string { return "X" }
+
+func TestDetectsValidityViolation(t *testing.T) {
+	build := func(file *register.File) core.Object {
+		return lyingRatifier{r: file.Alloc1("x")}
+	}
+	_, err := Exhaustive(build, []value.Value{0, 1}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "validity") {
+		t.Fatalf("err = %v, want validity violation", err)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	_, err := Exhaustive(binaryRatifier, []value.Value{0, 1}, Options{MaxSchedules: 3})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+// spinner never halts; the depth cap must catch it.
+type spinner struct{ r register.Reg }
+
+func (s spinner) Invoke(e core.Env, v value.Value) value.Decision {
+	for {
+		e.Read(s.r)
+	}
+}
+
+func (s spinner) Label() string { return "spin" }
+
+func TestDepthCap(t *testing.T) {
+	build := func(file *register.File) core.Object {
+		return spinner{r: file.Alloc1("x")}
+	}
+	_, err := Exhaustive(build, []value.Value{0}, Options{MaxDepth: 16})
+	if err == nil || !strings.Contains(err.Error(), "MaxDepth") {
+		t.Fatalf("err = %v, want depth error", err)
+	}
+}
+
+// prober uses a probabilistic write: the explorer must refuse it.
+type prober struct{ r register.Reg }
+
+func (p prober) Invoke(e core.Env, v value.Value) value.Decision {
+	e.ProbWrite(p.r, v, 1, 2)
+	return value.Decide(v)
+}
+
+func (p prober) Label() string { return "P" }
+
+func TestRejectsRandomizedObjects(t *testing.T) {
+	build := func(file *register.File) core.Object {
+		return prober{r: file.Alloc1("x")}
+	}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected panic on probabilistic write")
+		}
+	}()
+	_, _ = Exhaustive(build, []value.Value{0}, Options{})
+}

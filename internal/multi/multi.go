@@ -1,0 +1,175 @@
+// Package multi runs a *sequence* of consensus instances — the replicated
+// state-machine workload — inside a single adversarial execution: n
+// processes walk through k slots in order, solving one one-shot consensus
+// per slot, all under one scheduler and one work budget. Unlike solving
+// slots in separate executions, processes may be slots apart at any moment
+// (a fast process can be deciding slot 7 while a slow one still announces
+// in slot 2), which is exactly the interference pattern long-lived systems
+// face.
+package multi
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/modular-consensus/modcon/internal/check"
+	"github.com/modular-consensus/modcon/internal/conciliator"
+	"github.com/modular-consensus/modcon/internal/core"
+	"github.com/modular-consensus/modcon/internal/fallback"
+	"github.com/modular-consensus/modcon/internal/ratifier"
+	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/sched"
+	"github.com/modular-consensus/modcon/internal/sim"
+	"github.com/modular-consensus/modcon/internal/value"
+)
+
+// Config describes a multi-slot run.
+type Config struct {
+	// N is the process count, M the value-domain size per slot.
+	N, M int
+	// Proposals is indexed [slot][pid]; its length sets the slot count.
+	Proposals [][]value.Value
+	// NewProtocol builds the per-slot protocol; nil uses the paper default
+	// (fast path + impatient conciliators + quorum ratifiers + CIL
+	// fallback, so slots always decide).
+	NewProtocol func(file *register.File, slot int) (*core.Protocol, error)
+	// Scheduler is the adversary for the whole execution.
+	Scheduler sched.Scheduler
+	// Seed drives all randomness.
+	Seed uint64
+	// MaxSteps bounds the whole execution (0 = simulator default).
+	MaxSteps int
+	// CrashAfter is forwarded to the simulator.
+	CrashAfter map[int]int
+}
+
+// Result reports a multi-slot run.
+type Result struct {
+	// Agreed holds the decided value per slot (None if no surviving
+	// process decided that slot).
+	Agreed []value.Value
+	// Outputs is indexed [slot][pid]; None where pid never decided.
+	Outputs [][]value.Value
+	// Work and TotalWork are the usual cost measures over the whole run.
+	Work      []int
+	TotalWork int
+	// Crashed reports per-process crashes.
+	Crashed []bool
+}
+
+// Run executes the sequence and verifies agreement and validity per slot
+// before returning.
+func Run(cfg Config) (*Result, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("multi: N=%d must be positive", cfg.N)
+	}
+	if len(cfg.Proposals) == 0 {
+		return nil, errors.New("multi: no slots")
+	}
+	if cfg.Scheduler == nil {
+		return nil, errors.New("multi: nil scheduler")
+	}
+	for slot, props := range cfg.Proposals {
+		if len(props) != cfg.N {
+			return nil, fmt.Errorf("multi: slot %d has %d proposals for %d processes", slot, len(props), cfg.N)
+		}
+		for pid, v := range props {
+			if v.IsNone() || v < 0 || int64(v) >= int64(cfg.M) {
+				return nil, fmt.Errorf("multi: slot %d pid %d proposal %s outside [0,%d)", slot, pid, v, cfg.M)
+			}
+		}
+	}
+
+	file := register.NewFile()
+	slots := len(cfg.Proposals)
+	protos := make([]*core.Protocol, slots)
+	build := cfg.NewProtocol
+	if build == nil {
+		build = func(f *register.File, slot int) (*core.Protocol, error) {
+			return defaultProtocol(f, cfg.N, cfg.M, slot)
+		}
+	}
+	for slot := range protos {
+		p, err := build(file, slot)
+		if err != nil {
+			return nil, fmt.Errorf("multi: slot %d: %w", slot, err)
+		}
+		protos[slot] = p
+	}
+
+	res := &Result{
+		Agreed:  make([]value.Value, slots),
+		Outputs: make([][]value.Value, slots),
+	}
+	for slot := range res.Outputs {
+		res.Agreed[slot] = value.None
+		res.Outputs[slot] = make([]value.Value, cfg.N)
+		for pid := range res.Outputs[slot] {
+			res.Outputs[slot][pid] = value.None
+		}
+	}
+
+	simRes, err := sim.Run(sim.Config{
+		N: cfg.N, File: file, Scheduler: cfg.Scheduler, Seed: cfg.Seed,
+		MaxSteps: cfg.MaxSteps, CrashAfter: cfg.CrashAfter,
+	}, func(e *sim.Env) value.Value {
+		pid := e.PID()
+		var last value.Value = value.None
+		for slot := 0; slot < slots; slot++ {
+			out, ok := protos[slot].Run(e, cfg.Proposals[slot][pid])
+			if !ok {
+				// Unreachable with the default fallback protocol; a custom
+				// protocol that exhausts its chain stops participating.
+				return last
+			}
+			res.Outputs[slot][pid] = out
+			last = out
+		}
+		return last
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Work = simRes.Work
+	res.TotalWork = simRes.TotalWork
+	res.Crashed = simRes.Crashed
+
+	for slot := range res.Outputs {
+		var decided []value.Value
+		for pid := range res.Outputs[slot] {
+			if !res.Outputs[slot][pid].IsNone() {
+				decided = append(decided, res.Outputs[slot][pid])
+			}
+		}
+		if len(decided) > 0 {
+			res.Agreed[slot] = decided[0]
+		}
+		if err := check.Consensus(cfg.Proposals[slot], decided); err != nil {
+			return res, fmt.Errorf("multi: SAFETY VIOLATION (bug) in slot %d: %w", slot, err)
+		}
+	}
+	return res, nil
+}
+
+// defaultProtocol is the paper's recommended assembly plus the CIL
+// fallback. Object indices carry the slot number (slot*1000 + stage) so
+// labels stay unique across slots.
+func defaultProtocol(file *register.File, n, m, slot int) (*core.Protocol, error) {
+	base := slot * 1000
+	return core.NewProtocol(core.Options{
+		N:    n,
+		File: file,
+		NewRatifier: func(f *register.File, i int) core.Object {
+			if m == 2 {
+				return ratifier.NewBinary(f, base+i)
+			}
+			return ratifier.NewPool(f, m, base+i)
+		},
+		NewConciliator: func(f *register.File, i int) core.Object {
+			return conciliator.NewImpatient(f, n, base+i)
+		},
+		FastPath: true,
+		Stages:   64,
+		Fallback: fallback.New(file, n, base),
+	})
+}

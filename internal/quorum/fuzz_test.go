@@ -1,0 +1,28 @@
+package quorum
+
+import "testing"
+
+// FuzzSchemes verifies the Theorem 8 condition for arbitrary m on both
+// m-valued schemes (full verification for small m, sampled beyond).
+func FuzzSchemes(f *testing.F) {
+	f.Add(uint16(2))
+	f.Add(uint16(7))
+	f.Add(uint16(1024))
+	f.Fuzz(func(t *testing.T, mRaw uint16) {
+		m := int(mRaw)%5000 + 2
+		for _, s := range []Scheme{NewPool(m), NewBitVector(m)} {
+			var err error
+			if m <= 256 {
+				err = Verify(s)
+			} else {
+				err = VerifySample(s, 2000, uint64(m))
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sum := BollobasSum(s); sum > 1+1e-9 {
+				t.Fatalf("%s: Bollobás sum %v > 1", s.Name(), sum)
+			}
+		}
+	})
+}

@@ -1,0 +1,135 @@
+// Package register implements the shared memory of the model: a growable
+// file of atomic multi-writer multi-reader registers.
+//
+// In the paper's model (§2) memory is a set of atomic registers; the value
+// returned by each read equals the last value written. The simulated runtime
+// executes at most one operation at a time, so the File here needs no
+// internal locking — atomicity is provided by the scheduler. (The live
+// backend in internal/live provides a sync/atomic-based register file for
+// free-running goroutines.)
+//
+// Registers are allocated through an Allocator, which the consensus
+// constructions use to lay out the (conceptually unbounded) sequence of
+// conciliator and ratifier objects deterministically: every process computes
+// the same addresses without communication.
+package register
+
+import (
+	"fmt"
+
+	"github.com/modular-consensus/modcon/internal/value"
+)
+
+// Reg is a register handle: an index into a File.
+type Reg int
+
+// Array is a contiguous block of registers, used for write/read quorums and
+// for the collect operation.
+type Array struct {
+	Base Reg
+	Len  int
+}
+
+// At returns the i-th register of the array.
+func (a Array) At(i int) Reg {
+	if i < 0 || i >= a.Len {
+		panic(fmt.Sprintf("register: array index %d out of [0,%d)", i, a.Len))
+	}
+	return a.Base + Reg(i)
+}
+
+// File is a growable register file. All registers are initialized to ⊥
+// unless overridden with Init.
+type File struct {
+	cells []value.Value
+	// names carries an optional debug name per register.
+	names []string
+}
+
+// NewFile returns an empty register file.
+func NewFile() *File {
+	return &File{}
+}
+
+// Alloc allocates n fresh registers initialized to ⊥ and returns the block.
+// name is a debug label for traces.
+func (f *File) Alloc(n int, name string) Array {
+	if n < 0 {
+		panic("register: Alloc with negative count")
+	}
+	base := Reg(len(f.cells))
+	for i := 0; i < n; i++ {
+		f.cells = append(f.cells, value.None)
+		if n == 1 {
+			f.names = append(f.names, name)
+		} else {
+			f.names = append(f.names, fmt.Sprintf("%s[%d]", name, i))
+		}
+	}
+	return Array{Base: base, Len: n}
+}
+
+// Alloc1 allocates a single register and returns its handle.
+func (f *File) Alloc1(name string) Reg {
+	return f.Alloc(1, name).Base
+}
+
+// Init sets the initial (current) value of a register. Protocols whose
+// registers start at a non-⊥ value (e.g. binary announcement registers
+// starting at 0) call this at construction time, before any execution.
+func (f *File) Init(r Reg, v value.Value) {
+	f.cells[f.check(r)] = v
+}
+
+// Load returns the current value of r.
+func (f *File) Load(r Reg) value.Value {
+	return f.cells[f.check(r)]
+}
+
+// Store sets the current value of r.
+func (f *File) Store(r Reg, v value.Value) {
+	f.cells[f.check(r)] = v
+}
+
+// Snapshot copies the contents of an array (used for Collect).
+func (f *File) Snapshot(a Array) []value.Value {
+	out := make([]value.Value, a.Len)
+	copy(out, f.cells[a.Base:a.Base+Reg(a.Len)])
+	return out
+}
+
+// Len returns the number of allocated registers.
+func (f *File) Len() int { return len(f.cells) }
+
+// Name returns the debug name of r, or "r<i>" if unnamed.
+func (f *File) Name(r Reg) string {
+	i := f.check(r)
+	if f.names[i] != "" {
+		return f.names[i]
+	}
+	return fmt.Sprintf("r%d", i)
+}
+
+// Contents returns a copy of the whole memory. Used to build adversary views
+// for location-oblivious and adaptive adversaries.
+func (f *File) Contents() []value.Value {
+	out := make([]value.Value, len(f.cells))
+	copy(out, f.cells)
+	return out
+}
+
+// Reset restores every register to ⊥. Inits must be re-applied by the owner;
+// the harness instead reconstructs protocols per trial, so Reset exists
+// mainly for tests.
+func (f *File) Reset() {
+	for i := range f.cells {
+		f.cells[i] = value.None
+	}
+}
+
+func (f *File) check(r Reg) int {
+	if r < 0 || int(r) >= len(f.cells) {
+		panic(fmt.Sprintf("register: access to unallocated register %d (file size %d)", r, len(f.cells)))
+	}
+	return int(r)
+}

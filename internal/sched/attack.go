@@ -1,0 +1,391 @@
+package sched
+
+import (
+	"github.com/modular-consensus/modcon/internal/value"
+	"github.com/modular-consensus/modcon/internal/xrand"
+)
+
+// concTracker detects first-mover conciliator phases from what a
+// location-oblivious adversary may observe. A conciliator round is
+// recognizable by pending *probabilistic* writes; when the first one
+// appears, the tracker snapshots memory, and the first register that
+// subsequently changes is the conciliator's register — whatever its
+// address, which this adversary class cannot see.
+type concTracker struct {
+	armed    bool
+	baseline []value.Value
+}
+
+// observe returns the conciliator phase: phaseNeutral when no probabilistic
+// writes are pending and nothing has landed, phasePool while attempts are
+// pending but none has taken effect, phaseEndgame (with the winning value)
+// once one has.
+func (c *concTracker) observe(v *View) (phase int, cur value.Value) {
+	anyProb := false
+	for _, pid := range v.Runnable {
+		if v.Pending[pid].Kind == OpProbWrite {
+			anyProb = true
+			break
+		}
+	}
+	if !c.armed {
+		if !anyProb {
+			return phaseNeutral, value.None
+		}
+		c.armed = true
+		c.baseline = append(c.baseline[:0], v.Memory...)
+	}
+	// Armed: look for the first cell that changed since arming.
+	for i, m := range v.Memory {
+		base := value.None
+		if i < len(c.baseline) {
+			base = c.baseline[i]
+		}
+		if m != base && !m.IsNone() {
+			return phaseEndgame, m
+		}
+	}
+	if !anyProb {
+		// The round fizzled (every attempt missed and processes moved on,
+		// or the protocol left the conciliator); re-arm for the next one.
+		c.armed = false
+		return phaseNeutral, value.None
+	}
+	return phasePool, value.None
+}
+
+const (
+	phaseNeutral = iota + 1
+	phasePool
+	phaseEndgame
+)
+
+// firstMoverEndgame is the disagreement-forcing endgame shared by the
+// attack strategies, played once a conciliator write has landed. The
+// adversary (location-oblivious: it sees memory contents and pending write
+// values, and remembers its own history) plays to split the return values:
+//
+//  1. Lock a witness: schedule one pending read, so some process returns
+//     the current value A and can never change its mind.
+//  2. While memory still holds A, fire pending probabilistic writes whose
+//     value differs from A — each is a chance to flip the register.
+//  3. The moment memory differs from the witness value, schedule pending
+//     reads first (each locks in the disagreement), then release whatever
+//     remains.
+//
+// This is exactly the adversary structure behind the Theorem 7 bound: the
+// protocol survives only if no conflicting write lands after the first
+// success.
+type firstMoverEndgame struct {
+	locked    bool
+	lockedVal value.Value
+	attempts  []int
+}
+
+// play chooses the next pid given the current conciliator-register value.
+func (g *firstMoverEndgame) play(v *View, cur value.Value) int {
+	if !g.locked {
+		if pid := pendingOfKind(v, OpRead); pid >= 0 {
+			g.locked = true
+			g.lockedVal = cur
+			return pid
+		}
+		// No reader to lock yet; keep the write pressure up.
+		if pid := g.fireWrite(v, value.None); pid >= 0 {
+			return pid
+		}
+		return v.Runnable[0]
+	}
+	if cur != g.lockedVal {
+		// Disagreement is on the table: bank it with readers first.
+		if pid := pendingOfKind(v, OpRead); pid >= 0 {
+			return pid
+		}
+		if pid := g.fireWrite(v, value.None); pid >= 0 {
+			return pid
+		}
+		return v.Runnable[0]
+	}
+	// Memory still shows the witness value: try to flip it.
+	if pid := g.fireWrite(v, cur); pid >= 0 {
+		return pid
+	}
+	if pid := pendingOfKind(v, OpRead); pid >= 0 {
+		return pid
+	}
+	return v.Runnable[0]
+}
+
+// fireWrite schedules the fewest-attempts pending probabilistic write whose
+// value differs from avoid (value.None matches everything); -1 if none.
+func (g *firstMoverEndgame) fireWrite(v *View, avoid value.Value) int {
+	if g.attempts == nil {
+		g.attempts = make([]int, v.N)
+	}
+	best := -1
+	for _, pid := range v.Runnable {
+		op := v.Pending[pid]
+		if op.Kind != OpProbWrite {
+			continue
+		}
+		if !avoid.IsNone() && op.Val == avoid {
+			continue
+		}
+		if best == -1 || g.attempts[pid] < g.attempts[best] {
+			best = pid
+		}
+	}
+	if best >= 0 {
+		g.attempts[best]++
+	}
+	return best
+}
+
+// firstWrittenValue returns the value of the lowest-indexed non-⊥ register.
+// The first-mover conciliator exposes a single register, so this is "the"
+// register's content during the attack window.
+func firstWrittenValue(memory []value.Value) (value.Value, bool) {
+	for _, m := range memory {
+		if !m.IsNone() {
+			return m, true
+		}
+	}
+	return value.None, false
+}
+
+// pendingOfKind returns the first runnable pid whose pending op has the
+// given kind, or -1.
+func pendingOfKind(v *View, kind OpKind) int {
+	for _, pid := range v.Runnable {
+		if v.Pending[pid].Kind == kind {
+			return pid
+		}
+	}
+	return -1
+}
+
+// FirstMoverAttack is a location-oblivious strategy tuned against
+// first-mover conciliators (Chor–Israeli–Li-style protocols and the paper's
+// ImpatientFirstMoverConciliator, §5.2). It reconstructs the adversary used
+// in the proof of Theorem 7:
+//
+//   - Opening (no register written): hold back probabilistic writes until
+//     *every* runnable process has one pending, so the pool of in-flight
+//     attempts is as large as possible; then release attempts
+//     cheapest-first (fewest prior attempts, i.e. smallest current write
+//     probability), spending as little of the Σpᵢ budget as possible
+//     before a success lands.
+//   - Endgame (after the first success): lock in a witness reader, then
+//     fire the conflicting pending writes (see firstMoverEndgame).
+//
+// Everything it consults is legal for a location-oblivious adversary:
+// pending operation *types and values*, register *contents*, and its own
+// memory of how many attempts each process has made.
+type FirstMoverAttack struct {
+	tracker  concTracker
+	endgame  firstMoverEndgame
+	attempts []int
+	next     int
+}
+
+// NewFirstMoverAttack returns the attack scheduler.
+func NewFirstMoverAttack() *FirstMoverAttack { return &FirstMoverAttack{} }
+
+// Next implements Scheduler.
+func (s *FirstMoverAttack) Next(v *View) int {
+	phase, cur := s.tracker.observe(v)
+	switch phase {
+	case phaseEndgame:
+		return s.endgame.play(v, cur)
+	case phaseNeutral:
+		// Outside conciliator rounds (e.g. inside ratifiers): neutral
+		// round-robin, and reset the endgame for the next round.
+		s.endgame = firstMoverEndgame{}
+		return s.roundRobin(v)
+	}
+	// Pool building: advance processes that are *not* yet poised to write,
+	// so the pending-write pool grows.
+	for _, pid := range v.Runnable {
+		if v.Pending[pid].Kind != OpProbWrite {
+			return pid
+		}
+	}
+	// All runnable processes have a pending probabilistic write: release
+	// the cheapest attempt.
+	if s.attempts == nil {
+		s.attempts = make([]int, v.N)
+	}
+	best := -1
+	for _, pid := range v.Runnable {
+		if best == -1 || s.attempts[pid] < s.attempts[best] {
+			best = pid
+		}
+	}
+	s.attempts[best]++
+	return best
+}
+
+// roundRobin cycles through runnable processes.
+func (s *FirstMoverAttack) roundRobin(v *View) int {
+	for i := 0; i < v.N; i++ {
+		pid := (s.next + i) % v.N
+		if v.Pending[pid].Valid {
+			s.next = (pid + 1) % v.N
+			return pid
+		}
+	}
+	return v.Runnable[0]
+}
+
+// Seed implements Scheduler (deterministic strategy).
+func (s *FirstMoverAttack) Seed(*xrand.Source) {}
+
+// Name implements Scheduler.
+func (s *FirstMoverAttack) Name() string { return "first-mover-attack" }
+
+// MinPower implements Scheduler.
+func (s *FirstMoverAttack) MinPower() Power { return LocationOblivious }
+
+// EagerWriteAttack is a simpler location-oblivious attack: it releases
+// pending probabilistic writes as soon as they appear (spending the Σpᵢ
+// budget faster, which keeps more processes mid-loop when the first success
+// lands), then plays the same witness-and-flip endgame.
+type EagerWriteAttack struct {
+	tracker concTracker
+	endgame firstMoverEndgame
+	next    int
+}
+
+// NewEagerWriteAttack returns the attack scheduler.
+func NewEagerWriteAttack() *EagerWriteAttack { return &EagerWriteAttack{} }
+
+// Next implements Scheduler.
+func (s *EagerWriteAttack) Next(v *View) int {
+	phase, cur := s.tracker.observe(v)
+	if phase == phaseEndgame {
+		return s.endgame.play(v, cur)
+	}
+	if phase == phaseNeutral {
+		s.endgame = firstMoverEndgame{}
+	}
+	// Opening and pool phase: plain round-robin — writes fire as soon as
+	// their turn comes, keeping every process one step from a fresh attempt
+	// when the first success lands.
+	for i := 0; i < v.N; i++ {
+		pid := (s.next + i) % v.N
+		if v.Pending[pid].Valid {
+			s.next = (pid + 1) % v.N
+			return pid
+		}
+	}
+	return v.Runnable[0]
+}
+
+// Seed implements Scheduler (deterministic strategy).
+func (s *EagerWriteAttack) Seed(*xrand.Source) {}
+
+// Name implements Scheduler.
+func (s *EagerWriteAttack) Name() string { return "eager-write-attack" }
+
+// MinPower implements Scheduler.
+func (s *EagerWriteAttack) MinPower() Power { return LocationOblivious }
+
+// SplitVote is a value-oblivious strategy that tries to defeat agreement
+// detection by running the processes in two isolated waves: first every even
+// pid to completion of as many steps as possible, then the odds. Against a
+// correct ratifier it can at worst slow things down (coherence is
+// deterministic); it exists to stress-test coherence under maximally skewed
+// interleavings.
+type SplitVote struct{}
+
+// NewSplitVote returns the scheduler.
+func NewSplitVote() *SplitVote { return &SplitVote{} }
+
+// Next implements Scheduler.
+func (s *SplitVote) Next(v *View) int {
+	for _, pid := range v.Runnable {
+		if pid%2 == 0 {
+			return pid
+		}
+	}
+	return v.Runnable[0]
+}
+
+// Seed implements Scheduler (deterministic strategy).
+func (s *SplitVote) Seed(*xrand.Source) {}
+
+// Name implements Scheduler.
+func (s *SplitVote) Name() string { return "split-vote" }
+
+// MinPower implements Scheduler.
+func (s *SplitVote) MinPower() Power { return ValueOblivious }
+
+// AdaptiveSpoiler is a strong-adversary strategy used to demonstrate *why*
+// the paper's conciliators need the probabilistic-write assumption: once a
+// register holds a value it alternates between committing a victim (letting
+// one pending read observe the current value) and firing a pending write
+// that conflicts with it. Against deterministic first-mover protocols every
+// victim observes a different value and agreement probability collapses;
+// against probabilistic writes the "conflicting write" step is just a coin
+// the adversary cannot load, and the Theorem 7 bound survives.
+type AdaptiveSpoiler struct {
+	wantWrite bool
+}
+
+// NewAdaptiveSpoiler returns the scheduler.
+func NewAdaptiveSpoiler() *AdaptiveSpoiler { return &AdaptiveSpoiler{} }
+
+// Next implements Scheduler.
+func (s *AdaptiveSpoiler) Next(v *View) int {
+	cur, written := firstWrittenValue(v.Memory)
+	if !written {
+		// Arm the attack: advance readers so writes queue up, then let the
+		// first write land.
+		if pid := pendingOfKind(v, OpRead); pid >= 0 {
+			return pid
+		}
+		for _, pid := range v.Runnable {
+			op := v.Pending[pid]
+			if op.Kind == OpWrite || op.Kind == OpProbWrite {
+				return pid
+			}
+		}
+		return v.Runnable[0]
+	}
+	conflicting := -1
+	for _, pid := range v.Runnable {
+		op := v.Pending[pid]
+		if (op.Kind == OpWrite || op.Kind == OpProbWrite) && !op.Val.IsNone() && op.Val != cur {
+			conflicting = pid
+			break
+		}
+	}
+	if s.wantWrite {
+		if conflicting >= 0 {
+			s.wantWrite = false
+			return conflicting
+		}
+		if pid := pendingOfKind(v, OpRead); pid >= 0 {
+			return pid
+		}
+		return v.Runnable[0]
+	}
+	// Commit a victim to the current value before spoiling it.
+	if pid := pendingOfKind(v, OpRead); pid >= 0 {
+		s.wantWrite = true
+		return pid
+	}
+	if conflicting >= 0 {
+		return conflicting
+	}
+	return v.Runnable[0]
+}
+
+// Seed implements Scheduler (deterministic strategy).
+func (s *AdaptiveSpoiler) Seed(*xrand.Source) {}
+
+// Name implements Scheduler.
+func (s *AdaptiveSpoiler) Name() string { return "adaptive-spoiler" }
+
+// MinPower implements Scheduler.
+func (s *AdaptiveSpoiler) MinPower() Power { return Adaptive }

@@ -1,0 +1,173 @@
+// Package sched defines the adversary scheduler of the asynchronous
+// shared-memory model and a portfolio of concrete adversary strategies.
+//
+// The model (§2 of the paper): every process that has not halted has exactly
+// one pending operation; an execution is constructed by repeatedly applying
+// pending operations, and the choice of which pending operation occurs next
+// is made by an adversary — a function from (its view of) the partial
+// execution to a process id.
+//
+// Adversary strength (§2.1) is modeled by Power, which controls which fields
+// of the View the runtime populates:
+//
+//   - Oblivious: sees only the execution length and which processes are
+//     still runnable.
+//   - ValueOblivious: additionally sees pending operation types and
+//     locations, but neither register contents nor pending write values.
+//   - LocationOblivious: sees register contents and pending write values,
+//     but not pending operation locations. Probabilistic writes are safe
+//     against this adversary: their coins are resolved only at execution
+//     time, so no scheduler can condition on the outcome.
+//   - Adaptive: sees everything that exists before the step (it still cannot
+//     predict coins that have not been flipped).
+//
+// Schedulers are deliberately stateful: an adversary is allowed to remember
+// everything it has observed.
+package sched
+
+import (
+	"fmt"
+
+	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/value"
+	"github.com/modular-consensus/modcon/internal/xrand"
+)
+
+// Power is the information class of an adversary (§2.1).
+type Power int
+
+const (
+	// Oblivious adversaries see nothing but time and liveness.
+	Oblivious Power = iota + 1
+	// ValueOblivious adversaries see operation types and locations.
+	ValueOblivious
+	// LocationOblivious adversaries see contents and pending values but not
+	// locations; this is the class that admits probabilistic writes.
+	LocationOblivious
+	// Adaptive adversaries (the strong adversary) see everything.
+	Adaptive
+)
+
+// String names the power class.
+func (p Power) String() string {
+	switch p {
+	case Oblivious:
+		return "oblivious"
+	case ValueOblivious:
+		return "value-oblivious"
+	case LocationOblivious:
+		return "location-oblivious"
+	case Adaptive:
+		return "adaptive"
+	default:
+		return fmt.Sprintf("power(%d)", int(p))
+	}
+}
+
+// OpKind is the type of a pending operation, as visible to adversaries that
+// may distinguish operation types.
+type OpKind int
+
+const (
+	// OpRead is a register read.
+	OpRead OpKind = iota + 1
+	// OpWrite is a deterministic register write.
+	OpWrite
+	// OpProbWrite is a probabilistic write (takes effect with some
+	// probability resolved at execution time).
+	OpProbWrite
+	// OpCollect is a cheap-collect of a register array.
+	OpCollect
+)
+
+// String names the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpProbWrite:
+		return "probwrite"
+	case OpCollect:
+		return "collect"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// Op describes one pending operation, restricted to the adversary's power:
+// fields the adversary may not observe are zeroed by the runtime.
+type Op struct {
+	// Valid is false for processes with no pending operation (halted or
+	// crashed processes).
+	Valid bool
+	// Kind is the operation type (all powers above Oblivious).
+	Kind OpKind
+	// Reg is the target register; -1 when hidden (LocationOblivious) or for
+	// Oblivious views.
+	Reg register.Reg
+	// Val is the pending write value; value.None when hidden
+	// (Oblivious, ValueOblivious) or for reads.
+	Val value.Value
+	// ProbNum/ProbDen expose the attempt probability of a probabilistic
+	// write (LocationOblivious and Adaptive; the probability is part of the
+	// pending value/type, not its location).
+	ProbNum, ProbDen uint64
+}
+
+// View is what the adversary sees when choosing the next step.
+type View struct {
+	// Power is the information class this view was built for.
+	Power Power
+	// Step counts work-charged operations executed so far.
+	Step int
+	// N is the number of processes.
+	N int
+	// Runnable lists the pids with a pending operation, ascending.
+	Runnable []int
+	// Pending is indexed by pid; entries are power-restricted.
+	Pending []Op
+	// Memory is the register file contents (LocationOblivious, Adaptive);
+	// nil otherwise.
+	Memory []value.Value
+}
+
+// PendingOf returns the (restricted) pending op of pid.
+func (v *View) PendingOf(pid int) Op {
+	if pid < 0 || pid >= len(v.Pending) {
+		return Op{}
+	}
+	return v.Pending[pid]
+}
+
+// AnyMemoryWritten reports whether any visible register holds a non-⊥ value.
+// Helper for first-mover attack strategies watching for the first successful
+// write; requires Memory visibility.
+func (v *View) AnyMemoryWritten() bool {
+	for _, m := range v.Memory {
+		if !m.IsNone() {
+			return true
+		}
+	}
+	return false
+}
+
+// Scheduler chooses the next process to step. Implementations must return a
+// pid drawn from view.Runnable; the runtime panics otherwise, because a
+// scheduling bug would silently corrupt every measurement built on top.
+type Scheduler interface {
+	// Next picks the pid whose pending operation executes next.
+	Next(view *View) int
+	// Seed hands the scheduler its private randomness stream for this
+	// execution. The runtime calls it exactly once before the first Next.
+	// Deterministic schedulers ignore it.
+	Seed(src *xrand.Source)
+	// Name identifies the strategy in reports.
+	Name() string
+	// MinPower returns the weakest adversary class under which this
+	// strategy is implementable. The runtime builds views at exactly this
+	// power, so a strategy can never accidentally exploit information its
+	// class forbids.
+	MinPower() Power
+}

@@ -1,0 +1,143 @@
+// Package sharedcoin implements weak shared coins (§5.1).
+//
+// A weak shared coin with agreement probability δ is a protocol in which
+// each process outputs a bit such that, for each b ∈ {0,1}, the probability
+// that *all* processes output b is at least δ, regardless of the adversary.
+// The paper shows (Theorem 6) that any weak shared coin yields a 2-valued
+// conciliator at the cost of two extra registers and two operations.
+package sharedcoin
+
+import (
+	"fmt"
+
+	"github.com/modular-consensus/modcon/internal/core"
+	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/value"
+)
+
+// Coin is a one-shot weak shared coin: each process calls Flip at most once
+// and receives a bit (as value.Value 0 or 1).
+type Coin interface {
+	// Flip executes the calling process's side of the coin protocol.
+	Flip(e core.Env) value.Value
+	// Label names the coin in traces and reports.
+	Label() string
+}
+
+// Voting is the classic Aspnes–Herlihy-style voting coin: processes
+// repeatedly flip local coins and publish a running (votes-cast, net-sum)
+// tally in single-writer registers; once the collected total number of votes
+// reaches the threshold n², every process outputs the sign of the collected
+// net sum. The ±1 votes perform a random walk whose drift the adversary can
+// bias by at most n hidden votes, which is o(√(n²)) of the walk's standard
+// deviation — hence constant agreement probability even against the strong
+// adversary, at Θ(n) votes and Θ(n²·n) total work.
+type Voting struct {
+	tally register.Array // tally.At(p) holds PackPair(votesCast, net+votesCast)
+	n     int
+	label string
+
+	// Threshold overrides the total-vote threshold (default n²). Lowering
+	// it trades agreement probability for work; tests use it to keep small
+	// experiments fast.
+	Threshold int
+	// Batch is the number of local votes cast between collects (default 1).
+	// Batching reduces total work by a factor of ~Batch while inflating the
+	// threshold overshoot by at most n·Batch votes.
+	Batch int
+}
+
+var _ Coin = (*Voting)(nil)
+
+// NewVoting allocates the voting coin's n single-writer registers.
+func NewVoting(file *register.File, n, index int) *Voting {
+	if n <= 0 {
+		panic(fmt.Sprintf("sharedcoin: n=%d must be positive", n))
+	}
+	label := fmt.Sprintf("coin%d", index)
+	return &Voting{
+		tally:     file.Alloc(n, label+".tally"),
+		n:         n,
+		label:     label,
+		Threshold: n * n,
+		Batch:     1,
+	}
+}
+
+// Flip implements Coin.
+func (c *Voting) Flip(e core.Env) value.Value {
+	pid := e.PID()
+	votes, net := 0, 0
+	for {
+		total, sum := c.read(e)
+		if total >= c.Threshold {
+			if sum >= 0 {
+				return 1
+			}
+			return 0
+		}
+		for i := 0; i < c.Batch; i++ {
+			if e.CoinBool() {
+				net++
+			} else {
+				net--
+			}
+			votes++
+		}
+		e.Write(c.tally.At(pid), packTally(votes, net))
+	}
+}
+
+// read collects the tally and returns the total vote count and net sum.
+func (c *Voting) read(e core.Env) (total, sum int) {
+	for _, raw := range e.Collect(c.tally) {
+		if raw.IsNone() {
+			continue
+		}
+		votes, net := unpackTally(raw)
+		total += votes
+		sum += net
+	}
+	return total, sum
+}
+
+// Label implements Coin.
+func (c *Voting) Label() string { return c.label }
+
+// packTally encodes (votes, net) with net ∈ [-votes, votes] shifted to be
+// non-negative.
+func packTally(votes, net int) value.Value {
+	return value.PackPair(votes, value.Value(net+votes))
+}
+
+func unpackTally(raw value.Value) (votes, net int) {
+	votes, shifted := value.UnpackPair(raw)
+	return votes, int(shifted) - votes
+}
+
+// Local is a degenerate shared coin in which each process simply flips its
+// own local coin. Its agreement probability is only 2^{-(n-1)} per side —
+// *not* constant — so it is NOT a weak shared coin for large n; it exists as
+// a negative control and for exercising coin-based conciliators cheaply in
+// tests (at n ≤ 3 its δ = 1/4 is respectable).
+type Local struct {
+	label string
+}
+
+var _ Coin = (*Local)(nil)
+
+// NewLocal returns a local-coin "shared" coin.
+func NewLocal(index int) *Local {
+	return &Local{label: fmt.Sprintf("localcoin%d", index)}
+}
+
+// Flip implements Coin.
+func (c *Local) Flip(e core.Env) value.Value {
+	if e.CoinBool() {
+		return 1
+	}
+	return 0
+}
+
+// Label implements Coin.
+func (c *Local) Label() string { return c.label }

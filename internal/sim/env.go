@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/sched"
+	"github.com/modular-consensus/modcon/internal/trace"
+	"github.com/modular-consensus/modcon/internal/value"
+	"github.com/modular-consensus/modcon/internal/xrand"
+)
+
+// Env is a process's handle on the shared-memory world. Every method that
+// touches shared memory blocks until the adversary schedules the operation;
+// coin methods are local, free, and invisible to weak adversaries.
+//
+// An Env belongs to exactly one process goroutine and must not be shared.
+type Env struct {
+	pid    int
+	n      int
+	cheap  bool
+	coins  *xrand.Source
+	log    *trace.Log
+	st     *procState
+	killCh chan struct{}
+}
+
+// PID returns this process's id in [0, N).
+func (e *Env) PID() int { return e.pid }
+
+// N returns the number of processes.
+func (e *Env) N() int { return e.n }
+
+// CheapCollect reports whether the cheap-collect cost model is active.
+func (e *Env) CheapCollect() bool { return e.cheap }
+
+// Read performs an atomic read of r. Cost: 1 operation.
+func (e *Env) Read(r register.Reg) value.Value {
+	resp := e.do(request{kind: sched.OpRead, reg: r})
+	return resp.val
+}
+
+// Write performs an atomic write of v to r. Cost: 1 operation.
+func (e *Env) Write(r register.Reg, v value.Value) {
+	e.do(request{kind: sched.OpWrite, reg: r, val: v})
+}
+
+// ProbWrite attempts to write v to r; the write takes effect with
+// probability min(1, num/den), decided by a coin the adversary can neither
+// observe in advance nor veto (§2.1, the probabilistic-write model of
+// Abrahamson as used by Chor–Israeli–Li and Cheung). Cost: 1 operation
+// whether or not the write takes effect.
+//
+// The return value reports success. Whether a protocol is allowed to *use*
+// it is a modeling choice (footnote 2 of the paper); the paper's default
+// protocols ignore it, and the detection ablation measures the difference.
+func (e *Env) ProbWrite(r register.Reg, v value.Value, num, den uint64) bool {
+	resp := e.do(request{kind: sched.OpProbWrite, reg: r, val: v, num: num, den: den})
+	return resp.ok
+}
+
+// Collect atomically reads a register array. Under the cheap-collect model
+// it costs 1 operation; otherwise it is performed as arr.Len individual
+// reads (cost arr.Len, with scheduling points between reads, i.e. *not*
+// atomic — exactly the distinction §6.2 draws).
+func (e *Env) Collect(arr register.Array) []value.Value {
+	if e.cheap {
+		resp := e.do(request{kind: sched.OpCollect, arr: arr})
+		return resp.vals
+	}
+	out := make([]value.Value, arr.Len)
+	for i := 0; i < arr.Len; i++ {
+		out[i] = e.Read(arr.At(i))
+	}
+	return out
+}
+
+// CoinUint64 flips 64 local coin bits. Cost: 0.
+func (e *Env) CoinUint64() uint64 {
+	v := e.coins.Uint64()
+	e.log.Append(trace.Event{Step: -1, PID: e.pid, Kind: trace.Coin, Val: value.Value(int64(v >> 1))})
+	return v
+}
+
+// CoinBool flips one fair local coin. Cost: 0.
+func (e *Env) CoinBool() bool {
+	v := e.coins.Bool()
+	bit := value.Value(0)
+	if v {
+		bit = 1
+	}
+	e.log.Append(trace.Event{Step: -1, PID: e.pid, Kind: trace.Coin, Val: bit})
+	return v
+}
+
+// CoinIntn returns a uniform local random integer in [0, n). Cost: 0.
+func (e *Env) CoinIntn(n int) int {
+	v := e.coins.Intn(n)
+	e.log.Append(trace.Event{Step: -1, PID: e.pid, Kind: trace.Coin, Val: value.Value(v)})
+	return v
+}
+
+// MarkInvoke annotates the trace with the start of an operation on a
+// deciding object. Cost: 0.
+func (e *Env) MarkInvoke(label string, v value.Value) {
+	e.log.Append(trace.Event{Step: -1, PID: e.pid, Kind: trace.Invoke, Label: label, Val: v})
+}
+
+// MarkReturn annotates the trace with the result of an operation on a
+// deciding object. Cost: 0.
+func (e *Env) MarkReturn(label string, d value.Decision) {
+	e.log.Append(trace.Event{
+		Step: -1, PID: e.pid, Kind: trace.Return,
+		Label: label, Val: d.V, Decided: d.Decided,
+	})
+}
+
+// do publishes a pending operation and blocks until the runtime executes it.
+func (e *Env) do(req request) response {
+	select {
+	case e.st.reqCh <- req:
+	case <-e.killCh:
+		panic(errKilled)
+	}
+	select {
+	case resp := <-e.st.respCh:
+		return resp
+	case <-e.killCh:
+		panic(errKilled)
+	}
+}

@@ -1,0 +1,431 @@
+// Package sim is the discrete-event runtime for the paper's asynchronous
+// shared-memory model (§2).
+//
+// Each of the n processes runs its Program in a goroutine. A process's call
+// into the Env (Read, Write, ProbWrite, Collect) publishes exactly one
+// pending operation and blocks; the runtime asks the adversary Scheduler
+// which pending operation executes next, applies it atomically to the
+// register file, and resumes that process. Asynchrony is therefore modeled
+// by interleaving, exactly as in the paper, and the runtime counts total and
+// per-process (individual) work as defined there: every shared-memory
+// operation costs 1 (probabilistic writes cost 1 whether or not they take
+// effect), local coin flips cost 0.
+//
+// Executions are deterministic functions of (programs, scheduler, seed):
+// each process's local coins and probabilistic-write coins come from private
+// split streams, and the scheduler gets its own stream.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/sched"
+	"github.com/modular-consensus/modcon/internal/trace"
+	"github.com/modular-consensus/modcon/internal/value"
+	"github.com/modular-consensus/modcon/internal/xrand"
+)
+
+// ErrStepLimit is returned by Run when the execution exceeds Config.MaxSteps
+// before every live process halts. Randomized wait-free protocols terminate
+// with probability 1 but not surely, so a limit is required to keep
+// adversarial experiments finite; hitting it is reported, never hidden.
+var ErrStepLimit = errors.New("sim: step limit exceeded")
+
+// DefaultMaxSteps bounds executions when Config.MaxSteps is zero.
+const DefaultMaxSteps = 10_000_000
+
+// Program is the code of one process. It receives its environment and
+// returns the process's decision value. Programs must perform all shared
+// memory access through the Env.
+type Program func(e *Env) value.Value
+
+// Config describes one execution.
+type Config struct {
+	// N is the number of processes.
+	N int
+	// File is the shared register file (pre-allocated by the protocol).
+	File *register.File
+	// Scheduler is the adversary. Views are built at exactly
+	// Scheduler.MinPower().
+	Scheduler sched.Scheduler
+	// Seed determines every random choice in the execution.
+	Seed uint64
+	// Trace, if non-nil, records the execution.
+	Trace *trace.Log
+	// CheapCollect enables the cheap-collect cost model (§6.2, choice 4):
+	// Env.Collect costs one operation. Otherwise Collect performs one read
+	// per register.
+	CheapCollect bool
+	// CrashAfter maps pid -> number of operations after which the process
+	// crashes (its last operation takes effect, but the process never
+	// observes the result and is never scheduled again).
+	CrashAfter map[int]int
+	// MaxSteps bounds total work; 0 means DefaultMaxSteps.
+	MaxSteps int
+}
+
+// Result summarizes an execution.
+type Result struct {
+	// Outputs holds each process's decision; value.None if it never halted
+	// (crashed, or execution hit the step limit).
+	Outputs []value.Value
+	// Halted reports which processes returned from their Program.
+	Halted []bool
+	// Crashed reports which processes the runtime crashed.
+	Crashed []bool
+	// Work is the per-process operation count (individual work).
+	Work []int
+	// TotalWork is the total operation count.
+	TotalWork int
+}
+
+// MaxIndividualWork returns max over processes of Work.
+func (r *Result) MaxIndividualWork() int {
+	m := 0
+	for _, w := range r.Work {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// HaltedOutputs returns the outputs of processes that halted.
+func (r *Result) HaltedOutputs() []value.Value {
+	var out []value.Value
+	for pid, h := range r.Halted {
+		if h {
+			out = append(out, r.Outputs[pid])
+		}
+	}
+	return out
+}
+
+type request struct {
+	kind sched.OpKind
+	reg  register.Reg
+	arr  register.Array
+	val  value.Value
+	num  uint64
+	den  uint64
+}
+
+type response struct {
+	val  value.Value
+	vals []value.Value
+	ok   bool
+}
+
+type procFailure struct {
+	pid   int
+	cause any
+}
+
+type procState struct {
+	reqCh   chan request
+	respCh  chan response
+	doneCh  chan value.Value
+	failCh  chan procFailure
+	pending request
+	hasOp   bool
+	halted  bool
+	crashed bool
+	output  value.Value
+}
+
+// errKilled is the sentinel panic used to unwind process goroutines at
+// teardown.
+var errKilled = errors.New("sim: process killed")
+
+// Run executes programs[pid] for each pid under cfg and returns the result.
+// If len(programs) == 1 the single program is used for every process.
+// Run panics if a process program panics (with the original panic value).
+func Run(cfg Config, programs ...Program) (*Result, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("sim: N=%d must be positive", cfg.N)
+	}
+	if cfg.File == nil {
+		return nil, errors.New("sim: nil register file")
+	}
+	if cfg.Scheduler == nil {
+		return nil, errors.New("sim: nil scheduler")
+	}
+	switch len(programs) {
+	case cfg.N:
+	case 1:
+		one := programs[0]
+		programs = make([]Program, cfg.N)
+		for i := range programs {
+			programs[i] = one
+		}
+	default:
+		return nil, fmt.Errorf("sim: got %d programs for %d processes", len(programs), cfg.N)
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+
+	rt := &engine{
+		cfg:      cfg,
+		power:    cfg.Scheduler.MinPower(),
+		maxSteps: maxSteps,
+		states:   make([]*procState, cfg.N),
+		probSrc:  make([]*xrand.Source, cfg.N),
+		killCh:   make(chan struct{}),
+		result: &Result{
+			Outputs: make([]value.Value, cfg.N),
+			Halted:  make([]bool, cfg.N),
+			Crashed: make([]bool, cfg.N),
+			Work:    make([]int, cfg.N),
+		},
+	}
+	for pid := range rt.result.Outputs {
+		rt.result.Outputs[pid] = value.None
+	}
+
+	root := xrand.New(cfg.Seed)
+	cfg.Scheduler.Seed(root.Split(0))
+	for pid := 0; pid < cfg.N; pid++ {
+		rt.probSrc[pid] = root.Split(uint64(1_000_000 + pid))
+		rt.states[pid] = &procState{
+			reqCh:  make(chan request, 1),
+			respCh: make(chan response, 1),
+			doneCh: make(chan value.Value, 1),
+			failCh: make(chan procFailure, 1),
+		}
+	}
+
+	for pid := 0; pid < cfg.N; pid++ {
+		env := &Env{
+			pid:    pid,
+			n:      cfg.N,
+			cheap:  cfg.CheapCollect,
+			coins:  root.Split(uint64(1 + pid)),
+			log:    cfg.Trace,
+			st:     rt.states[pid],
+			killCh: rt.killCh,
+		}
+		rt.wg.Add(1)
+		go runProcess(rt, pid, programs[pid], env)
+	}
+
+	err := rt.loop()
+	rt.teardown()
+	if rt.failure != nil {
+		panic(rt.failure.cause)
+	}
+	return rt.result, err
+}
+
+func runProcess(rt *engine, pid int, prog Program, env *Env) {
+	defer rt.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			if err, ok := r.(error); ok && errors.Is(err, errKilled) {
+				return
+			}
+			select {
+			case rt.states[pid].failCh <- procFailure{pid: pid, cause: r}:
+			case <-rt.killCh:
+			}
+		}
+	}()
+	out := prog(env)
+	select {
+	case rt.states[pid].doneCh <- out:
+	case <-rt.killCh:
+	}
+}
+
+type engine struct {
+	cfg      Config
+	power    sched.Power
+	maxSteps int
+	states   []*procState
+	probSrc  []*xrand.Source
+	killCh   chan struct{}
+	wg       sync.WaitGroup
+	result   *Result
+	steps    int
+	failure  *procFailure
+
+	runnableBuf []int
+}
+
+// loop drives the execution to completion or to the step limit.
+func (rt *engine) loop() error {
+	// Gather the initial pending operation (or immediate halt) of each
+	// process.
+	for pid := range rt.states {
+		if !rt.waitNext(pid) {
+			return nil // a process failed; failure recorded
+		}
+	}
+	view := &sched.View{Power: rt.power, N: rt.cfg.N}
+	for {
+		runnable := rt.collectRunnable()
+		if len(runnable) == 0 {
+			return nil // every process halted or crashed
+		}
+		if rt.steps >= rt.maxSteps {
+			return fmt.Errorf("%w (limit %d, scheduler %q)", ErrStepLimit, rt.maxSteps, rt.cfg.Scheduler.Name())
+		}
+		rt.buildView(view, runnable)
+		pid := rt.cfg.Scheduler.Next(view)
+		if pid < 0 || pid >= rt.cfg.N || !rt.states[pid].hasOp || rt.states[pid].crashed {
+			panic(fmt.Sprintf("sim: scheduler %q chose non-runnable pid %d", rt.cfg.Scheduler.Name(), pid))
+		}
+		rt.execute(pid)
+		if rt.failure != nil {
+			return nil
+		}
+	}
+}
+
+// collectRunnable reuses a per-engine buffer: with thousands of processes
+// the per-step allocation dominates the scheduling loop otherwise. The
+// slice is only valid until the next call; schedulers see it through the
+// View for the duration of one Next call.
+func (rt *engine) collectRunnable() []int {
+	rt.runnableBuf = rt.runnableBuf[:0]
+	for pid, st := range rt.states {
+		if st.hasOp && !st.crashed && !st.halted {
+			rt.runnableBuf = append(rt.runnableBuf, pid)
+		}
+	}
+	return rt.runnableBuf
+}
+
+// execute applies pid's pending operation, delivers the response, and waits
+// for pid's next request (unless pid crashes at this step).
+func (rt *engine) execute(pid int) {
+	st := rt.states[pid]
+	req := st.pending
+	st.hasOp = false
+	file := rt.cfg.File
+
+	var resp response
+	ev := trace.Event{Step: rt.steps, PID: pid, Reg: int(req.reg), Val: req.val}
+	switch req.kind {
+	case sched.OpRead:
+		resp.val = file.Load(req.reg)
+		ev.Kind = trace.Read
+		ev.Val = resp.val
+	case sched.OpWrite:
+		file.Store(req.reg, req.val)
+		ev.Kind = trace.Write
+	case sched.OpProbWrite:
+		resp.ok = rt.probSrc[pid].Bernoulli(req.num, req.den)
+		if resp.ok {
+			file.Store(req.reg, req.val)
+		}
+		ev.Kind = trace.ProbWrite
+		ev.Succeeded = resp.ok
+		ev.ProbNum, ev.ProbDen = req.num, req.den
+	case sched.OpCollect:
+		resp.vals = file.Snapshot(req.arr)
+		ev.Kind = trace.Collect
+		ev.Reg = int(req.arr.Base)
+	default:
+		panic(fmt.Sprintf("sim: unknown op kind %v", req.kind))
+	}
+	rt.cfg.Trace.Append(ev)
+	rt.result.Work[pid]++
+	rt.result.TotalWork++
+	rt.steps++
+
+	if limit, ok := rt.cfg.CrashAfter[pid]; ok && rt.result.Work[pid] >= limit {
+		// The operation took effect, but the process never observes the
+		// result and is never scheduled again.
+		st.crashed = true
+		rt.result.Crashed[pid] = true
+		rt.cfg.Trace.Append(trace.Event{Step: -1, PID: pid, Kind: trace.Crash})
+		return
+	}
+
+	st.respCh <- resp
+	rt.waitNext(pid)
+}
+
+// waitNext blocks until pid publishes its next operation, halts, or fails.
+// It returns false when a process failure aborts the run.
+func (rt *engine) waitNext(pid int) bool {
+	st := rt.states[pid]
+	select {
+	case req := <-st.reqCh:
+		st.pending = req
+		st.hasOp = true
+		return true
+	case out := <-st.doneCh:
+		st.halted = true
+		st.output = out
+		rt.result.Halted[pid] = true
+		rt.result.Outputs[pid] = out
+		rt.cfg.Trace.Append(trace.Event{Step: -1, PID: pid, Kind: trace.Halt, Val: out})
+		return true
+	case f := <-st.failCh:
+		rt.failure = &f
+		return false
+	}
+}
+
+// buildView fills view with the information rt.power permits.
+func (rt *engine) buildView(view *sched.View, run []int) {
+	view.Step = rt.steps
+	view.Runnable = run
+	if view.Pending == nil {
+		view.Pending = make([]sched.Op, rt.cfg.N)
+	}
+	for pid := range view.Pending {
+		view.Pending[pid] = sched.Op{}
+	}
+	for _, pid := range run {
+		req := rt.states[pid].pending
+		op := sched.Op{Valid: true, Reg: -1, Val: value.None}
+		switch rt.power {
+		case sched.Oblivious:
+			// Liveness only.
+		case sched.ValueOblivious:
+			op.Kind = req.kind
+			op.Reg = req.reg
+			if req.kind == sched.OpCollect {
+				op.Reg = req.arr.Base
+			}
+		case sched.LocationOblivious:
+			op.Kind = req.kind
+			if req.kind == sched.OpWrite || req.kind == sched.OpProbWrite {
+				op.Val = req.val
+			}
+			op.ProbNum, op.ProbDen = req.num, req.den
+		case sched.Adaptive:
+			op.Kind = req.kind
+			op.Reg = req.reg
+			if req.kind == sched.OpCollect {
+				op.Reg = req.arr.Base
+			}
+			if req.kind == sched.OpWrite || req.kind == sched.OpProbWrite {
+				op.Val = req.val
+			}
+			op.ProbNum, op.ProbDen = req.num, req.den
+		default:
+			panic(fmt.Sprintf("sim: unknown power %v", rt.power))
+		}
+		view.Pending[pid] = op
+	}
+	switch rt.power {
+	case sched.LocationOblivious, sched.Adaptive:
+		view.Memory = rt.cfg.File.Contents()
+	default:
+		view.Memory = nil
+	}
+}
+
+// teardown unblocks and reaps every process goroutine.
+func (rt *engine) teardown() {
+	close(rt.killCh)
+	rt.wg.Wait()
+}

@@ -1,0 +1,141 @@
+package sim
+
+// Tests of the adversary-model contract: the runtime must reveal to each
+// scheduler exactly what its power class permits (§2.1) — no more. A spy
+// scheduler asserts on every view it receives.
+
+import (
+	"testing"
+
+	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/sched"
+	"github.com/modular-consensus/modcon/internal/value"
+	"github.com/modular-consensus/modcon/internal/xrand"
+)
+
+// spyScheduler checks every view against its declared power class.
+type spyScheduler struct {
+	power  sched.Power
+	t      *testing.T
+	inner  *sched.RoundRobin
+	checks int
+}
+
+func (s *spyScheduler) Next(v *sched.View) int {
+	s.checks++
+	if v.Power != s.power {
+		s.t.Errorf("view power %v, want %v", v.Power, s.power)
+	}
+	for pid, op := range v.Pending {
+		if !op.Valid {
+			continue
+		}
+		switch s.power {
+		case sched.Oblivious:
+			if op.Kind != 0 || op.Reg != -1 || !op.Val.IsNone() {
+				s.t.Errorf("oblivious view leaked op info: pid %d %+v", pid, op)
+			}
+		case sched.ValueOblivious:
+			if op.Kind == 0 {
+				s.t.Errorf("value-oblivious view missing op kind: pid %d", pid)
+			}
+			if !op.Val.IsNone() {
+				s.t.Errorf("value-oblivious view leaked write value: pid %d %+v", pid, op)
+			}
+		case sched.LocationOblivious:
+			if op.Reg != -1 {
+				s.t.Errorf("location-oblivious view leaked location: pid %d %+v", pid, op)
+			}
+			if op.Kind == sched.OpWrite && op.Val.IsNone() {
+				s.t.Errorf("location-oblivious view hid write value: pid %d %+v", pid, op)
+			}
+		case sched.Adaptive:
+			if op.Kind == 0 {
+				s.t.Errorf("adaptive view missing op kind: pid %d", pid)
+			}
+		}
+	}
+	switch s.power {
+	case sched.Oblivious, sched.ValueOblivious:
+		if v.Memory != nil {
+			s.t.Errorf("%v view leaked memory contents", s.power)
+		}
+	case sched.LocationOblivious, sched.Adaptive:
+		if v.Memory == nil {
+			s.t.Errorf("%v view missing memory contents", s.power)
+		}
+	}
+	return s.inner.Next(v)
+}
+
+func (s *spyScheduler) Seed(*xrand.Source) {}
+func (s *spyScheduler) Name() string       { return "spy" }
+func (s *spyScheduler) MinPower() sched.Power {
+	return s.power
+}
+
+func TestViewsRespectPowerClasses(t *testing.T) {
+	for _, power := range []sched.Power{
+		sched.Oblivious, sched.ValueOblivious, sched.LocationOblivious, sched.Adaptive,
+	} {
+		spy := &spyScheduler{power: power, t: t, inner: sched.NewRoundRobin()}
+		file := register.NewFile()
+		r := file.Alloc1("x")
+		_, err := Run(Config{N: 3, File: file, Scheduler: spy, Seed: 1},
+			func(e *Env) value.Value {
+				e.Read(r)
+				e.Write(r, value.Value(e.PID()))
+				e.ProbWrite(r, 9, 1, 2)
+				return e.Read(r)
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spy.checks == 0 {
+			t.Fatalf("%v: scheduler never consulted", power)
+		}
+	}
+}
+
+func TestViewRunnableMatchesPending(t *testing.T) {
+	spyRan := 0
+	spy := &spyScheduler{power: sched.Oblivious, t: t, inner: sched.NewRoundRobin()}
+	file := register.NewFile()
+	r := file.Alloc1("x")
+	_, err := Run(Config{N: 2, File: file, Scheduler: checkRunnable{spy, t, &spyRan}, Seed: 1},
+		func(e *Env) value.Value { e.Read(r); return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spyRan == 0 {
+		t.Fatal("wrapper never ran")
+	}
+}
+
+// checkRunnable asserts Runnable lists exactly the valid pending ops.
+type checkRunnable struct {
+	inner sched.Scheduler
+	t     *testing.T
+	ran   *int
+}
+
+func (c checkRunnable) Next(v *sched.View) int {
+	*c.ran++
+	seen := make(map[int]bool, len(v.Runnable))
+	for _, pid := range v.Runnable {
+		seen[pid] = true
+		if !v.Pending[pid].Valid {
+			c.t.Errorf("runnable pid %d has no valid pending op", pid)
+		}
+	}
+	for pid, op := range v.Pending {
+		if op.Valid && !seen[pid] {
+			c.t.Errorf("pending pid %d missing from runnable", pid)
+		}
+	}
+	return c.inner.Next(v)
+}
+
+func (c checkRunnable) Seed(s *xrand.Source)  { c.inner.Seed(s) }
+func (c checkRunnable) Name() string          { return "check-runnable" }
+func (c checkRunnable) MinPower() sched.Power { return c.inner.MinPower() }

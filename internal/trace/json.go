@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/modular-consensus/modcon/internal/value"
+)
+
+// jsonEvent is the wire form of an Event. Values use pointers so ⊥ maps to
+// JSON null rather than a magic number.
+type jsonEvent struct {
+	Step      int    `json:"step"`
+	PID       int    `json:"pid"`
+	Kind      string `json:"kind"`
+	Reg       int    `json:"reg,omitempty"`
+	Val       *int64 `json:"val,omitempty"`
+	Succeeded bool   `json:"succeeded,omitempty"`
+	ProbNum   uint64 `json:"probNum,omitempty"`
+	ProbDen   uint64 `json:"probDen,omitempty"`
+	Decided   bool   `json:"decided,omitempty"`
+	Label     string `json:"label,omitempty"`
+}
+
+// kindNames maps Kind to its stable wire name; the inverse map is derived.
+var kindNames = map[Kind]string{
+	Read: "read", Write: "write", ProbWrite: "probwrite", Collect: "collect",
+	Coin: "coin", Invoke: "invoke", Return: "return", Halt: "halt", Crash: "crash",
+}
+
+var kindValues = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+func toJSON(e Event) jsonEvent {
+	je := jsonEvent{
+		Step: e.Step, PID: e.PID, Kind: kindNames[e.Kind], Reg: e.Reg,
+		Succeeded: e.Succeeded, ProbNum: e.ProbNum, ProbDen: e.ProbDen,
+		Decided: e.Decided, Label: e.Label,
+	}
+	if !e.Val.IsNone() {
+		v := int64(e.Val)
+		je.Val = &v
+	}
+	return je
+}
+
+func fromJSON(je jsonEvent) (Event, error) {
+	kind, ok := kindValues[je.Kind]
+	if !ok {
+		return Event{}, fmt.Errorf("trace: unknown event kind %q", je.Kind)
+	}
+	e := Event{
+		Step: je.Step, PID: je.PID, Kind: kind, Reg: je.Reg,
+		Succeeded: je.Succeeded, ProbNum: je.ProbNum, ProbDen: je.ProbDen,
+		Decided: je.Decided, Label: je.Label, Val: value.None,
+	}
+	if je.Val != nil {
+		e.Val = value.Value(*je.Val)
+	}
+	return e, nil
+}
+
+// WriteJSON serializes the log as a JSON array of events, one object per
+// event, preserving execution order. Intended for archiving failing
+// executions and for cross-language analysis of traces.
+func (l *Log) WriteJSON(w io.Writer) error {
+	events := l.Events()
+	out := make([]jsonEvent, len(events))
+	for i, e := range events {
+		out[i] = toJSON(e)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses a log previously written by WriteJSON.
+func ReadJSON(r io.Reader) (*Log, error) {
+	var in []jsonEvent
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	l := New()
+	for _, je := range in {
+		e, err := fromJSON(je)
+		if err != nil {
+			return nil, err
+		}
+		l.Append(e)
+	}
+	return l, nil
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/modular-consensus/modcon/internal/value"
+)
+
+func sampleLog() *Log {
+	l := New()
+	l.Append(Event{Step: 0, PID: 0, Kind: Write, Reg: 2, Val: 7})
+	l.Append(Event{Step: 1, PID: 1, Kind: Read, Reg: 2, Val: 7})
+	l.Append(Event{Step: 2, PID: 1, Kind: ProbWrite, Reg: 3, Val: 9, ProbNum: 1, ProbDen: 8, Succeeded: true})
+	l.Append(Event{Step: -1, PID: 0, Kind: Coin, Val: 1})
+	l.Append(Event{Step: -1, PID: 0, Kind: Invoke, Label: "C1", Val: 0})
+	l.Append(Event{Step: -1, PID: 0, Kind: Return, Label: "C1", Val: 0, Decided: true})
+	l.Append(Event{Step: 3, PID: 0, Kind: Read, Reg: 0, Val: value.None})
+	l.Append(Event{Step: -1, PID: 0, Kind: Halt, Val: 0})
+	l.Append(Event{Step: -1, PID: 1, Kind: Crash})
+	return l
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	l := sampleLog()
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != l.Len() {
+		t.Fatalf("round-trip length %d, want %d", back.Len(), l.Len())
+	}
+	for i, e := range l.Events() {
+		if back.Events()[i] != e {
+			t.Fatalf("event %d: %+v != %+v", i, back.Events()[i], e)
+		}
+	}
+}
+
+func TestJSONNoneIsNull(t *testing.T) {
+	l := New()
+	l.Append(Event{Step: 0, PID: 0, Kind: Read, Reg: 1, Val: value.None})
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "-9223372036854775808") {
+		t.Fatalf("⊥ leaked as a magic number: %s", buf.String())
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Events()[0].Val.IsNone() {
+		t.Fatal("⊥ did not survive the round trip")
+	}
+}
+
+func TestJSONEmptyAndNilLog(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 0 {
+		t.Fatalf("len %d", back.Len())
+	}
+	buf.Reset()
+	var nilLog *Log
+	if err := nilLog.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Fatal("expected decode error")
+	}
+	if _, err := ReadJSON(strings.NewReader(`[{"kind":"teleport"}]`)); err == nil {
+		t.Fatal("expected unknown-kind error")
+	}
+}
+
+func TestJSONKindCoverage(t *testing.T) {
+	// Every Kind must have a stable wire name.
+	for k := Read; k <= Crash; k++ {
+		if kindNames[k] == "" {
+			t.Errorf("kind %d has no wire name", int(k))
+		}
+	}
+}

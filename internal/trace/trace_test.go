@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/modular-consensus/modcon/internal/value"
+)
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Append(Event{Kind: Read})
+	if l.Len() != 0 || l.Events() != nil {
+		t.Fatal("nil log retained events")
+	}
+	if got := l.ByPID(0); got != nil {
+		t.Fatalf("nil log ByPID = %v", got)
+	}
+}
+
+func TestAppendAndFilter(t *testing.T) {
+	l := New()
+	l.Append(Event{Step: 0, PID: 0, Kind: Read, Reg: 1, Val: value.None})
+	l.Append(Event{Step: 1, PID: 1, Kind: Write, Reg: 1, Val: 7})
+	l.Append(Event{Step: 2, PID: 0, Kind: Read, Reg: 1, Val: 7})
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	p0 := l.ByPID(0)
+	if len(p0) != 2 || p0[0].Step != 0 || p0[1].Step != 2 {
+		t.Fatalf("ByPID(0) = %v", p0)
+	}
+	writes := l.Filter(func(e Event) bool { return e.Kind == Write })
+	if len(writes) != 1 || writes[0].Val != 7 {
+		t.Fatalf("writes = %v", writes)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := map[Kind]string{
+		Read: "read", Write: "write", ProbWrite: "probwrite",
+		Collect: "collect", Coin: "coin", Invoke: "invoke",
+		Return: "return", Halt: "halt", Crash: "crash",
+		Kind(99): "kind(99)",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestEventStringForms(t *testing.T) {
+	tests := []struct {
+		e    Event
+		want []string // substrings that must appear
+	}{
+		{Event{Step: 3, PID: 1, Kind: Read, Reg: 2, Val: value.None}, []string{"p1", "read", "r2", "⊥"}},
+		{Event{Step: 4, PID: 2, Kind: Write, Reg: 0, Val: 5}, []string{"write", "r0", "<- 5"}},
+		{
+			Event{Step: 5, PID: 0, Kind: ProbWrite, Reg: 1, Val: 9, ProbNum: 1, ProbDen: 8, Succeeded: true},
+			[]string{"probwrite", "p=1/8", "hit"},
+		},
+		{
+			Event{Step: 6, PID: 0, Kind: ProbWrite, Reg: 1, Val: 9, ProbNum: 1, ProbDen: 8},
+			[]string{"miss"},
+		},
+		{Event{Step: -1, PID: 0, Kind: Coin, Val: 1}, []string{"coin", "-> 1", "     -"}},
+		{Event{Step: -1, PID: 0, Kind: Invoke, Label: "C1", Val: 3}, []string{"invoke", "C1(3)"}},
+		{Event{Step: -1, PID: 0, Kind: Return, Label: "R1", Val: 3, Decided: true}, []string{"(1, 3)"}},
+		{Event{Step: -1, PID: 0, Kind: Halt, Val: 2}, []string{"decide 2"}},
+		{Event{Step: 7, PID: 0, Kind: Collect, Reg: 4}, []string{"collect", "r4.."}},
+	}
+	for _, tt := range tests {
+		s := tt.e.String()
+		for _, sub := range tt.want {
+			if !strings.Contains(s, sub) {
+				t.Errorf("event %v rendered %q, missing %q", tt.e.Kind, s, sub)
+			}
+		}
+	}
+}
+
+func TestLogString(t *testing.T) {
+	l := New()
+	l.Append(Event{Step: 0, PID: 0, Kind: Write, Reg: 0, Val: 1})
+	l.Append(Event{Step: 1, PID: 1, Kind: Read, Reg: 0, Val: 1})
+	s := l.String()
+	if strings.Count(s, "\n") != 2 {
+		t.Fatalf("expected 2 lines, got %q", s)
+	}
+}

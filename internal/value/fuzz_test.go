@@ -1,0 +1,31 @@
+package value
+
+import "testing"
+
+// FuzzPackPair checks the pair encoding against arbitrary inputs: every
+// in-range (round, value) round-trips, never collides with ⊥, and preserves
+// round ordering.
+func FuzzPackPair(f *testing.F) {
+	f.Add(0, int64(0))
+	f.Add(5, int64(-1))
+	f.Add(1<<20, int64(12345))
+	f.Fuzz(func(t *testing.T, roundRaw int, vRaw int64) {
+		round := roundRaw
+		if round < 0 {
+			round = -round
+		}
+		round %= MaxPairRound + 1
+		v := Value(vRaw)
+		if v < 0 || v > MaxPairValue {
+			v = None
+		}
+		p := PackPair(round, v)
+		if p.IsNone() {
+			t.Fatal("packed pair equals ⊥")
+		}
+		r2, v2 := UnpackPair(p)
+		if r2 != round || v2 != v {
+			t.Fatalf("(%d,%s) -> (%d,%s)", round, v, r2, v2)
+		}
+	})
+}

@@ -1,0 +1,111 @@
+// Package value defines the value domain of the shared-memory model.
+//
+// The consensus objects in this module operate over an input alphabet
+// Σ = {0, 1, ..., m-1} plus a distinguished null value ⊥ (None) used as the
+// initial content of registers. Registers hold a single Value; protocols
+// that need to store (round, preference) pairs in one register — the
+// Chor–Israeli–Li-style fallback — pack the pair into a Value with
+// PackPair/UnpackPair.
+package value
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Value is the content of a register or the input/output of a consensus
+// object.
+type Value int64
+
+// None is the null value ⊥: the initial content of every register. It is
+// never a legal consensus input.
+const None Value = math.MinInt64
+
+// IsNone reports whether v is ⊥.
+func (v Value) IsNone() bool { return v == None }
+
+// String renders ⊥ distinctly for traces and test failures.
+func (v Value) String() string {
+	if v.IsNone() {
+		return "⊥"
+	}
+	return fmt.Sprintf("%d", int64(v))
+}
+
+// Decision is the annotated output of a deciding object: a decision bit plus
+// a value (§3 of the paper). Decided means "terminate immediately with V";
+// otherwise V is carried as the input to the next object in a composition.
+type Decision struct {
+	Decided bool
+	V       Value
+}
+
+// Decide constructs a (1, v) output.
+func Decide(v Value) Decision { return Decision{Decided: true, V: v} }
+
+// Continue constructs a (0, v) output.
+func Continue(v Value) Decision { return Decision{V: v} }
+
+// String renders the decision in the paper's (d, v) notation.
+func (d Decision) String() string {
+	bit := 0
+	if d.Decided {
+		bit = 1
+	}
+	return fmt.Sprintf("(%d, %s)", bit, d.V)
+}
+
+const (
+	pairValueBits = 31
+	pairValueMask = (1 << pairValueBits) - 1
+	// MaxPairRound is the largest round storable by PackPair.
+	MaxPairRound = (1 << 31) - 1
+	// MaxPairValue is the largest preference storable by PackPair.
+	MaxPairValue = Value(pairValueMask - 1)
+)
+
+// PackPair encodes a (round, preference) pair into a single Value so that
+// round-stamped protocols can use one physical register per logical cell.
+// round must be in [0, MaxPairRound]; v must be None or in [0, MaxPairValue].
+func PackPair(round int, v Value) Value {
+	if round < 0 || round > MaxPairRound {
+		panic(fmt.Sprintf("value: round %d out of range", round))
+	}
+	var enc int64
+	if v.IsNone() {
+		enc = pairValueMask
+	} else {
+		if v < 0 || v > MaxPairValue {
+			panic(fmt.Sprintf("value: preference %d out of range", int64(v)))
+		}
+		enc = int64(v)
+	}
+	return Value(int64(round)<<pairValueBits | enc)
+}
+
+// UnpackPair decodes a Value produced by PackPair.
+func UnpackPair(p Value) (round int, v Value) {
+	if p.IsNone() {
+		panic("value: UnpackPair of ⊥")
+	}
+	round = int(int64(p) >> pairValueBits)
+	enc := int64(p) & pairValueMask
+	if enc == pairValueMask {
+		return round, None
+	}
+	return round, Value(enc)
+}
+
+// AtomicValue is an atomic register cell holding a Value, used by the live
+// (hardware-concurrency) backend. Note that the zero AtomicValue holds
+// Value(0), not ⊥ — initialize explicitly.
+type AtomicValue struct {
+	v atomic.Int64
+}
+
+// Load atomically reads the cell.
+func (a *AtomicValue) Load() Value { return Value(a.v.Load()) }
+
+// Store atomically writes the cell.
+func (a *AtomicValue) Store(x Value) { a.v.Store(int64(x)) }

@@ -1,0 +1,125 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNone(t *testing.T) {
+	if !None.IsNone() {
+		t.Fatal("None.IsNone() = false")
+	}
+	if Value(0).IsNone() || Value(-1).IsNone() {
+		t.Fatal("ordinary values report IsNone")
+	}
+	if None.String() != "⊥" {
+		t.Fatalf("None.String() = %q", None.String())
+	}
+	if Value(7).String() != "7" {
+		t.Fatalf("Value(7).String() = %q", Value(7).String())
+	}
+}
+
+func TestDecisionConstructors(t *testing.T) {
+	d := Decide(3)
+	if !d.Decided || d.V != 3 {
+		t.Fatalf("Decide(3) = %+v", d)
+	}
+	c := Continue(5)
+	if c.Decided || c.V != 5 {
+		t.Fatalf("Continue(5) = %+v", c)
+	}
+	if got := d.String(); got != "(1, 3)" {
+		t.Fatalf("Decide(3).String() = %q", got)
+	}
+	if got := c.String(); got != "(0, 5)" {
+		t.Fatalf("Continue(5).String() = %q", got)
+	}
+}
+
+func TestPackPairRoundTrip(t *testing.T) {
+	cases := []struct {
+		round int
+		v     Value
+	}{
+		{0, 0}, {0, None}, {1, 5}, {1000, MaxPairValue},
+		{MaxPairRound, 0}, {MaxPairRound, None},
+	}
+	for _, tt := range cases {
+		p := PackPair(tt.round, tt.v)
+		if p.IsNone() {
+			t.Fatalf("PackPair(%d,%s) collided with ⊥", tt.round, tt.v)
+		}
+		r, v := UnpackPair(p)
+		if r != tt.round || v != tt.v {
+			t.Fatalf("round-trip (%d,%s) -> (%d,%s)", tt.round, tt.v, r, v)
+		}
+	}
+}
+
+func TestPackPairProperty(t *testing.T) {
+	f := func(roundRaw uint32, vRaw uint32, none bool) bool {
+		round := int(roundRaw % (MaxPairRound + 1))
+		v := Value(vRaw) % (MaxPairValue + 1)
+		if none {
+			v = None
+		}
+		r2, v2 := UnpackPair(PackPair(round, v))
+		return r2 == round && v2 == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackPairOrderedByRound(t *testing.T) {
+	// Round-race protocols rely on higher rounds packing to larger Values
+	// for any preferences, so a max over packed values finds the leader.
+	f := func(r1Raw, r2Raw uint16, v1Raw, v2Raw uint32) bool {
+		r1, r2 := int(r1Raw), int(r2Raw)
+		v1 := Value(v1Raw) % (MaxPairValue + 1)
+		v2 := Value(v2Raw) % (MaxPairValue + 1)
+		if r1 == r2 {
+			return true
+		}
+		p1, p2 := PackPair(r1, v1), PackPair(r2, v2)
+		return (r1 < r2) == (p1 < p2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackPairPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"negative round": func() { PackPair(-1, 0) },
+		"huge round":     func() { PackPair(MaxPairRound+1, 0) },
+		"negative value": func() { PackPair(0, -5) },
+		"huge value":     func() { PackPair(0, MaxPairValue+1) },
+		"unpack none":    func() { UnpackPair(None) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAtomicValue(t *testing.T) {
+	var a AtomicValue
+	if got := a.Load(); got != 0 {
+		t.Fatalf("zero AtomicValue holds %s, want 0 (documented)", got)
+	}
+	a.Store(None)
+	if !a.Load().IsNone() {
+		t.Fatal("⊥ did not round-trip")
+	}
+	a.Store(42)
+	if got := a.Load(); got != 42 {
+		t.Fatalf("Load = %s", got)
+	}
+}

@@ -1,0 +1,45 @@
+package xrand
+
+import "math"
+
+// NormFloat64 returns a standard normal variate (mean 0, stddev 1) using the
+// Box–Muller transform. The noisy scheduler of Aspnes's "Fast deterministic
+// consensus in a noisy environment" model perturbs step times with Gaussian
+// jitter; this is the only consumer of real-valued randomness in the module.
+func (s *Source) NormFloat64() float64 {
+	for {
+		u := s.Float64()
+		if u == 0 {
+			continue // avoid log(0)
+		}
+		v := s.Float64()
+		r := math.Sqrt(-2 * math.Log(u))
+		return r * math.Cos(2*math.Pi*v)
+	}
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (s *Source) ExpFloat64() float64 {
+	for {
+		u := s.Float64()
+		if u == 0 {
+			continue
+		}
+		return -math.Log(u)
+	}
+}
+
+// Geometric returns the number of failures before the first success of a
+// Bernoulli(num/den) process, i.e. a Geometric(p) variate supported on
+// {0, 1, 2, ...}. It panics if num == 0 (the wait would be infinite) or
+// den == 0.
+func (s *Source) Geometric(num, den uint64) int {
+	if num == 0 {
+		panic("xrand: Geometric with zero success probability")
+	}
+	n := 0
+	for !s.Bernoulli(num, den) {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,89 @@
+package modcon
+
+import (
+	"github.com/modular-consensus/modcon/internal/core"
+	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/sched"
+	"github.com/modular-consensus/modcon/internal/trace"
+	"github.com/modular-consensus/modcon/internal/value"
+)
+
+// Core model types, re-exported for users of the public API.
+type (
+	// Value is a consensus input/output value; None (⊥) marks "no value".
+	Value = value.Value
+	// Decision is a deciding object's annotated output (decision bit,
+	// value).
+	Decision = value.Decision
+	// Env is the process-side view of shared memory; objects are written
+	// against it.
+	Env = core.Env
+	// Object is a one-shot deciding object (conciliator, ratifier,
+	// consensus, or any composition thereof).
+	Object = core.Object
+	// Scheduler is an adversary: it picks which pending operation executes
+	// next, seeing only what its power class permits.
+	Scheduler = sched.Scheduler
+	// Power is an adversary information class (oblivious, value-oblivious,
+	// location-oblivious, adaptive).
+	Power = sched.Power
+	// Registers is a shared register file protocols allocate from.
+	Registers = register.File
+	// Trace is a recorded execution.
+	Trace = trace.Log
+)
+
+// None is the null value ⊥.
+const None = value.None
+
+// Adversary power classes (§2.1 of the paper).
+const (
+	Oblivious         = sched.Oblivious
+	ValueOblivious    = sched.ValueOblivious
+	LocationOblivious = sched.LocationOblivious
+	Adaptive          = sched.Adaptive
+)
+
+// Decide constructs a (1, v) decision.
+func Decide(v Value) Decision { return value.Decide(v) }
+
+// Continue constructs a (0, v) non-decision.
+func Continue(v Value) Decision { return value.Continue(v) }
+
+// Compose sequentially composes deciding objects: a decision by any object
+// terminates the composite immediately (§3.2).
+func Compose(objs ...Object) Object { return core.Compose(objs...) }
+
+// NewRegisters returns an empty register file.
+func NewRegisters() *Registers { return register.NewFile() }
+
+// Adversary constructors. Each returns a fresh, stateful scheduler; do not
+// reuse one scheduler across executions.
+var (
+	// NewRoundRobin cycles through live processes (oblivious).
+	NewRoundRobin = sched.NewRoundRobin
+	// NewFixedOrder repeats a fixed permutation (oblivious).
+	NewFixedOrder = sched.NewFixedOrder
+	// NewUniformRandom picks a uniformly random live process (oblivious).
+	NewUniformRandom = sched.NewUniformRandom
+	// NewLaggard keeps all processes in lockstep (oblivious).
+	NewLaggard = sched.NewLaggard
+	// NewFrontrunner lets one process run solo (oblivious).
+	NewFrontrunner = sched.NewFrontrunner
+	// NewNoisy is the noisy scheduler of §4.2: planned step times with
+	// cumulative Gaussian jitter.
+	NewNoisy = sched.NewNoisy
+	// NewPriority always runs the highest-priority pending process (§4.2).
+	NewPriority = sched.NewPriority
+	// NewFirstMoverAttack is the location-oblivious adversary from the
+	// Theorem 7 analysis, tuned against first-mover conciliators.
+	NewFirstMoverAttack = sched.NewFirstMoverAttack
+	// NewEagerWriteAttack is a simpler location-oblivious attack.
+	NewEagerWriteAttack = sched.NewEagerWriteAttack
+	// NewSplitVote is a value-oblivious strategy exercising skewed
+	// interleavings.
+	NewSplitVote = sched.NewSplitVote
+	// NewAdaptiveSpoiler is a strong-adversary strategy that targets
+	// conflicting deterministic writes.
+	NewAdaptiveSpoiler = sched.NewAdaptiveSpoiler
+)

@@ -1,0 +1,194 @@
+package modcon
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCustomChainViaPublicAPI(t *testing.T) {
+	// Assemble the paper's recipe by hand from exported objects and run it
+	// with Simulate: conciliate, ratify, repeat, fall back to CIL.
+	const n, m = 5, 3
+	for seed := uint64(0); seed < 30; seed++ {
+		file := NewRegisters()
+		var objs []Object
+		for i := 1; i <= 4; i++ {
+			objs = append(objs, NewImpatientConciliator(file, n, i))
+			r, err := NewRatifier(file, m, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			objs = append(objs, r)
+		}
+		objs = append(objs, NewCILConsensus(file, n, 0))
+		chain := Compose(objs...)
+
+		inputs := make([]Value, n)
+		for i := range inputs {
+			inputs[i] = Value((i + int(seed)) % m)
+		}
+		res, err := Simulate(n, file, NewUniformRandom(), seed, func(e Env) Value {
+			d := chain.Invoke(e, inputs[e.PID()])
+			if !d.Decided {
+				t.Errorf("pid %d fell off a chain ending in consensus", e.PID())
+			}
+			return d.V
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckConsensus(inputs, res.Outputs); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestAdoptCommitViaPublicAPI(t *testing.T) {
+	const n = 4
+	file := NewRegisters()
+	ac := NewAdoptCommit(file, 2, 1)
+	statuses := make([]AdoptCommitStatus, n)
+	values := make([]Value, n)
+	res, err := Simulate(n, file, NewRoundRobin(), 1, func(e Env) Value {
+		st, v := ac.Propose(e, 1)
+		statuses[e.PID()] = st
+		values[e.PID()] = v
+		return v
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid := range res.Outputs {
+		if statuses[pid] != Commit || values[pid] != 1 {
+			t.Fatalf("pid %d: (%s, %s)", pid, statuses[pid], values[pid])
+		}
+	}
+}
+
+func TestCoinConciliatorViaPublicAPI(t *testing.T) {
+	const n = 3
+	for seed := uint64(0); seed < 10; seed++ {
+		file := NewRegisters()
+		c := NewCoinConciliator(file, n, 1)
+		inputs := []Value{0, 1, 0}
+		res, err := Simulate(n, file, NewUniformRandom(), seed, func(e Env) Value {
+			return c.Invoke(e, inputs[e.PID()]).V
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pid, v := range res.Outputs {
+			if v != 0 && v != 1 {
+				t.Fatalf("pid %d output %s", pid, v)
+			}
+		}
+	}
+}
+
+func TestConstantRateConciliatorViaPublicAPI(t *testing.T) {
+	file := NewRegisters()
+	c := NewConstantRateConciliator(file, 8, 1)
+	res, err := Simulate(1, file, NewRoundRobin(), 3, func(e Env) Value {
+		return c.Invoke(e, 5).V
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[0] != 5 {
+		t.Fatalf("output %s", res.Outputs[0])
+	}
+}
+
+func TestNewRatifierValidation(t *testing.T) {
+	file := NewRegisters()
+	if _, err := NewRatifier(file, 1, 0); err == nil || !strings.Contains(err.Error(), "m ≥ 2") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSimulateTraceAndCrash(t *testing.T) {
+	file := NewRegisters()
+	c := NewImpatientConciliator(file, 2, 1)
+	res, err := Simulate(2, file, NewRoundRobin(), 2, func(e Env) Value {
+		return c.Invoke(e, Value(e.PID())).V
+	}, RunConfig{Traced: true, CrashAfter: map[int]int{0: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Crashed[0] || res.Halted[0] {
+		t.Fatalf("crash bookkeeping: %+v", res)
+	}
+	if res.Trace == nil || res.Trace.Len() == 0 {
+		t.Fatal("trace missing")
+	}
+}
+
+func TestSimulateRejectsTwoRunConfigs(t *testing.T) {
+	file := NewRegisters()
+	_, err := Simulate(1, file, NewRoundRobin(), 1, func(e Env) Value { return 0 },
+		RunConfig{}, RunConfig{})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestCheckConsensusHelper(t *testing.T) {
+	if err := CheckConsensus([]Value{0, 1}, []Value{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckConsensus([]Value{0, 1}, []Value{0, 1}); err == nil {
+		t.Fatal("expected disagreement error")
+	}
+}
+
+func TestSetAgreementViaPublicAPI(t *testing.T) {
+	const n, m, k = 6, 6, 2
+	file := NewRegisters()
+	sa, err := NewSetAgreement(file, n, m, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]Value, n)
+	for i := range inputs {
+		inputs[i] = Value(i)
+	}
+	res, err := Simulate(n, file, NewUniformRandom(), 5, func(e Env) Value {
+		return sa.Run(e, inputs[e.PID()])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[Value]bool)
+	for _, v := range res.Outputs {
+		seen[v] = true
+	}
+	if len(seen) > k {
+		t.Fatalf("%d distinct outputs for k=%d: %v", len(seen), k, res.Outputs)
+	}
+}
+
+func TestTestAndSetViaPublicAPI(t *testing.T) {
+	const n = 5
+	file := NewRegisters()
+	ts, err := NewTestAndSet(file, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes := make([]TASOutcome, n)
+	_, err = Simulate(n, file, NewUniformRandom(), 9, func(e Env) Value {
+		outcomes[e.PID()] = ts.Invoke(e)
+		return Value(outcomes[e.PID()])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := 0
+	for _, o := range outcomes {
+		if o == TASWin {
+			wins++
+		}
+	}
+	if wins != 1 {
+		t.Fatalf("%d winners: %v", wins, outcomes)
+	}
+}

@@ -1,0 +1,66 @@
+package modcon
+
+import (
+	"github.com/modular-consensus/modcon/internal/multi"
+)
+
+// SequenceOutcome reports a multi-slot consensus run (a replicated log).
+type SequenceOutcome struct {
+	// Agreed holds the decided value of each slot.
+	Agreed []Value
+	// Outputs is indexed [slot][pid] (None where pid never decided a slot,
+	// e.g. after crashing).
+	Outputs [][]Value
+	// Crashed reports per-process crashes.
+	Crashed []bool
+	// Work and TotalWork cover the whole execution.
+	Work      []int
+	TotalWork int
+}
+
+// SolveSequence runs len(proposals) consensus instances — one per log slot
+// — inside a *single* adversarial execution: every process walks the slots
+// in order, so a fast process may be several slots ahead of a slow one,
+// exactly as in a long-lived replicated state machine. proposals is indexed
+// [slot][pid] (or [slot][0] broadcast to all processes); per-slot agreement
+// and validity are verified before returning.
+//
+// The per-slot protocol follows this spec's n and m with the paper-default
+// assembly plus the CIL fallback (slots always decide); the spec's other
+// options currently do not apply to sequences.
+func (c *Consensus) SolveSequence(proposals [][]Value, s Scheduler, seed uint64, run ...RunConfig) (*SequenceOutcome, error) {
+	var rc RunConfig
+	if len(run) == 1 {
+		rc = run[0]
+	}
+	expanded := make([][]Value, len(proposals))
+	for slot, props := range proposals {
+		if len(props) == 1 && c.n > 1 {
+			row := make([]Value, c.n)
+			for i := range row {
+				row[i] = props[0]
+			}
+			expanded[slot] = row
+			continue
+		}
+		expanded[slot] = props
+	}
+	res, err := multi.Run(multi.Config{
+		N: c.n, M: c.m,
+		Proposals:  expanded,
+		Scheduler:  s,
+		Seed:       seed,
+		MaxSteps:   rc.MaxSteps,
+		CrashAfter: rc.CrashAfter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SequenceOutcome{
+		Agreed:    res.Agreed,
+		Outputs:   res.Outputs,
+		Crashed:   res.Crashed,
+		Work:      res.Work,
+		TotalWork: res.TotalWork,
+	}, nil
+}

@@ -1,0 +1,86 @@
+package modcon
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSolveSequence(t *testing.T) {
+	cons, err := New(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proposals := [][]Value{
+		{1, 2, 3, 4},
+		{5, 5, 5, 5},
+		{7, 0, 7, 0},
+	}
+	out, err := cons.SolveSequence(proposals, NewFirstMoverAttack(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Agreed) != 3 {
+		t.Fatalf("agreed %v", out.Agreed)
+	}
+	if out.Agreed[1] != 5 {
+		t.Fatalf("unanimous slot agreed %s", out.Agreed[1])
+	}
+	for slot := range out.Outputs {
+		for pid, v := range out.Outputs[slot] {
+			if v != out.Agreed[slot] {
+				t.Fatalf("slot %d pid %d: %s != %s", slot, pid, v, out.Agreed[slot])
+			}
+		}
+	}
+	if out.TotalWork <= 0 {
+		t.Fatal("no work recorded")
+	}
+}
+
+func TestSolveSequenceBroadcastProposals(t *testing.T) {
+	cons, err := NewBinary(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := cons.SolveSequence([][]Value{{1}, {0}}, NewUniformRandom(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Agreed[0] != 1 || out.Agreed[1] != 0 {
+		t.Fatalf("agreed %v", out.Agreed)
+	}
+}
+
+func TestSolveSequenceValidation(t *testing.T) {
+	cons, err := NewBinary(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cons.SolveSequence([][]Value{{0, 9}}, NewRoundRobin(), 1)
+	if err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := cons.SolveSequence(nil, NewRoundRobin(), 1); err == nil {
+		t.Fatal("expected error for no slots")
+	}
+}
+
+func TestSolveSequenceCrashes(t *testing.T) {
+	cons, err := NewBinary(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := cons.SolveSequence([][]Value{{0, 1, 0}, {1, 0, 1}}, NewUniformRandom(), 4,
+		RunConfig{CrashAfter: map[int]int{0: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Crashed[0] {
+		t.Fatal("crash not applied")
+	}
+	for slot := range out.Outputs {
+		if out.Outputs[slot][1].IsNone() || out.Outputs[slot][2].IsNone() {
+			t.Fatalf("survivor undecided in slot %d", slot)
+		}
+	}
+}
