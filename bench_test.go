@@ -10,11 +10,13 @@ package modcon
 // cmd/modcon-bench.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
 
 	"github.com/modular-consensus/modcon/internal/conciliator"
+	"github.com/modular-consensus/modcon/internal/core"
 	"github.com/modular-consensus/modcon/internal/exp"
 	"github.com/modular-consensus/modcon/internal/harness"
 	"github.com/modular-consensus/modcon/internal/live"
@@ -27,36 +29,40 @@ import (
 )
 
 // benchConciliator runs one fresh impatient conciliator execution per
-// iteration and reports work and agreement metrics.
+// iteration on the parallel trial engine and reports work and agreement
+// metrics.
 func benchConciliator(b *testing.B, n int, growth conciliator.Growth, mkSched func() sched.Scheduler) {
 	b.Helper()
 	totalOps, maxOps, agree := 0, 0, 0
-	for i := 0; i < b.N; i++ {
-		file := register.NewFile()
-		c := conciliator.NewImpatient(file, n, 1)
-		c.Growth = growth
-		inputs := make([]value.Value, n)
-		for p := range inputs {
-			inputs[p] = value.Value(p)
-		}
-		run, err := harness.RunObject(c, harness.ObjectConfig{
-			N: n, File: file, Inputs: inputs, Scheduler: mkSched(), Seed: uint64(i),
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		totalOps += run.Result.TotalWork
-		maxOps += run.Result.MaxIndividualWork()
-		allEq := true
-		outs := run.Outputs()
-		for _, v := range outs {
-			if v != outs[0] {
-				allEq = false
+	err := harness.SweepObject(harness.Sweep{Trials: b.N, Seed: 1},
+		func(harness.Trial) (core.Object, harness.ObjectConfig) {
+			file := register.NewFile()
+			c := conciliator.NewImpatient(file, n, 1)
+			c.Growth = growth
+			inputs := make([]value.Value, n)
+			for p := range inputs {
+				inputs[p] = value.Value(p)
 			}
-		}
-		if allEq {
-			agree++
-		}
+			return c, harness.ObjectConfig{
+				N: n, File: file, Inputs: inputs, Scheduler: mkSched(),
+			}
+		},
+		func(_ harness.Trial, run *harness.ObjectRun) {
+			totalOps += run.Result.TotalWork
+			maxOps += run.Result.MaxIndividualWork()
+			allEq := true
+			outs := run.Outputs()
+			for _, v := range outs {
+				if v != outs[0] {
+					allEq = false
+				}
+			}
+			if allEq {
+				agree++
+			}
+		})
+	if err != nil {
+		b.Fatal(err)
 	}
 	b.ReportMetric(float64(totalOps)/float64(b.N), "ops/exec")
 	b.ReportMetric(float64(maxOps)/float64(b.N), "ops/proc")
@@ -145,21 +151,26 @@ func BenchmarkE5QuorumGeneration(b *testing.B) {
 	}
 }
 
-// benchConsensus runs one full consensus execution per iteration.
+// benchConsensus runs one full consensus execution per iteration through
+// the public Trials sweep API.
 func benchConsensus(b *testing.B, cons *Consensus, n, m int, mkSched func() Scheduler) {
 	b.Helper()
 	totalOps, maxOps := 0, 0
-	for i := 0; i < b.N; i++ {
-		inputs := make([]Value, n)
-		for p := range inputs {
-			inputs[p] = Value((p + i) % m)
-		}
-		out, err := cons.Solve(inputs, mkSched(), uint64(i))
-		if err != nil {
-			b.Fatal(err)
-		}
-		totalOps += out.TotalWork
-		maxOps += out.MaxWork()
+	err := Trials(b.N,
+		func(ctx context.Context, tr Trial) (*Outcome, error) {
+			inputs := make([]Value, n)
+			for p := range inputs {
+				inputs[p] = Value((p + tr.Index) % m)
+			}
+			return cons.Solve(inputs, mkSched(), tr.Seed, RunConfig{Context: ctx})
+		},
+		func(_ Trial, out *Outcome) {
+			totalOps += out.TotalWork
+			maxOps += out.MaxWork()
+		},
+		WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
 	}
 	b.ReportMetric(float64(totalOps)/float64(b.N), "ops/exec")
 	b.ReportMetric(float64(maxOps)/float64(b.N), "ops/proc")

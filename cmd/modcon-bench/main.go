@@ -1,19 +1,29 @@
 // Command modcon-bench regenerates the paper's quantitative claims.
 //
-// Each experiment (E1–E15, see DESIGN.md §3 and EXPERIMENTS.md) sweeps the
-// relevant parameter, runs many simulated executions per cell, and prints a
-// table comparing measurements against the corresponding theorem.
+// Each experiment (E1–E17, see DESIGN.md §3 and EXPERIMENTS.md) sweeps the
+// relevant parameter, runs many simulated executions per cell on the
+// parallel trial engine, and prints a table comparing measurements against
+// the corresponding theorem.
 //
 // Usage:
 //
 //	modcon-bench                 # run every experiment at default scale
 //	modcon-bench -run E1,E6      # run selected experiments
 //	modcon-bench -trials 50      # shrink/grow per-cell trial counts
+//	modcon-bench -workers 8      # cap concurrent trials (0 = GOMAXPROCS)
+//	modcon-bench -timeout 2m     # wall-clock budget for the whole run
 //	modcon-bench -markdown       # emit EXPERIMENTS.md-ready markdown
+//	modcon-bench -json           # emit tables as a JSON array
 //	modcon-bench -list           # list experiments
+//
+// Results are deterministic in (-seed, -trials) and independent of
+// -workers: trial seeds are derived per-trial and results are merged in
+// trial order.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,8 +45,11 @@ func run(args []string) error {
 	var (
 		runList  = fs.String("run", "", "comma-separated experiment ids (default: all)")
 		trials   = fs.Int("trials", 0, "per-cell trials (0 = experiment default)")
-		seed     = fs.Uint64("seed", 1, "base seed")
+		seed     = fs.Uint64("seed", 1, "root seed (per-trial seeds are derived from it)")
+		workers  = fs.Int("workers", 0, "concurrent trials per cell (0 = GOMAXPROCS; results identical at any value)")
+		timeout  = fs.Duration("timeout", 0, "wall-clock budget; in-flight executions are cancelled when it expires (0 = none)")
 		markdown = fs.Bool("markdown", false, "emit markdown instead of aligned text")
+		jsonOut  = fs.Bool("json", false, "emit completed tables as a JSON array")
 		list     = fs.Bool("list", false, "list experiments and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -64,10 +77,31 @@ func run(args []string) error {
 		}
 	}
 
-	cfg := exp.Config{Trials: *trials, Seed: *seed}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	cfg := exp.Config{Trials: *trials, Seed: *seed, Workers: *workers, Ctx: ctx}
+
+	var tables []*exp.Table
 	for i, e := range selected {
 		start := time.Now()
-		table := e.Run(cfg)
+		table, err := runExperiment(ctx, e, cfg)
+		if err != nil {
+			// The budget expired: report what completed, then the error.
+			if *jsonOut {
+				if jerr := emitJSON(tables); jerr != nil {
+					return jerr
+				}
+			}
+			return err
+		}
+		tables = append(tables, table)
+		if *jsonOut {
+			continue
+		}
 		if *markdown {
 			fmt.Println(table.Markdown())
 		} else {
@@ -78,5 +112,33 @@ func run(args []string) error {
 			fmt.Printf("(%s in %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
 		}
 	}
+	if *jsonOut {
+		return emitJSON(tables)
+	}
 	return nil
+}
+
+// runExperiment executes one experiment, converting the trial engine's
+// cancellation panic (see exp.Config.Ctx) back into an error so a -timeout
+// expiry exits cleanly instead of crashing.
+func runExperiment(ctx context.Context, e exp.Experiment, cfg exp.Config) (table *exp.Table, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ctx.Err() != nil {
+				err = fmt.Errorf("%s cancelled: %w", e.ID, context.Cause(ctx))
+				return
+			}
+			panic(r)
+		}
+	}()
+	return e.Run(cfg), nil
+}
+
+func emitJSON(tables []*exp.Table) error {
+	if tables == nil {
+		tables = []*exp.Table{} // always an array, even when nothing completed
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tables)
 }

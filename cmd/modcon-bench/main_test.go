@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"strings"
+	"testing"
+)
 
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -29,5 +33,59 @@ func TestRunMarkdown(t *testing.T) {
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
 		t.Fatal("expected flag error")
+	}
+}
+
+// capture runs fn with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := fn()
+	w.Close()
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), runErr
+}
+
+func TestRunJSON(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-run", "E9", "-trials", "2", "-json"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"ID": "E9"`) || !strings.Contains(out, `"Rows"`) {
+		t.Fatalf("json output missing table fields:\n%s", out)
+	}
+}
+
+func TestRunWorkersDeterministic(t *testing.T) {
+	var outs []string
+	for _, w := range []string{"1", "4"} {
+		out, err := capture(t, func() error {
+			return run([]string{"-run", "E9", "-trials", "4", "-seed", "3", "-workers", w, "-json"})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, out)
+	}
+	if outs[0] != outs[1] {
+		t.Fatalf("-workers changed results:\n%s\n---\n%s", outs[0], outs[1])
+	}
+}
+
+func TestRunTimeoutCancels(t *testing.T) {
+	_, err := capture(t, func() error {
+		return run([]string{"-run", "E1", "-trials", "400", "-timeout", "1ns"})
+	})
+	if err == nil || !strings.Contains(err.Error(), "cancelled") {
+		t.Fatalf("err = %v, want cancellation", err)
 	}
 }

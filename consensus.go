@@ -1,6 +1,7 @@
 package modcon
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -239,6 +240,8 @@ type RunConfig struct {
 	CrashAfter map[int]int
 	// MaxSteps bounds total work (0 = simulator default).
 	MaxSteps int
+	// Context, if non-nil, cancels the execution between simulated steps.
+	Context context.Context
 }
 
 // Outcome reports one consensus execution.
@@ -298,7 +301,7 @@ func (c *Consensus) Solve(inputs []Value, s Scheduler, seed uint64, run ...RunCo
 	pr, err := harness.RunProtocol(proto, harness.ObjectConfig{
 		N: c.n, File: file, Inputs: inputs, Scheduler: s, Seed: seed,
 		Traced: rc.Traced, CheapCollect: rc.CheapCollect,
-		CrashAfter: rc.CrashAfter, MaxSteps: rc.MaxSteps,
+		CrashAfter: rc.CrashAfter, MaxSteps: rc.MaxSteps, Context: rc.Context,
 	})
 	if err != nil {
 		return nil, err

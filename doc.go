@@ -29,6 +29,12 @@
 //   - Objects (conciliators, ratifiers, weak shared coins, the CIL-style
 //     bounded-space fallback) can be composed freely via the Object
 //     interface and Compose.
+//   - Run and RunProtocol execute a single object or hand-assembled chain
+//     under functional options (WithN, WithInputs, WithScheduler, WithSeed,
+//     WithContext, …); Trials fans independent executions out over a worker
+//     pool with per-trial seeds derived from one root seed and an in-order
+//     merge, so aggregates are identical at any worker count (see the
+//     README's "Reproducibility" section).
 //
 // A quick taste (see examples/quickstart for the runnable version):
 //

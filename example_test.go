@@ -1,6 +1,7 @@
 package modcon_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -66,6 +67,63 @@ func ExampleNew_leaderElection() {
 	fmt.Println("a single leader was elected:", !out.Value.IsNone())
 	// Output:
 	// a single leader was elected: true
+}
+
+// Run executes a single object (here a binary ratifier) through the
+// functional-option API: processes, inputs, adversary, and seed are all
+// options rather than a config struct.
+func ExampleRun() {
+	file := modcon.NewRegisters()
+	r, err := modcon.NewRatifier(file, 2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := modcon.Run(r,
+		modcon.WithRegisters(file),
+		modcon.WithN(3),
+		modcon.WithInputs(1), // one value broadcasts to every process
+		modcon.WithScheduler(modcon.NewRoundRobin()),
+		modcon.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	agreed := true
+	for _, d := range run.Decisions {
+		if !d.Decided || d.V != 1 {
+			agreed = false
+		}
+	}
+	fmt.Println("unanimous input ratified by all:", agreed)
+	// Output:
+	// unanimous input ratified by all: true
+}
+
+// Trials runs independent executions concurrently on a worker pool.
+// Per-trial seeds derive from the root seed and results merge in trial
+// order, so aggregates are identical at any worker count.
+func ExampleTrials() {
+	cons, err := modcon.NewBinary(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agreedAll := 0
+	err = modcon.Trials(8,
+		func(ctx context.Context, t modcon.Trial) (*modcon.Outcome, error) {
+			return cons.Solve([]modcon.Value{0, 1, 0, 1}, modcon.NewUniformRandom(),
+				t.Seed, modcon.RunConfig{Context: ctx})
+		},
+		func(t modcon.Trial, out *modcon.Outcome) {
+			if len(out.Outputs) == 4 {
+				agreedAll++
+			}
+		},
+		modcon.WithSeed(42), modcon.WithWorkers(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("trials completed safely:", agreedAll)
+	// Output:
+	// trials completed safely: 8
 }
 
 // Crash up to n-1 processes: the protocols are wait-free, so survivors

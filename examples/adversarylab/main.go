@@ -5,9 +5,15 @@
 // that is the point of the conciliator/ratifier decomposition — but the
 // adversary controls how often conciliation fails and therefore how much
 // work termination costs.
+//
+// The per-adversary Monte-Carlo loop runs on modcon.Trials, the parallel
+// trial engine: executions fan out over a worker pool, per-trial seeds are
+// derived from the root seed, and results merge in trial order — so the
+// table below is identical at any worker count.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,28 +54,33 @@ func main() {
 		var totTotal, totInd, totStage float64
 		var hist [4]int
 		decisions := 0
-		for seed := uint64(0); seed < trials; seed++ {
-			out, err := cons.Solve(inputs, adv.mk(), seed)
-			if err != nil {
-				log.Fatal(err)
-			}
-			totTotal += float64(out.TotalWork)
-			totInd += float64(out.MaxWork())
-			for pid := range out.Stage {
-				st := out.Stage[pid]
-				totStage += float64(st)
-				decisions++
-				switch {
-				case st == 0:
-					hist[0]++
-				case st == 1:
-					hist[1]++
-				case st == 2:
-					hist[2]++
-				default:
-					hist[3]++
+		err := modcon.Trials(trials,
+			func(ctx context.Context, t modcon.Trial) (*modcon.Outcome, error) {
+				// Schedulers are stateful: build a fresh one per trial.
+				return cons.Solve(inputs, adv.mk(), t.Seed, modcon.RunConfig{Context: ctx})
+			},
+			func(_ modcon.Trial, out *modcon.Outcome) {
+				totTotal += float64(out.TotalWork)
+				totInd += float64(out.MaxWork())
+				for pid := range out.Stage {
+					st := out.Stage[pid]
+					totStage += float64(st)
+					decisions++
+					switch {
+					case st == 0:
+						hist[0]++
+					case st == 1:
+						hist[1]++
+					case st == 2:
+						hist[2]++
+					default:
+						hist[3]++
+					}
 				}
-			}
+			},
+			modcon.WithSeed(0))
+		if err != nil {
+			log.Fatal(err)
 		}
 		fmt.Printf("%-36s  %10.1f  %10.1f  %12.2f  %v\n",
 			adv.name, totTotal/trials, totInd/trials, totStage/float64(decisions), hist)

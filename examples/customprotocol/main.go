@@ -11,9 +11,14 @@
 //
 // Safety is identical for all three — it comes from the ratifiers — while
 // the work profile differs exactly as the theorems predict.
+//
+// Each race runs its trials on modcon.Trials (the parallel trial engine)
+// and executes the hand-assembled chain with modcon.Run and functional
+// options, the top-level API for custom objects.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -51,45 +56,55 @@ func buildChain(file *modcon.Registers, impatient, withFallback bool) (modcon.Ob
 
 func race(name string, impatient, withFallback bool) error {
 	totalWork, maxWork, undecided := 0, 0, 0
-	for seed := uint64(0); seed < trials; seed++ {
-		file := modcon.NewRegisters()
-		chain, err := buildChain(file, impatient, withFallback)
-		if err != nil {
-			return err
-		}
-		inputs := make([]modcon.Value, n)
-		for i := range inputs {
-			inputs[i] = modcon.Value((i + int(seed)) % m)
-		}
-		decided := make([]bool, n)
-		outs := make([]modcon.Value, n)
-		res, err := modcon.Simulate(n, file, modcon.NewFirstMoverAttack(), seed,
-			func(e modcon.Env) modcon.Value {
-				d := chain.Invoke(e, inputs[e.PID()])
-				decided[e.PID()] = d.Decided
-				outs[e.PID()] = d.V
-				return d.V
-			})
-		if err != nil {
-			return err
-		}
-		var agreedOutputs []modcon.Value
-		for pid := range outs {
-			if decided[pid] {
-				agreedOutputs = append(agreedOutputs, outs[pid])
-			} else {
-				undecided++
+	err := modcon.Trials(trials,
+		func(ctx context.Context, t modcon.Trial) (*modcon.ObjectRun, error) {
+			// Objects are one-shot: fresh registers and a fresh chain per
+			// trial, seeded from the engine's derived per-trial seed.
+			file := modcon.NewRegisters()
+			chain, err := buildChain(file, impatient, withFallback)
+			if err != nil {
+				return nil, err
 			}
-		}
-		if err := modcon.CheckConsensus(inputs, agreedOutputs); err != nil {
-			return fmt.Errorf("%s seed %d: %w", name, seed, err)
-		}
-		totalWork += res.TotalWork
-		for _, w := range res.Work {
-			if w > maxWork {
-				maxWork = w
+			inputs := make([]modcon.Value, n)
+			for i := range inputs {
+				inputs[i] = modcon.Value((i + t.Index) % m)
 			}
-		}
+			run, err := modcon.Run(chain,
+				modcon.WithRegisters(file),
+				modcon.WithN(n),
+				modcon.WithInputs(inputs...),
+				modcon.WithScheduler(modcon.NewFirstMoverAttack()),
+				modcon.WithSeed(t.Seed),
+				modcon.WithContext(ctx))
+			if err != nil {
+				return nil, err
+			}
+			var agreedOutputs []modcon.Value
+			for _, d := range run.Decisions {
+				if d.Decided {
+					agreedOutputs = append(agreedOutputs, d.V)
+				}
+			}
+			if err := modcon.CheckConsensus(inputs, agreedOutputs); err != nil {
+				return nil, fmt.Errorf("%s trial %d: %w", name, t.Index, err)
+			}
+			return run, nil
+		},
+		func(_ modcon.Trial, run *modcon.ObjectRun) {
+			totalWork += run.Result.TotalWork
+			for _, d := range run.Decisions {
+				if !d.Decided {
+					undecided++
+				}
+			}
+			for _, w := range run.Result.Work {
+				if w > maxWork {
+					maxWork = w
+				}
+			}
+		})
+	if err != nil {
+		return err
 	}
 	fmt.Printf("%-34s  mean total %6.1f ops   worst individual %3d ops   undecided %d/%d\n",
 		name, float64(totalWork)/trials, maxWork, undecided, trials*n)

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -56,16 +57,24 @@ func main() {
 		}
 	}
 
-	// Election across many seeds: which pids win how often? (First movers
-	// win; under a fair random schedule every pid has a real shot.)
+	// Election across many rounds: which pids win how often? (First movers
+	// win; under a fair random schedule every pid has a real shot.) The
+	// rounds are independent executions, so they run concurrently on
+	// modcon.Trials — the win tallies merge in round order and are the same
+	// for any worker count.
 	wins := make([]int, n)
 	const rounds = 200
-	for seed := uint64(0); seed < rounds; seed++ {
-		out, err := cons.Solve(proposals, modcon.NewUniformRandom(), seed)
-		if err != nil {
-			log.Fatal(err)
-		}
-		wins[int64(out.Value)]++
+	err = modcon.Trials(rounds,
+		func(ctx context.Context, t modcon.Trial) (*modcon.Outcome, error) {
+			return cons.Solve(proposals, modcon.NewUniformRandom(), t.Seed,
+				modcon.RunConfig{Context: ctx})
+		},
+		func(_ modcon.Trial, out *modcon.Outcome) {
+			wins[int64(out.Value)]++
+		},
+		modcon.WithSeed(0))
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("\nwins over %d elections: %v\n", rounds, wins)
 }

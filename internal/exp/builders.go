@@ -97,12 +97,29 @@ func adversaryPortfolio() []struct {
 	}
 }
 
-// consensusTrial runs one fresh protocol execution and returns the outcome.
-func consensusTrial(spec protoSpec, s sched.Scheduler, seed uint64, maxSteps int) (*harness.ProtocolRun, *core.Protocol, error) {
-	file, proto := spec.build()
-	run, err := harness.RunProtocol(proto, harness.ObjectConfig{
-		N: spec.n, File: file, Inputs: mixedInputs(spec.n, spec.m, int(seed)),
-		Scheduler: s, Seed: seed, MaxSteps: maxSteps,
-	})
-	return run, proto, err
+// mustSweep panics on trial-engine errors: a failed or cancelled trial is
+// fatal to an experiment, and the drivers (cmd/modcon-bench) recover the
+// panic to report cancellation cleanly.
+func mustSweep(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("exp: sweep failed: %v", err))
+	}
+}
+
+// consensusSweep runs fresh protocol executions of spec on the parallel
+// trial engine, one per trial of s, under schedulers built by mk. fold runs
+// in trial order on a single goroutine and also receives the protocol
+// instance so it can query per-process deciding stages. Any trial error
+// (including step-limit exhaustion) aborts the experiment; sweeps that must
+// tolerate sim.ErrStepLimit call harness.RunTrials directly.
+func consensusSweep(s harness.Sweep, spec protoSpec, mk func() sched.Scheduler, maxSteps int,
+	fold func(t harness.Trial, proto *core.Protocol, run *harness.ProtocolRun)) {
+	mustSweep(harness.SweepProtocol(s,
+		func(t harness.Trial) (*core.Protocol, harness.ObjectConfig) {
+			file, proto := spec.build()
+			return proto, harness.ObjectConfig{
+				N: spec.n, File: file, Inputs: mixedInputs(spec.n, spec.m, t.Index),
+				Scheduler: mk(), MaxSteps: maxSteps,
+			}
+		}, fold))
 }

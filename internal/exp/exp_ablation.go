@@ -27,59 +27,59 @@ func E15Ablations(cfg Config) *Table {
 
 	// 1. Impatience growth schedule, conciliator alone under attack.
 	for _, g := range []conciliator.Growth{conciliator.GrowthDoubling, conciliator.GrowthLinear, conciliator.GrowthConstant} {
-		agree := 0
-		var ind, tot []float64
-		for i := 0; i < trials; i++ {
-			ok, total, individual := conciliatorTrial(n, g, false, sched.NewFirstMoverAttack(), cfg.Seed+uint64(i))
-			if ok {
-				agree++
-			}
-			ind = append(ind, float64(individual))
-			tot = append(tot, float64(total))
-		}
+		var agree stats.Tally
+		var ind, tot stats.Acc
+		conciliatorSweep(cfg.sweep(trials), n, g, false,
+			func() sched.Scheduler { return sched.NewFirstMoverAttack() },
+			func(ok bool, total, individual int) {
+				agree.Add(ok)
+				ind.AddInt(individual)
+				tot.AddInt(total)
+			})
 		t.AddRow("impatience growth", g.String(),
-			fmt.Sprintf("%.1f", stats.Summarize(ind).Mean),
-			fmt.Sprintf("%.0f", stats.Summarize(tot).Mean),
-			fmt.Sprintf("δ̂=%s", stats.NewProportion(agree, trials).String()))
+			fmt.Sprintf("%.1f", ind.Mean()),
+			fmt.Sprintf("%.0f", tot.Mean()),
+			fmt.Sprintf("δ̂=%s", agree.Proportion().String()))
 	}
 
 	// 2. Write-success detection, conciliator alone under round-robin.
 	for _, detect := range []bool{false, true} {
-		var ind, tot []float64
-		for i := 0; i < trials; i++ {
-			_, total, individual := conciliatorTrial(n, conciliator.GrowthDoubling, detect, sched.NewRoundRobin(), cfg.Seed+uint64(i))
-			ind = append(ind, float64(individual))
-			tot = append(tot, float64(total))
-		}
+		var ind, tot stats.Acc
+		conciliatorSweep(cfg.sweep(trials), n, conciliator.GrowthDoubling, detect,
+			func() sched.Scheduler { return sched.NewRoundRobin() },
+			func(_ bool, total, individual int) {
+				ind.AddInt(individual)
+				tot.AddInt(total)
+			})
 		t.AddRow("write detection", fmt.Sprintf("detect=%v", detect),
-			fmt.Sprintf("%.1f", stats.Summarize(ind).Mean),
-			fmt.Sprintf("%.0f", stats.Summarize(tot).Mean),
+			fmt.Sprintf("%.1f", ind.Mean()),
+			fmt.Sprintf("%.0f", tot.Mean()),
 			"footnote 2: ≤2 ops saved")
 	}
 
 	// 3. Fast path on agreeing inputs, full protocol.
 	for _, fp := range []bool{true, false} {
-		var ind, tot []float64
-		for i := 0; i < trials/2; i++ {
-			spec := defaultSpec(n, 2)
-			spec.fastPath = fp
-			file, proto := spec.build()
-			run, err := harness.RunProtocol(proto, harness.ObjectConfig{
-				N: n, File: file, Inputs: mixedInputs(n, 1, 0),
-				Scheduler: sched.NewUniformRandom(), Seed: cfg.Seed + uint64(i),
-			})
-			if err != nil {
-				panic(err)
-			}
-			if err := check.Consensus(mixedInputs(n, 1, 0), run.DecidedOutputs()); err != nil {
-				panic(err)
-			}
-			ind = append(ind, float64(run.Result.MaxIndividualWork()))
-			tot = append(tot, float64(run.Result.TotalWork))
-		}
+		var ind, tot stats.Acc
+		spec := defaultSpec(n, 2)
+		spec.fastPath = fp
+		mustSweep(harness.SweepProtocol(cfg.sweep(trials/2),
+			func(harness.Trial) (*core.Protocol, harness.ObjectConfig) {
+				file, proto := spec.build()
+				return proto, harness.ObjectConfig{
+					N: n, File: file, Inputs: mixedInputs(n, 1, 0),
+					Scheduler: sched.NewUniformRandom(),
+				}
+			},
+			func(_ harness.Trial, _ *core.Protocol, run *harness.ProtocolRun) {
+				if err := check.Consensus(mixedInputs(n, 1, 0), run.DecidedOutputs()); err != nil {
+					panic(err)
+				}
+				ind.AddInt(run.Result.MaxIndividualWork())
+				tot.AddInt(run.Result.TotalWork)
+			}))
 		t.AddRow("fast path (unanimous inputs)", fmt.Sprintf("fastpath=%v", fp),
-			fmt.Sprintf("%.1f", stats.Summarize(ind).Mean),
-			fmt.Sprintf("%.0f", stats.Summarize(tot).Mean),
+			fmt.Sprintf("%.1f", ind.Mean()),
+			fmt.Sprintf("%.0f", tot.Mean()),
 			"")
 	}
 
@@ -87,33 +87,33 @@ func E15Ablations(cfg Config) *Table {
 	// adaptive spoiler (the §2.1 motivation for the model).
 	for _, naive := range []bool{false, true} {
 		name := "probabilistic (impatient)"
-		agree := 0
-		var tot []float64
-		for i := 0; i < trials; i++ {
-			file := register.NewFile()
-			var obj core.Object
-			if naive {
-				name = "deterministic (naive)"
-				obj = conciliator.NewNaiveFirstMover(file, 1)
-			} else {
-				obj = conciliator.NewImpatient(file, n, 1)
-			}
-			run, err := harness.RunObject(obj, harness.ObjectConfig{
-				N: 8, File: file, Inputs: mixedInputs(8, 8, i),
-				Scheduler: sched.NewAdaptiveSpoiler(), Seed: cfg.Seed + uint64(i),
-			})
-			if err != nil {
-				panic(err)
-			}
-			if check.Unanimous(run.Outputs()) {
-				agree++
-			}
-			tot = append(tot, float64(run.Result.TotalWork))
+		if naive {
+			name = "deterministic (naive)"
 		}
+		var agree stats.Tally
+		var tot stats.Acc
+		mustSweep(harness.SweepObject(cfg.sweep(trials),
+			func(tr harness.Trial) (core.Object, harness.ObjectConfig) {
+				file := register.NewFile()
+				var obj core.Object
+				if naive {
+					obj = conciliator.NewNaiveFirstMover(file, 1)
+				} else {
+					obj = conciliator.NewImpatient(file, n, 1)
+				}
+				return obj, harness.ObjectConfig{
+					N: 8, File: file, Inputs: mixedInputs(8, 8, tr.Index),
+					Scheduler: sched.NewAdaptiveSpoiler(),
+				}
+			},
+			func(_ harness.Trial, run *harness.ObjectRun) {
+				agree.Add(check.Unanimous(run.Outputs()))
+				tot.AddInt(run.Result.TotalWork)
+			}))
 		t.AddRow("write model (adaptive spoiler)", name,
 			"-",
-			fmt.Sprintf("%.0f", stats.Summarize(tot).Mean),
-			fmt.Sprintf("δ̂=%s", stats.NewProportion(agree, trials).String()))
+			fmt.Sprintf("%.0f", tot.Mean()),
+			fmt.Sprintf("δ̂=%s", agree.Proportion().String()))
 	}
 
 	// 5. Quorum scheme, m-valued consensus.
@@ -123,20 +123,18 @@ func E15Ablations(cfg Config) *Table {
 		if bv {
 			name = "bitvector"
 		}
-		var ind, tot []float64
-		for i := 0; i < trials/2; i++ {
-			spec := defaultSpec(n, m)
-			spec.bitVector = bv
-			run, _, err := consensusTrial(spec, sched.NewUniformRandom(), cfg.Seed+uint64(i), 0)
-			if err != nil {
-				panic(err)
-			}
-			ind = append(ind, float64(run.Result.MaxIndividualWork()))
-			tot = append(tot, float64(run.Result.TotalWork))
-		}
+		var ind, tot stats.Acc
+		spec := defaultSpec(n, m)
+		spec.bitVector = bv
+		consensusSweep(cfg.sweep(trials/2), spec,
+			func() sched.Scheduler { return sched.NewUniformRandom() }, 0,
+			func(_ harness.Trial, _ *core.Protocol, run *harness.ProtocolRun) {
+				ind.AddInt(run.Result.MaxIndividualWork())
+				tot.AddInt(run.Result.TotalWork)
+			})
 		t.AddRow(fmt.Sprintf("quorum scheme (m=%d)", m), name,
-			fmt.Sprintf("%.1f", stats.Summarize(ind).Mean),
-			fmt.Sprintf("%.0f", stats.Summarize(tot).Mean),
+			fmt.Sprintf("%.1f", ind.Mean()),
+			fmt.Sprintf("%.0f", tot.Mean()),
 			"")
 	}
 	return t

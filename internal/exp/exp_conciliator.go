@@ -1,11 +1,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"github.com/modular-consensus/modcon/internal/check"
 	"github.com/modular-consensus/modcon/internal/conciliator"
+	"github.com/modular-consensus/modcon/internal/core"
 	"github.com/modular-consensus/modcon/internal/harness"
 	"github.com/modular-consensus/modcon/internal/register"
 	"github.com/modular-consensus/modcon/internal/sched"
@@ -16,20 +18,24 @@ import (
 // agreement probability: (1 - e^{-1/4})/4.
 var thm7Delta = (1 - math.Exp(-0.25)) / 4
 
-// conciliatorTrial runs one fresh impatient conciliator with distinct
-// inputs and reports whether all outputs agreed, plus work measures.
-func conciliatorTrial(n int, growth conciliator.Growth, detect bool, s sched.Scheduler, seed uint64) (agreed bool, total, individual int) {
-	file := register.NewFile()
-	c := conciliator.NewImpatient(file, n, 1)
-	c.Growth = growth
-	c.DetectSuccess = detect
-	run, err := harness.RunObject(c, harness.ObjectConfig{
-		N: n, File: file, Inputs: mixedInputs(n, n, int(seed)), Scheduler: s, Seed: seed,
-	})
-	if err != nil {
-		panic(fmt.Sprintf("harness: conciliator trial failed: %v", err))
-	}
-	return check.Unanimous(run.Outputs()), run.Result.TotalWork, run.Result.MaxIndividualWork()
+// conciliatorSweep runs fresh impatient-conciliator executions with mixed
+// inputs on the parallel trial engine, folding each trial's agreement flag
+// and work measures in trial order.
+func conciliatorSweep(s harness.Sweep, n int, growth conciliator.Growth, detect bool,
+	mk func() sched.Scheduler, fold func(agreed bool, total, individual int)) {
+	mustSweep(harness.SweepObject(s,
+		func(t harness.Trial) (core.Object, harness.ObjectConfig) {
+			file := register.NewFile()
+			c := conciliator.NewImpatient(file, n, 1)
+			c.Growth = growth
+			c.DetectSuccess = detect
+			return c, harness.ObjectConfig{
+				N: n, File: file, Inputs: mixedInputs(n, n, t.Index), Scheduler: mk(),
+			}
+		},
+		func(_ harness.Trial, run *harness.ObjectRun) {
+			fold(check.Unanimous(run.Outputs()), run.Result.TotalWork, run.Result.MaxIndividualWork())
+		}))
 }
 
 // E1ConciliatorAgreement estimates the impatient conciliator's agreement
@@ -45,14 +51,10 @@ func E1ConciliatorAgreement(cfg Config) *Table {
 	minDelta := 1.0
 	for _, n := range []int{2, 4, 8, 16, 32, 64} {
 		for _, adv := range adversaryPortfolio() {
-			agree := 0
-			for i := 0; i < trials; i++ {
-				ok, _, _ := conciliatorTrial(n, conciliator.GrowthDoubling, false, adv.New(), cfg.Seed+uint64(i))
-				if ok {
-					agree++
-				}
-			}
-			p := stats.NewProportion(agree, trials)
+			var agree stats.Tally
+			conciliatorSweep(cfg.sweep(trials), n, conciliator.GrowthDoubling, false, adv.New,
+				func(ok bool, _, _ int) { agree.Add(ok) })
+			p := agree.Proportion()
 			verdict := "yes"
 			if p.P < thm7Delta {
 				verdict = "NO"
@@ -79,12 +81,10 @@ func E2ConciliatorTotalWork(cfg Config) *Table {
 	var ns, ys []float64
 	for _, n := range []int{4, 8, 16, 32, 64, 128} {
 		for _, adv := range adversaryPortfolio() {
-			var works []float64
-			for i := 0; i < trials; i++ {
-				_, total, _ := conciliatorTrial(n, conciliator.GrowthDoubling, false, adv.New(), cfg.Seed+uint64(i))
-				works = append(works, float64(total))
-			}
-			s := stats.Summarize(works)
+			var works stats.Acc
+			conciliatorSweep(cfg.sweep(trials), n, conciliator.GrowthDoubling, false, adv.New,
+				func(_ bool, total, _ int) { works.AddInt(total) })
+			s := works.Summary()
 			t.AddRow(fmt.Sprintf("%d", n), adv.Name,
 				fmt.Sprintf("%.1f ± %.1f", s.Mean, s.StandardErrorOfM),
 				fmt.Sprintf("%d", 6*n),
@@ -112,25 +112,24 @@ func E3ConciliatorIndividualWork(cfg Config) *Table {
 	trials := cfg.trials(150)
 	var ns, ys []float64
 	for _, n := range []int{2, 4, 8, 16, 32, 64, 128, 256} {
-		maxObs, sum, count := 0, 0.0, 0
+		maxObs := 0
+		var obs stats.Acc
 		for _, adv := range adversaryPortfolio() {
-			for i := 0; i < trials; i++ {
-				_, _, ind := conciliatorTrial(n, conciliator.GrowthDoubling, false, adv.New(), cfg.Seed+uint64(i))
-				if ind > maxObs {
-					maxObs = ind
-				}
-				sum += float64(ind)
-				count++
-			}
+			conciliatorSweep(cfg.sweep(trials), n, conciliator.GrowthDoubling, false, adv.New,
+				func(_ bool, _, ind int) {
+					if ind > maxObs {
+						maxObs = ind
+					}
+					obs.AddInt(ind)
+				})
 		}
 		bound := 2*int(math.Ceil(math.Log2(float64(n)))) + 5
 		verdict := "yes"
 		if maxObs > bound {
 			verdict = "NO"
 		}
-		mean := sum / float64(count)
 		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", maxObs),
-			fmt.Sprintf("%.1f", mean), fmt.Sprintf("%d", bound), verdict)
+			fmt.Sprintf("%.1f", obs.Mean()), fmt.Sprintf("%d", bound), verdict)
 		ns = append(ns, float64(n))
 		ys = append(ys, float64(maxObs))
 	}
@@ -151,35 +150,42 @@ func E8BaselineComparison(cfg Config) *Table {
 	}
 	trials := cfg.trials(200)
 	var ns, impY, constY []float64
-	for _, n := range []int{8, 16, 32, 64, 128, 256, 512} {
-		var imp, con []float64
-		for i := 0; i < trials; i++ {
-			// Solo execution: the conciliator is built for n processes but
-			// only one participates — the schedule an oblivious adversary
-			// produces by running one process to completion first.
-			file := register.NewFile()
-			c := conciliator.NewImpatient(file, n, 1)
-			run, err := harness.RunObject(c, harness.ObjectConfig{
-				N: 1, File: file, Inputs: mixedInputs(1, 2, 0),
-				Scheduler: sched.NewRoundRobin(), Seed: cfg.Seed + uint64(i),
-			})
-			if err != nil {
-				panic(err)
-			}
-			imp = append(imp, float64(run.Result.TotalWork))
-
-			file2 := register.NewFile()
-			c2 := conciliator.NewConstantRate(file2, n, 1)
-			run2, err := harness.RunObject(c2, harness.ObjectConfig{
-				N: 1, File: file2, Inputs: mixedInputs(1, 2, 0),
-				Scheduler: sched.NewRoundRobin(), Seed: cfg.Seed + uint64(i),
-			})
-			if err != nil {
-				panic(err)
-			}
-			con = append(con, float64(run2.Result.TotalWork))
+	// Solo execution: the conciliator is built for n processes but only one
+	// participates — the schedule an oblivious adversary produces by running
+	// one process to completion first. Both variants share the trial's seed
+	// so they face identical random streams.
+	solo := func(ctx context.Context, obj core.Object, file *register.File, seed uint64) (int, error) {
+		run, err := harness.RunObject(obj, harness.ObjectConfig{
+			N: 1, File: file, Inputs: mixedInputs(1, 2, 0),
+			Scheduler: sched.NewRoundRobin(), Seed: seed, Context: ctx,
+		})
+		if err != nil {
+			return 0, err
 		}
-		mi, mc := stats.Summarize(imp).Mean, stats.Summarize(con).Mean
+		return run.Result.TotalWork, nil
+	}
+	for _, n := range []int{8, 16, 32, 64, 128, 256, 512} {
+		var imp, con stats.Acc
+		type pair struct{ imp, con int }
+		mustSweep(harness.RunTrials(cfg.sweep(trials),
+			func(ctx context.Context, tr harness.Trial) (pair, error) {
+				file := register.NewFile()
+				iw, err := solo(ctx, conciliator.NewImpatient(file, n, 1), file, tr.Seed)
+				if err != nil {
+					return pair{}, err
+				}
+				file2 := register.NewFile()
+				cw, err := solo(ctx, conciliator.NewConstantRate(file2, n, 1), file2, tr.Seed)
+				if err != nil {
+					return pair{}, err
+				}
+				return pair{imp: iw, con: cw}, nil
+			},
+			func(_ harness.Trial, p pair) {
+				imp.AddInt(p.imp)
+				con.AddInt(p.con)
+			}))
+		mi, mc := imp.Mean(), con.Mean()
 		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%.1f", mi), fmt.Sprintf("%.1f", mc),
 			fmt.Sprintf("%.1fx", mc/mi))
 		ns = append(ns, float64(n))

@@ -1,11 +1,13 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"github.com/modular-consensus/modcon/internal/check"
+	"github.com/modular-consensus/modcon/internal/core"
 	"github.com/modular-consensus/modcon/internal/harness"
 	"github.com/modular-consensus/modcon/internal/sched"
 	"github.com/modular-consensus/modcon/internal/sim"
@@ -27,19 +29,16 @@ func E6BinaryConsensus(cfg Config) *Table {
 	var ns, indY, totY []float64
 	for _, n := range []int{4, 8, 16, 32, 64, 128, 256} {
 		for _, adv := range advs {
-			var ind, tot []float64
-			for i := 0; i < trials; i++ {
-				run, _, err := consensusTrial(defaultSpec(n, 2), adv.New(), cfg.Seed+uint64(i), 0)
-				if err != nil {
-					panic(err)
-				}
-				if err := check.Consensus(mixedInputs(n, 2, i), run.DecidedOutputs()); err != nil {
-					panic(err)
-				}
-				ind = append(ind, float64(run.Result.MaxIndividualWork()))
-				tot = append(tot, float64(run.Result.TotalWork))
-			}
-			si, st := stats.Summarize(ind), stats.Summarize(tot)
+			var ind, tot stats.Acc
+			consensusSweep(cfg.sweep(trials), defaultSpec(n, 2), adv.New, 0,
+				func(tr harness.Trial, _ *core.Protocol, run *harness.ProtocolRun) {
+					if err := check.Consensus(mixedInputs(n, 2, tr.Index), run.DecidedOutputs()); err != nil {
+						panic(err)
+					}
+					ind.AddInt(run.Result.MaxIndividualWork())
+					tot.AddInt(run.Result.TotalWork)
+				})
+			si, st := ind.Summary(), tot.Summary()
 			t.AddRow(fmt.Sprintf("%d", n), adv.Name,
 				fmt.Sprintf("%.1f ± %.1f", si.Mean, si.StandardErrorOfM),
 				fmt.Sprintf("%.0f ± %.0f", st.Mean, st.StandardErrorOfM),
@@ -69,22 +68,19 @@ func E7MValuedConsensus(cfg Config) *Table {
 	n := 32
 	var ms, totY []float64
 	for _, m := range []int{2, 4, 16, 64, 256, 1024} {
-		var ind, tot []float64
-		for i := 0; i < trials; i++ {
-			run, _, err := consensusTrial(defaultSpec(n, m), sched.NewFirstMoverAttack(), cfg.Seed+uint64(i), 0)
-			if err != nil {
-				panic(err)
-			}
-			ind = append(ind, float64(run.Result.MaxIndividualWork()))
-			tot = append(tot, float64(run.Result.TotalWork))
-		}
-		si, st := stats.Summarize(ind), stats.Summarize(tot)
+		var ind, tot stats.Acc
+		consensusSweep(cfg.sweep(trials), defaultSpec(n, m),
+			func() sched.Scheduler { return sched.NewFirstMoverAttack() }, 0,
+			func(_ harness.Trial, _ *core.Protocol, run *harness.ProtocolRun) {
+				ind.AddInt(run.Result.MaxIndividualWork())
+				tot.AddInt(run.Result.TotalWork)
+			})
 		t.AddRow(fmt.Sprintf("%d", m), fmt.Sprintf("%d", n),
-			fmt.Sprintf("%.1f", si.Mean),
-			fmt.Sprintf("%.0f", st.Mean),
-			fmt.Sprintf("%.2f", st.Mean/(float64(n)*math.Log2(float64(m)))))
+			fmt.Sprintf("%.1f", ind.Mean()),
+			fmt.Sprintf("%.0f", tot.Mean()),
+			fmt.Sprintf("%.2f", tot.Mean()/(float64(n)*math.Log2(float64(m)))))
 		ms = append(ms, float64(m))
-		totY = append(totY, st.Mean)
+		totY = append(totY, tot.Mean())
 	}
 	fit := stats.BestShape(ms, totY, stats.ShapeLog, stats.ShapeLinear)
 	t.AddNote("total work vs m at fixed n: %s (log ⇒ O(n log m) overall)", fit)
@@ -101,31 +97,32 @@ func E9FastPath(cfg Config) *Table {
 	}
 	trials := cfg.trials(100)
 	for _, n := range []int{4, 16, 64, 256} {
-		maxInd, sumInd := 0, 0.0
+		maxInd := 0
+		var ind stats.Acc
 		fastDecisions, total := 0, 0
-		for i := 0; i < trials; i++ {
-			spec := defaultSpec(n, 2)
-			file, proto := spec.build()
-			run, err := harness.RunProtocol(proto, harness.ObjectConfig{
-				N: n, File: file, Inputs: mixedInputs(n, 1, 0), // all zeros
-				Scheduler: sched.NewUniformRandom(), Seed: cfg.Seed + uint64(i),
-			})
-			if err != nil {
-				panic(err)
-			}
-			sumInd += float64(run.Result.MaxIndividualWork())
-			if w := run.Result.MaxIndividualWork(); w > maxInd {
-				maxInd = w
-			}
-			for pid := 0; pid < n; pid++ {
-				total++
-				if st, _ := proto.DecidedStage(pid); st == 0 {
-					fastDecisions++
+		spec := defaultSpec(n, 2)
+		mustSweep(harness.SweepProtocol(cfg.sweep(trials),
+			func(harness.Trial) (*core.Protocol, harness.ObjectConfig) {
+				file, proto := spec.build()
+				return proto, harness.ObjectConfig{
+					N: n, File: file, Inputs: mixedInputs(n, 1, 0), // all zeros
+					Scheduler: sched.NewUniformRandom(),
 				}
-			}
-		}
+			},
+			func(_ harness.Trial, proto *core.Protocol, run *harness.ProtocolRun) {
+				ind.AddInt(run.Result.MaxIndividualWork())
+				if w := run.Result.MaxIndividualWork(); w > maxInd {
+					maxInd = w
+				}
+				for pid := 0; pid < n; pid++ {
+					total++
+					if st, _ := proto.DecidedStage(pid); st == 0 {
+						fastDecisions++
+					}
+				}
+			}))
 		t.AddRow(fmt.Sprintf("%d", n),
-			fmt.Sprintf("%.1f", sumInd/float64(trials)),
+			fmt.Sprintf("%.1f", ind.Mean()),
 			fmt.Sprintf("%d", maxInd),
 			fmt.Sprintf("%d/%d", fastDecisions, total),
 			"0")
@@ -154,28 +151,25 @@ func E13BoundedConstruction(cfg Config) *Table {
 		// exactly when the corresponding untruncated execution's maximum
 		// deciding stage exceeds k, so the deep-run tail Pr[maxStage > k]
 		// predicts the fallback rate directly.
+		deepSpec := defaultSpec(n, 2)
+		deepSpec.fastPath = false
+		deepSpec.stages = 12
+		deepSpec.fallbackK = true
 		var deepMax []int
-		for i := 0; i < trials; i++ {
-			spec := defaultSpec(n, 2)
-			spec.fastPath = false
-			spec.stages = 12
-			spec.fallbackK = true
-			_, proto, err := consensusTrial(spec, adv.New(), cfg.Seed+uint64(i), 0)
-			if err != nil {
-				panic(err)
-			}
-			maxStage := 0
-			for pid := 0; pid < n; pid++ {
-				st, fb := proto.DecidedStage(pid)
-				if fb {
-					st = 13
+		consensusSweep(cfg.sweep(trials), deepSpec, adv.New, 0,
+			func(_ harness.Trial, proto *core.Protocol, _ *harness.ProtocolRun) {
+				maxStage := 0
+				for pid := 0; pid < n; pid++ {
+					st, fb := proto.DecidedStage(pid)
+					if fb {
+						st = 13
+					}
+					if st > maxStage {
+						maxStage = st
+					}
 				}
-				if st > maxStage {
-					maxStage = st
-				}
-			}
-			deepMax = append(deepMax, maxStage)
-		}
+				deepMax = append(deepMax, maxStage)
+			})
 		tailAbove := func(k int) float64 {
 			cnt := 0
 			for _, ms := range deepMax {
@@ -186,32 +180,32 @@ func E13BoundedConstruction(cfg Config) *Table {
 			return float64(cnt) / float64(len(deepMax))
 		}
 		for _, k := range []int{1, 2, 4, 8} {
-			fell := 0
+			spec := defaultSpec(n, 2)
+			spec.fastPath = false
+			spec.stages = k
+			spec.fallbackK = true
+			var fell stats.Tally
 			sumStage, decided := 0.0, 0
-			for i := 0; i < trials; i++ {
-				spec := defaultSpec(n, 2)
-				spec.fastPath = false
-				spec.stages = k
-				spec.fallbackK = true
-				_, proto, err := consensusTrial(spec, adv.New(), cfg.Seed+uint64(trials+i), 0)
-				if err != nil {
-					panic(err)
-				}
-				usedFallback := false
-				for pid := 0; pid < n; pid++ {
-					st, fb := proto.DecidedStage(pid)
-					if fb {
-						usedFallback = true
-					} else if st >= 1 {
-						sumStage += float64(st)
-						decided++
+			// The truncated runs must be independent of the deep calibration
+			// runs (the prediction is about fresh executions), so this sweep
+			// derives its trial seeds from a shifted root.
+			s := cfg.sweep(trials)
+			s.Seed = cfg.Seed + 1
+			consensusSweep(s, spec, adv.New, 0,
+				func(_ harness.Trial, proto *core.Protocol, _ *harness.ProtocolRun) {
+					usedFallback := false
+					for pid := 0; pid < n; pid++ {
+						st, fb := proto.DecidedStage(pid)
+						if fb {
+							usedFallback = true
+						} else if st >= 1 {
+							sumStage += float64(st)
+							decided++
+						}
 					}
-				}
-				if usedFallback {
-					fell++
-				}
-			}
-			p := stats.NewProportion(fell, trials)
+					fell.Add(usedFallback)
+				})
+			p := fell.Proportion()
 			meanStage := 0.0
 			if decided > 0 {
 				meanStage = sumStage / float64(decided)
@@ -237,18 +231,30 @@ func E14TerminationTail(cfg Config) *Table {
 	trials := cfg.trials(400)
 	n := 16
 	for _, mult := range []int{8, 12, 16, 20, 24, 32, 48} {
-		failed := 0
-		for i := 0; i < trials; i++ {
-			_, _, err := consensusTrial(defaultSpec(n, 2), sched.NewFirstMoverAttack(), cfg.Seed+uint64(i), mult*n)
-			switch {
-			case err == nil:
-			case errors.Is(err, sim.ErrStepLimit):
-				failed++
-			default:
-				panic(err)
-			}
-		}
-		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", mult), stats.NewProportion(failed, trials).String())
+		var failed stats.Tally
+		// Step-limit exhaustion is the event being measured, not a trial
+		// failure, so the trial function absorbs sim.ErrStepLimit instead of
+		// letting it abort the sweep.
+		mustSweep(harness.RunTrials(cfg.sweep(trials),
+			func(ctx context.Context, tr harness.Trial) (bool, error) {
+				spec := defaultSpec(n, 2)
+				file, proto := spec.build()
+				_, err := harness.RunProtocol(proto, harness.ObjectConfig{
+					N: n, File: file, Inputs: mixedInputs(n, 2, tr.Index),
+					Scheduler: sched.NewFirstMoverAttack(), Seed: tr.Seed,
+					MaxSteps: mult * n, Context: ctx,
+				})
+				switch {
+				case err == nil:
+					return false, nil
+				case errors.Is(err, sim.ErrStepLimit):
+					return true, nil
+				default:
+					return false, err
+				}
+			},
+			func(_ harness.Trial, timedOut bool) { failed.Add(timedOut) }))
+		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", mult), failed.Proportion().String())
 	}
 	t.AddNote("decay is exponential in the budget multiplier (each Θ(n)-step stage succeeds with constant probability)")
 	return t

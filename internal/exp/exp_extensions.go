@@ -1,8 +1,10 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
+	"github.com/modular-consensus/modcon/internal/harness"
 	"github.com/modular-consensus/modcon/internal/multi"
 	"github.com/modular-consensus/modcon/internal/register"
 	"github.com/modular-consensus/modcon/internal/setagree"
@@ -25,43 +27,50 @@ func E16SetAgreement(cfg Config) *Table {
 	}
 	trials := cfg.trials(150)
 	n, m := 12, 12
+	type setResult struct{ distinct, ind int }
 	for _, k := range []int{1, 2, 3, 4, 6} {
 		for _, adv := range adversaryPortfolio() {
 			if adv.Name == "lockstep" || adv.Name == "eager-write-attack" {
 				continue
 			}
-			maxDistinct, sumDistinct, sumInd := 0, 0, 0.0
-			for i := 0; i < trials; i++ {
-				file := register.NewFile()
-				p, err := setagree.New(file, n, m, k)
-				if err != nil {
-					panic(err)
-				}
-				inputs := mixedInputs(n, m, i)
-				res, err := sim.Run(sim.Config{
-					N: n, File: file, Scheduler: adv.New(), Seed: cfg.Seed + uint64(i),
-				}, func(e *sim.Env) value.Value { return p.Run(e, inputs[e.PID()]) })
-				if err != nil {
-					panic(err)
-				}
-				seen := make(map[value.Value]bool)
-				for _, v := range res.HaltedOutputs() {
-					seen[v] = true
-				}
-				if len(seen) > maxDistinct {
-					maxDistinct = len(seen)
-				}
-				sumDistinct += len(seen)
-				sumInd += float64(res.MaxIndividualWork())
-			}
+			maxDistinct := 0
+			var distinct, indWork stats.Acc
+			mustSweep(harness.RunTrials(cfg.sweep(trials),
+				func(ctx context.Context, tr harness.Trial) (setResult, error) {
+					file := register.NewFile()
+					p, err := setagree.New(file, n, m, k)
+					if err != nil {
+						return setResult{}, err
+					}
+					inputs := mixedInputs(n, m, tr.Index)
+					res, err := sim.Run(sim.Config{
+						N: n, File: file, Scheduler: adv.New(), Seed: tr.Seed,
+						Context: ctx,
+					}, func(e *sim.Env) value.Value { return p.Run(e, inputs[e.PID()]) })
+					if err != nil {
+						return setResult{}, err
+					}
+					seen := make(map[value.Value]bool)
+					for _, v := range res.HaltedOutputs() {
+						seen[v] = true
+					}
+					return setResult{distinct: len(seen), ind: res.MaxIndividualWork()}, nil
+				},
+				func(_ harness.Trial, r setResult) {
+					if r.distinct > maxDistinct {
+						maxDistinct = r.distinct
+					}
+					distinct.AddInt(r.distinct)
+					indWork.AddInt(r.ind)
+				}))
 			verdict := fmt.Sprintf("%d", maxDistinct)
 			if maxDistinct > k {
 				verdict += " VIOLATION"
 			}
 			t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", k), adv.Name,
 				verdict,
-				fmt.Sprintf("%.2f", float64(sumDistinct)/float64(trials)),
-				fmt.Sprintf("%.1f", sumInd/float64(trials)))
+				fmt.Sprintf("%.2f", distinct.Mean()),
+				fmt.Sprintf("%.1f", indWork.Mean()))
 		}
 	}
 	t.AddNote("with all-distinct inputs each group keeps one value, so mean distinct = k exactly; the safety property is the max column never exceeding k")
@@ -79,33 +88,40 @@ func E17Sequences(cfg Config) *Table {
 	}
 	trials := cfg.trials(60)
 	n, m := 8, 4
+	type seqResult struct{ work, decided int }
 	for _, slots := range []int{1, 4, 16} {
 		for _, adv := range adversaryPortfolio() {
 			if adv.Name != "uniform-random" && adv.Name != "first-mover-attack" {
 				continue
 			}
-			var works []float64
+			var works stats.Acc
 			decided := 0
-			for i := 0; i < trials; i++ {
-				proposals := make([][]value.Value, slots)
-				for s := range proposals {
-					proposals[s] = mixedInputs(n, m, s+i)
-				}
-				res, err := multi.Run(multi.Config{
-					N: n, M: m, Proposals: proposals,
-					Scheduler: adv.New(), Seed: cfg.Seed + uint64(i),
-				})
-				if err != nil {
-					panic(err)
-				}
-				works = append(works, float64(res.TotalWork))
-				for _, v := range res.Agreed {
-					if !v.IsNone() {
-						decided++
+			mustSweep(harness.RunTrials(cfg.sweep(trials),
+				func(ctx context.Context, tr harness.Trial) (seqResult, error) {
+					proposals := make([][]value.Value, slots)
+					for s := range proposals {
+						proposals[s] = mixedInputs(n, m, s+tr.Index)
 					}
-				}
-			}
-			s := stats.Summarize(works)
+					res, err := multi.Run(multi.Config{
+						N: n, M: m, Proposals: proposals,
+						Scheduler: adv.New(), Seed: tr.Seed, Context: ctx,
+					})
+					if err != nil {
+						return seqResult{}, err
+					}
+					r := seqResult{work: res.TotalWork}
+					for _, v := range res.Agreed {
+						if !v.IsNone() {
+							r.decided++
+						}
+					}
+					return r, nil
+				},
+				func(_ harness.Trial, r seqResult) {
+					works.AddInt(r.work)
+					decided += r.decided
+				}))
+			s := works.Summary()
 			t.AddRow(fmt.Sprintf("%d", slots), fmt.Sprintf("%d", n), adv.Name,
 				fmt.Sprintf("%.0f ± %.0f", s.Mean, s.StandardErrorOfM),
 				fmt.Sprintf("%.1f", s.Mean/float64(slots)),

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"github.com/modular-consensus/modcon/internal/check"
+	"github.com/modular-consensus/modcon/internal/core"
 	"github.com/modular-consensus/modcon/internal/harness"
 	"github.com/modular-consensus/modcon/internal/quorum"
 	"github.com/modular-consensus/modcon/internal/ratifier"
@@ -65,22 +66,23 @@ func E4RatifierSpaceWork(cfg Config) *Table {
 			}
 			maxOps := 0
 			n := 5
-			for i := 0; i < trials && props == "ok"; i++ {
-				f2 := register.NewFile()
-				r2 := e.build(f2)
-				run, err := harness.RunObject(r2, harness.ObjectConfig{
-					N: n, File: f2, Inputs: mixedInputs(n, m, i),
-					Scheduler: sched.NewUniformRandom(), Seed: cfg.Seed + uint64(i), Traced: true,
-				})
-				if err != nil {
-					panic(err)
-				}
-				if w := run.Result.MaxIndividualWork(); w > maxOps {
-					maxOps = w
-				}
-				if err := check.Objects(run.Trace, "R"); err != nil {
-					props = err.Error()
-				}
+			if props == "ok" {
+				mustSweep(harness.SweepObject(cfg.sweep(trials),
+					func(tr harness.Trial) (core.Object, harness.ObjectConfig) {
+						f2 := register.NewFile()
+						return e.build(f2), harness.ObjectConfig{
+							N: n, File: f2, Inputs: mixedInputs(n, m, tr.Index),
+							Scheduler: sched.NewUniformRandom(), Traced: true,
+						}
+					},
+					func(_ harness.Trial, run *harness.ObjectRun) {
+						if w := run.Result.MaxIndividualWork(); w > maxOps {
+							maxOps = w
+						}
+						if err := check.Objects(run.Trace, "R"); err != nil {
+							props = err.Error()
+						}
+					}))
 			}
 			t.AddRow(fmt.Sprintf("%d", m), e.name,
 				fmt.Sprintf("%d", r.Registers()), fmt.Sprintf("%d", e.paperRegs),

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -39,49 +40,45 @@ func E10CoinConciliator(cfg Config) *Table {
 	trials := cfg.trials(250)
 	for _, n := range []int{2, 4, 8} {
 		all0, all1 := 0, 0
-		for i := 0; i < trials; i++ {
-			file := register.NewFile()
-			coin := sharedcoin.NewVoting(file, n, 1)
-			run, err := harness.RunObject(coinObject{coin}, harness.ObjectConfig{
-				N: n, File: file, Inputs: mixedInputs(n, 1, 0),
-				Scheduler: sched.NewUniformRandom(), Seed: cfg.Seed + uint64(i),
-			})
-			if err != nil {
-				panic(err)
-			}
-			outs := run.Outputs()
-			if check.Unanimous(outs) {
-				if outs[0] == 0 {
-					all0++
-				} else {
-					all1++
+		mustSweep(harness.SweepObject(cfg.sweep(trials),
+			func(harness.Trial) (core.Object, harness.ObjectConfig) {
+				file := register.NewFile()
+				return coinObject{sharedcoin.NewVoting(file, n, 1)}, harness.ObjectConfig{
+					N: n, File: file, Inputs: mixedInputs(n, 1, 0),
+					Scheduler: sched.NewUniformRandom(),
 				}
-			}
-		}
+			},
+			func(_ harness.Trial, run *harness.ObjectRun) {
+				outs := run.Outputs()
+				if check.Unanimous(outs) {
+					if outs[0] == 0 {
+						all0++
+					} else {
+						all1++
+					}
+				}
+			}))
 		minSide := all0
 		if all1 < minSide {
 			minSide = all1
 		}
 
-		wrapped := 0
-		for i := 0; i < trials; i++ {
-			file := register.NewFile()
-			coin := sharedcoin.NewVoting(file, n, 1)
-			c := conciliator.NewFromCoin(file, coin, 1)
-			run, err := harness.RunObject(c, harness.ObjectConfig{
-				N: n, File: file, Inputs: mixedInputs(n, 2, i),
-				Scheduler: sched.NewUniformRandom(), Seed: cfg.Seed + uint64(i),
-			})
-			if err != nil {
-				panic(err)
-			}
-			if check.Unanimous(run.Outputs()) {
-				wrapped++
-			}
-		}
+		var wrapped stats.Tally
+		mustSweep(harness.SweepObject(cfg.sweep(trials),
+			func(tr harness.Trial) (core.Object, harness.ObjectConfig) {
+				file := register.NewFile()
+				coin := sharedcoin.NewVoting(file, n, 1)
+				return conciliator.NewFromCoin(file, coin, 1), harness.ObjectConfig{
+					N: n, File: file, Inputs: mixedInputs(n, 2, tr.Index),
+					Scheduler: sched.NewUniformRandom(),
+				}
+			},
+			func(_ harness.Trial, run *harness.ObjectRun) {
+				wrapped.Add(check.Unanimous(run.Outputs()))
+			}))
 		t.AddRow(fmt.Sprintf("%d", n),
 			stats.NewProportion(minSide, trials).String(),
-			stats.NewProportion(wrapped, trials).String(),
+			wrapped.Proportion().String(),
 			"2")
 	}
 	t.AddNote("coin δ̂ reports the rarer side (the weak-shared-coin definition bounds both sides)")
@@ -116,51 +113,73 @@ func E11NoisyRatifierOnly(cfg Config) *Table {
 	for _, n := range []int{4, 16} {
 		cells = append(cells, cell{n, 4, 0.5})
 	}
+	// A trial either hits the step limit (not an error: R has no termination
+	// guarantee without enough noise) or reports per-process stages.
+	type noisyResult struct {
+		limited  bool
+		allDone  bool
+		ind      int
+		stageSum float64
+		stages   int
+	}
 	for _, c := range cells {
 		n, m, sigma := c.n, c.m, c.sigma
-		{
-			done, sumInd, sumStage, stages := 0, 0.0, 0.0, 0
-			for i := 0; i < trials; i++ {
+		done, stages := 0, 0
+		var indSum, stageSum float64
+		mustSweep(harness.RunTrials(cfg.sweep(trials),
+			func(ctx context.Context, tr harness.Trial) (noisyResult, error) {
 				spec := defaultSpec(n, m)
 				spec.noConc = true
 				spec.fastPath = false
 				spec.stages = 4096
-				run, proto, err := consensusTrial(spec, sched.NewNoisy(sigma), cfg.Seed+uint64(i), 4_000_000)
+				file, proto := spec.build()
+				run, err := harness.RunProtocol(proto, harness.ObjectConfig{
+					N: n, File: file, Inputs: mixedInputs(n, m, tr.Index),
+					Scheduler: sched.NewNoisy(sigma), Seed: tr.Seed,
+					MaxSteps: 4_000_000, Context: ctx,
+				})
 				if err != nil {
 					if errors.Is(err, sim.ErrStepLimit) {
-						continue
+						return noisyResult{limited: true}, nil
 					}
-					panic(err)
+					return noisyResult{}, err
 				}
-				allDecided := true
+				r := noisyResult{allDone: true, ind: run.Result.MaxIndividualWork()}
 				for pid := 0; pid < n; pid++ {
 					st, _ := proto.DecidedStage(pid)
 					if st < 0 {
-						allDecided = false
+						r.allDone = false
 						continue
 					}
-					sumStage += float64(st)
-					stages++
+					r.stageSum += float64(st)
+					r.stages++
 				}
-				if allDecided {
+				return r, nil
+			},
+			func(_ harness.Trial, r noisyResult) {
+				if r.limited {
+					return
+				}
+				stageSum += r.stageSum
+				stages += r.stages
+				if r.allDone {
 					done++
-					sumInd += float64(run.Result.MaxIndividualWork())
+					indSum += float64(r.ind)
 				}
-			}
-			meanInd, meanStage := 0.0, 0.0
-			if done > 0 {
-				meanInd = sumInd / float64(done)
-			}
-			if stages > 0 {
-				meanStage = sumStage / float64(stages)
-			}
-			t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", m), fmt.Sprintf("%.1f", sigma),
-				fmt.Sprintf("%d/%d", done, trials),
-				fmt.Sprintf("%.1f", meanInd), fmt.Sprintf("%.1f", meanStage))
-			if sigma == 0.5 && m == 2 {
-				ns = append(ns, float64(n))
-				ys = append(ys, meanInd)
-			}
+			}))
+		meanInd, meanStage := 0.0, 0.0
+		if done > 0 {
+			meanInd = indSum / float64(done)
+		}
+		if stages > 0 {
+			meanStage = stageSum / float64(stages)
+		}
+		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", m), fmt.Sprintf("%.1f", sigma),
+			fmt.Sprintf("%d/%d", done, trials),
+			fmt.Sprintf("%.1f", meanInd), fmt.Sprintf("%.1f", meanStage))
+		if sigma == 0.5 && m == 2 {
+			ns = append(ns, float64(n))
+			ys = append(ys, meanInd)
 		}
 	}
 	t.AddNote("individual work at σ=0.5: %s", stats.BestShape(ns, ys, stats.ShapeConst, stats.ShapeLog, stats.ShapeLinear))
@@ -179,31 +198,29 @@ func E12PriorityRatifierOnly(cfg Config) *Table {
 	trials := cfg.trials(60)
 	for _, n := range []int{2, 4, 8, 16, 32} {
 		done, maxInd, topWork := 0, 0, 0
-		for i := 0; i < trials; i++ {
-			spec := defaultSpec(n, 2)
-			spec.noConc = true
-			spec.fastPath = false
-			spec.stages = 64
-			run, _, err := consensusTrial(spec, sched.NewPriority(nil), cfg.Seed+uint64(i), 0)
-			if err != nil {
-				panic(err)
-			}
-			all := true
-			for pid := 0; pid < n; pid++ {
-				if !run.Decided[pid] {
-					all = false
+		spec := defaultSpec(n, 2)
+		spec.noConc = true
+		spec.fastPath = false
+		spec.stages = 64
+		consensusSweep(cfg.sweep(trials), spec,
+			func() sched.Scheduler { return sched.NewPriority(nil) }, 0,
+			func(_ harness.Trial, _ *core.Protocol, run *harness.ProtocolRun) {
+				all := true
+				for pid := 0; pid < n; pid++ {
+					if !run.Decided[pid] {
+						all = false
+					}
 				}
-			}
-			if all {
-				done++
-			}
-			if w := run.Result.MaxIndividualWork(); w > maxInd {
-				maxInd = w
-			}
-			if run.Result.Work[0] > topWork {
-				topWork = run.Result.Work[0]
-			}
-		}
+				if all {
+					done++
+				}
+				if w := run.Result.MaxIndividualWork(); w > maxInd {
+					maxInd = w
+				}
+				if run.Result.Work[0] > topWork {
+					topWork = run.Result.Work[0]
+				}
+			})
 		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d/%d", done, trials),
 			fmt.Sprintf("%d", maxInd), fmt.Sprintf("%d", topWork), "6")
 	}

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -114,6 +116,35 @@ func TestTablePanicsOnRaggedRow(t *testing.T) {
 		}
 	}()
 	table.AddRow("only-one")
+}
+
+// TestExperimentDeterministicAcrossWorkers renders the same experiment at
+// different worker counts: the parallel trial engine merges per-trial
+// results in trial order, so the tables must be byte-identical.
+func TestExperimentDeterministicAcrossWorkers(t *testing.T) {
+	ref := E1ConciliatorAgreement(Config{Trials: 6, Seed: 11, Workers: 1}).String()
+	for _, w := range []int{4, 16} {
+		if got := E1ConciliatorAgreement(Config{Trials: 6, Seed: 11, Workers: w}).String(); got != ref {
+			t.Fatalf("workers=%d table differs:\n%s\n--- want ---\n%s", w, got, ref)
+		}
+	}
+}
+
+// TestExperimentCancellation checks that a cancelled context aborts an
+// experiment (surfaced as the documented panic from mustSweep).
+func TestExperimentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected cancellation panic")
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, "cancel") {
+			t.Fatalf("panic %q does not mention cancellation", msg)
+		}
+	}()
+	E1ConciliatorAgreement(Config{Trials: 50, Seed: 1, Ctx: ctx})
 }
 
 func TestConfigTrialsDefault(t *testing.T) {

@@ -1,8 +1,11 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
+
+	"github.com/modular-consensus/modcon/internal/harness"
 )
 
 // Table is a rendered experiment result: the rows cmd/modcon-bench prints
@@ -104,8 +107,16 @@ func (t *Table) Markdown() string {
 type Config struct {
 	// Trials is the per-cell trial count; 0 uses each experiment's default.
 	Trials int
-	// Seed offsets all trial seeds so independent runs can be compared.
+	// Seed is the root seed: trial i of every cell runs with
+	// harness.TrialSeed(Seed, i), so independent runs can be compared.
 	Seed uint64
+	// Workers caps concurrent trials per cell; 0 uses GOMAXPROCS. Results
+	// are bit-identical at any worker count.
+	Workers int
+	// Ctx, if non-nil, cancels in-flight sweeps between simulated steps
+	// (cancellation surfaces as a panic from the experiment; see
+	// cmd/modcon-bench for the recover pattern).
+	Ctx context.Context
 }
 
 func (c Config) trials(def int) int {
@@ -113,6 +124,11 @@ func (c Config) trials(def int) int {
 		return c.Trials
 	}
 	return def
+}
+
+// sweep builds the trial-engine configuration for one experiment cell.
+func (c Config) sweep(trials int) harness.Sweep {
+	return harness.Sweep{Trials: trials, Workers: c.Workers, Seed: c.Seed, Context: c.Ctx}
 }
 
 // Experiment is one reproducible experiment from DESIGN.md §3.

@@ -3,6 +3,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/modular-consensus/modcon/internal/core"
@@ -60,21 +61,32 @@ type ObjectConfig struct {
 	CrashAfter map[int]int
 	// MaxSteps is forwarded to the simulator (0 = default).
 	MaxSteps int
+	// Context, if non-nil, cancels the execution between scheduled steps
+	// (forwarded to the simulator).
+	Context context.Context
 }
 
+// inputs resolves cfg.Inputs to exactly one value per process. A slice of
+// length N is used verbatim; a single value is broadcast to every process.
+// For N == 1 the two rules coincide — a one-element slice is that process's
+// input, used as given (pinned by TestInputsSingleProcessSingleInput) — so
+// the resolution is written as explicit guards rather than a switch whose
+// `case cfg.N` and `case 1` arms would silently collide.
 func (cfg *ObjectConfig) inputs() ([]value.Value, error) {
-	switch len(cfg.Inputs) {
-	case cfg.N:
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("harness: N=%d must be positive", cfg.N)
+	}
+	if len(cfg.Inputs) == cfg.N {
 		return cfg.Inputs, nil
-	case 1:
+	}
+	if len(cfg.Inputs) == 1 {
 		in := make([]value.Value, cfg.N)
 		for i := range in {
 			in[i] = cfg.Inputs[0]
 		}
 		return in, nil
-	default:
-		return nil, fmt.Errorf("harness: %d inputs for %d processes", len(cfg.Inputs), cfg.N)
 	}
+	return nil, fmt.Errorf("harness: %d inputs for %d processes", len(cfg.Inputs), cfg.N)
 }
 
 // RunObject executes obj once: every process invokes it with its input.
@@ -107,9 +119,15 @@ func RunObject(obj core.Object, cfg ObjectConfig) (*ObjectRun, error) {
 		CheapCollect: cfg.CheapCollect,
 		CrashAfter:   cfg.CrashAfter,
 		MaxSteps:     cfg.MaxSteps,
+		Context:      cfg.Context,
 	}, prog)
 	run.Result = res
 	return run, err
+}
+
+// SweepCost implements Metered: total work and max individual work.
+func (r *ObjectRun) SweepCost() (steps, work int) {
+	return r.Result.TotalWork, r.Result.MaxIndividualWork()
 }
 
 // ProtocolRun is the outcome of one execution of a consensus protocol.
@@ -158,7 +176,13 @@ func RunProtocol(p *core.Protocol, cfg ObjectConfig) (*ProtocolRun, error) {
 		CheapCollect: cfg.CheapCollect,
 		CrashAfter:   cfg.CrashAfter,
 		MaxSteps:     cfg.MaxSteps,
+		Context:      cfg.Context,
 	}, prog)
 	run.Result = res
 	return run, err
+}
+
+// SweepCost implements Metered: total work and max individual work.
+func (r *ProtocolRun) SweepCost() (steps, work int) {
+	return r.Result.TotalWork, r.Result.MaxIndividualWork()
 }

@@ -9,6 +9,7 @@
 package multi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -41,6 +42,8 @@ type Config struct {
 	MaxSteps int
 	// CrashAfter is forwarded to the simulator.
 	CrashAfter map[int]int
+	// Context, if non-nil, cancels the execution between simulated steps.
+	Context context.Context
 }
 
 // Result reports a multi-slot run.
@@ -111,7 +114,7 @@ func Run(cfg Config) (*Result, error) {
 
 	simRes, err := sim.Run(sim.Config{
 		N: cfg.N, File: file, Scheduler: cfg.Scheduler, Seed: cfg.Seed,
-		MaxSteps: cfg.MaxSteps, CrashAfter: cfg.CrashAfter,
+		MaxSteps: cfg.MaxSteps, CrashAfter: cfg.CrashAfter, Context: cfg.Context,
 	}, func(e *sim.Env) value.Value {
 		pid := e.PID()
 		var last value.Value = value.None

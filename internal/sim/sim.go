@@ -17,6 +17,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -33,6 +34,10 @@ import (
 // with probability 1 but not surely, so a limit is required to keep
 // adversarial experiments finite; hitting it is reported, never hidden.
 var ErrStepLimit = errors.New("sim: step limit exceeded")
+
+// ErrCancelled is returned (wrapped, together with the context's cause) by
+// Run when Config.Context is cancelled before every live process halts.
+var ErrCancelled = errors.New("sim: execution cancelled")
 
 // DefaultMaxSteps bounds executions when Config.MaxSteps is zero.
 const DefaultMaxSteps = 10_000_000
@@ -65,6 +70,11 @@ type Config struct {
 	CrashAfter map[int]int
 	// MaxSteps bounds total work; 0 means DefaultMaxSteps.
 	MaxSteps int
+	// Context, if non-nil, cancels the execution between scheduled
+	// operations: a hung adversary schedule stops at the next step instead
+	// of running to MaxSteps. Cancellation is reported as an error wrapping
+	// both ErrCancelled and the context's cause, so callers can test either.
+	Context context.Context
 }
 
 // Result summarizes an execution.
@@ -169,10 +179,16 @@ func Run(cfg Config, programs ...Program) (*Result, error) {
 		maxSteps = DefaultMaxSteps
 	}
 
+	var ctxDone <-chan struct{}
+	if cfg.Context != nil {
+		ctxDone = cfg.Context.Done()
+	}
+
 	rt := &engine{
 		cfg:      cfg,
 		power:    cfg.Scheduler.MinPower(),
 		maxSteps: maxSteps,
+		ctxDone:  ctxDone,
 		states:   make([]*procState, cfg.N),
 		probSrc:  make([]*xrand.Source, cfg.N),
 		killCh:   make(chan struct{}),
@@ -245,6 +261,7 @@ type engine struct {
 	cfg      Config
 	power    sched.Power
 	maxSteps int
+	ctxDone  <-chan struct{}
 	states   []*procState
 	probSrc  []*xrand.Source
 	killCh   chan struct{}
@@ -273,6 +290,13 @@ func (rt *engine) loop() error {
 		}
 		if rt.steps >= rt.maxSteps {
 			return fmt.Errorf("%w (limit %d, scheduler %q)", ErrStepLimit, rt.maxSteps, rt.cfg.Scheduler.Name())
+		}
+		if rt.ctxDone != nil {
+			select {
+			case <-rt.ctxDone:
+				return fmt.Errorf("%w after %d steps: %w", ErrCancelled, rt.steps, context.Cause(rt.cfg.Context))
+			default:
+			}
 		}
 		rt.buildView(view, runnable)
 		pid := rt.cfg.Scheduler.Next(view)

@@ -1,0 +1,65 @@
+package stats
+
+import "testing"
+
+func TestAccMatchesSummarize(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	var a Acc
+	for _, x := range xs {
+		a.Add(x)
+	}
+	if a.N() != len(xs) {
+		t.Fatalf("N = %d", a.N())
+	}
+	if got, want := a.Summary(), Summarize(xs); got != want {
+		t.Fatalf("Summary mismatch: %+v != %+v", got, want)
+	}
+	if a.Mean() != Summarize(xs).Mean {
+		t.Fatalf("Mean = %v", a.Mean())
+	}
+	if a.Max() != 9 {
+		t.Fatalf("Max = %v", a.Max())
+	}
+}
+
+func TestAccMergePreservesOrder(t *testing.T) {
+	var a, b, whole Acc
+	for i := 0; i < 5; i++ {
+		a.AddInt(i)
+		whole.AddInt(i)
+	}
+	for i := 5; i < 9; i++ {
+		b.AddInt(i)
+		whole.AddInt(i)
+	}
+	a.Merge(&b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d", a.N())
+	}
+	for i, x := range a.Values() {
+		if x != whole.Values()[i] {
+			t.Fatalf("merge reordered: %v", a.Values())
+		}
+	}
+}
+
+func TestAccEmpty(t *testing.T) {
+	var a Acc
+	if a.Mean() != 0 || a.Max() != 0 || a.N() != 0 {
+		t.Fatal("empty Acc not zero-valued")
+	}
+}
+
+func TestTally(t *testing.T) {
+	var a, b Tally
+	a.Add(true)
+	a.Add(false)
+	b.Add(true)
+	a.Merge(b)
+	if a.Successes != 2 || a.Trials != 3 {
+		t.Fatalf("tally %+v", a)
+	}
+	if got, want := a.Proportion(), NewProportion(2, 3); got != want {
+		t.Fatalf("proportion %+v != %+v", got, want)
+	}
+}

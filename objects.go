@@ -130,6 +130,7 @@ func Simulate(n int, file *Registers, s Scheduler, seed uint64, proc Proc, run .
 		N: n, File: file, Scheduler: s, Seed: seed,
 		Trace: tr, CheapCollect: rc.CheapCollect,
 		CrashAfter: rc.CrashAfter, MaxSteps: rc.MaxSteps,
+		Context: rc.Context,
 	}, func(e *sim.Env) Value { return proc(e) })
 	if err != nil {
 		return nil, err

@@ -1,0 +1,216 @@
+package modcon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/modular-consensus/modcon/internal/core"
+	"github.com/modular-consensus/modcon/internal/harness"
+)
+
+// This file is the package's top-level run API: single executions of objects
+// and protocols (Run, RunProtocol) and parallel Monte-Carlo sweeps (Trials),
+// all configured through functional options — the same idiom the consensus
+// spec options in consensus.go use — instead of raw config struct literals.
+
+// Execution result types, re-exported from the harness.
+type (
+	// ObjectRun is the outcome of one execution of a deciding object.
+	ObjectRun = harness.ObjectRun
+	// ProtocolRun is the outcome of one execution of a consensus protocol.
+	ProtocolRun = harness.ProtocolRun
+	// Protocol is an assembled consensus protocol instance (one-shot);
+	// build one with Consensus.Build.
+	Protocol = core.Protocol
+	// Trial identifies one execution of a Trials sweep: its index and the
+	// seed derived for it from the sweep's root seed.
+	Trial = harness.Trial
+	// SweepProgress snapshots a running Trials sweep (trials done, steps,
+	// work, wall time); see WithProgress.
+	SweepProgress = harness.Progress
+)
+
+// RunOption configures Run, RunProtocol, and Trials executions.
+type RunOption interface {
+	applyRun(*runConfig)
+}
+
+type runOptionFunc func(*runConfig)
+
+func (f runOptionFunc) applyRun(c *runConfig) { f(c) }
+
+type runConfig struct {
+	n            int
+	file         *Registers
+	inputs       []Value
+	scheduler    Scheduler
+	seed         uint64
+	traced       bool
+	ctx          context.Context
+	workers      int
+	maxSteps     int
+	crashAfter   map[int]int
+	cheapCollect bool
+	progress     func(SweepProgress)
+}
+
+// WithN sets the process count (required for Run and RunProtocol).
+func WithN(n int) RunOption {
+	return runOptionFunc(func(c *runConfig) { c.n = n })
+}
+
+// WithRegisters names the register file the object or protocol was built
+// against (required: objects allocate their registers at construction).
+func WithRegisters(file *Registers) RunOption {
+	return runOptionFunc(func(c *runConfig) { c.file = file })
+}
+
+// WithInputs sets per-process input values: one per process, or a single
+// value broadcast to all (required).
+func WithInputs(vs ...Value) RunOption {
+	return runOptionFunc(func(c *runConfig) { c.inputs = vs })
+}
+
+// WithScheduler sets the adversary (required). Schedulers are stateful —
+// pass a fresh one per execution.
+func WithScheduler(s Scheduler) RunOption {
+	return runOptionFunc(func(c *runConfig) { c.scheduler = s })
+}
+
+// WithSeed sets the seed driving all randomness (for Trials, the root seed
+// that per-trial seeds are derived from).
+func WithSeed(seed uint64) RunOption {
+	return runOptionFunc(func(c *runConfig) { c.seed = seed })
+}
+
+// WithTrace requests a full execution trace in the run's Trace field.
+func WithTrace(on bool) RunOption {
+	return runOptionFunc(func(c *runConfig) { c.traced = on })
+}
+
+// WithContext attaches a context: the execution (or, for Trials, the whole
+// sweep and every in-flight execution) is cancelled between simulated steps
+// when the context expires.
+func WithContext(ctx context.Context) RunOption {
+	return runOptionFunc(func(c *runConfig) { c.ctx = ctx })
+}
+
+// WithWorkers caps the concurrency of a Trials sweep; 0 (the default) uses
+// GOMAXPROCS. Aggregates are bit-identical at any worker count. Run and
+// RunProtocol ignore it.
+func WithWorkers(workers int) RunOption {
+	return runOptionFunc(func(c *runConfig) { c.workers = workers })
+}
+
+// WithMaxSteps bounds an execution's total work (0 = simulator default).
+func WithMaxSteps(steps int) RunOption {
+	return runOptionFunc(func(c *runConfig) { c.maxSteps = steps })
+}
+
+// WithCrashAfter crashes each listed pid after its given operation count.
+func WithCrashAfter(crashes map[int]int) RunOption {
+	return runOptionFunc(func(c *runConfig) { c.crashAfter = crashes })
+}
+
+// WithCheapCollect enables the O(1)-collect cost model (§6.2, choice 4).
+func WithCheapCollect(on bool) RunOption {
+	return runOptionFunc(func(c *runConfig) { c.cheapCollect = on })
+}
+
+// WithProgress registers a hook a Trials sweep calls after every merged
+// trial, from a single goroutine. Run and RunProtocol ignore it.
+func WithProgress(fn func(SweepProgress)) RunOption {
+	return runOptionFunc(func(c *runConfig) { c.progress = fn })
+}
+
+func buildRunConfig(opts []RunOption) runConfig {
+	var c runConfig
+	for _, o := range opts {
+		o.applyRun(&c)
+	}
+	return c
+}
+
+func (c *runConfig) objectConfig() (harness.ObjectConfig, error) {
+	if c.n <= 0 {
+		return harness.ObjectConfig{}, fmt.Errorf("modcon: WithN(%d) must be positive", c.n)
+	}
+	if c.file == nil {
+		return harness.ObjectConfig{}, errors.New("modcon: WithRegisters is required (objects run in the file they were built against)")
+	}
+	if c.scheduler == nil {
+		return harness.ObjectConfig{}, errors.New("modcon: WithScheduler is required")
+	}
+	if len(c.inputs) == 0 {
+		return harness.ObjectConfig{}, errors.New("modcon: WithInputs is required")
+	}
+	return harness.ObjectConfig{
+		N:            c.n,
+		File:         c.file,
+		Inputs:       c.inputs,
+		Scheduler:    c.scheduler,
+		Seed:         c.seed,
+		Traced:       c.traced,
+		CheapCollect: c.cheapCollect,
+		CrashAfter:   c.crashAfter,
+		MaxSteps:     c.maxSteps,
+		Context:      c.ctx,
+	}, nil
+}
+
+// Run executes a deciding object once: every process invokes it with its
+// input under the configured adversary.
+//
+//	file := modcon.NewRegisters()
+//	c := modcon.NewImpatientConciliator(file, n, 1)
+//	run, err := modcon.Run(c,
+//	    modcon.WithRegisters(file), modcon.WithN(n),
+//	    modcon.WithInputs(0, 1, 0, 1),
+//	    modcon.WithScheduler(modcon.NewUniformRandom()),
+//	    modcon.WithSeed(7))
+func Run(obj Object, opts ...RunOption) (*ObjectRun, error) {
+	c := buildRunConfig(opts)
+	cfg, err := c.objectConfig()
+	if err != nil {
+		return nil, err
+	}
+	return harness.RunObject(obj, cfg)
+}
+
+// RunProtocol executes an assembled consensus protocol once (see
+// Consensus.Build); unlike Consensus.Solve it exposes the raw run without
+// input-domain validation or safety checking, for embedding protocols in
+// larger simulated systems.
+func RunProtocol(p *Protocol, opts ...RunOption) (*ProtocolRun, error) {
+	c := buildRunConfig(opts)
+	cfg, err := c.objectConfig()
+	if err != nil {
+		return nil, err
+	}
+	return harness.RunProtocol(p, cfg)
+}
+
+// Trials runs trials independent executions on a worker pool and folds
+// their results in trial order.
+//
+// run is called concurrently, once per trial; it must create all per-trial
+// state (register files, objects, schedulers) fresh, seed the execution with
+// t.Seed, and thread ctx into it (WithContext, or RunConfig.Context) so
+// cancellation reaches in-flight executions. merge, which may be nil, is
+// called from a single goroutine in trial-index order regardless of
+// completion order — so aggregates accumulated there are bit-identical at
+// any worker count for the same root seed (see WithSeed, WithWorkers).
+//
+// Recognized options: WithSeed, WithWorkers, WithContext, WithProgress.
+// The first trial error (by index) cancels the sweep and is returned.
+func Trials[T any](trials int, run func(ctx context.Context, t Trial) (T, error), merge func(t Trial, result T), opts ...RunOption) error {
+	c := buildRunConfig(opts)
+	return harness.RunTrials(harness.Sweep{
+		Trials:   trials,
+		Workers:  c.workers,
+		Seed:     c.seed,
+		Context:  c.ctx,
+		Progress: c.progress,
+	}, run, merge)
+}
