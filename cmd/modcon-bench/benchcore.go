@@ -1,0 +1,176 @@
+package main
+
+// -bench-core: microbenchmark the simulator's step engine itself (rather
+// than any experiment built on it) and emit BENCH_sim.json — the repo's
+// machine-readable perf baseline for the hot path. One cell per (adversary
+// power, process count): a tight write/read/probwrite loop, tracing off,
+// measuring ns/step, steps/sec, and allocs/step. CI runs this with a tiny
+// budget to validate the schema; real baselines use the default budget.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/sched"
+	"github.com/modular-consensus/modcon/internal/sim"
+	"github.com/modular-consensus/modcon/internal/value"
+	"github.com/modular-consensus/modcon/internal/xrand"
+)
+
+// benchSched is round-robin with a declared power class, so each cell
+// exercises that power's view-building path without adversary-strategy cost.
+type benchSched struct {
+	power sched.Power
+	inner *sched.RoundRobin
+}
+
+func (s *benchSched) Next(v *sched.View) int { return s.inner.Next(v) }
+func (s *benchSched) Seed(src *xrand.Source) { s.inner.Seed(src) }
+func (s *benchSched) Name() string           { return "bench-" + s.power.String() }
+func (s *benchSched) MinPower() sched.Power  { return s.power }
+
+// coreCell is one row of BENCH_sim.json.
+type coreCell struct {
+	Power         string  `json:"power"`
+	N             int     `json:"n"`
+	Steps         int     `json:"steps"`
+	NsPerStep     float64 `json:"nsPerStep"`
+	StepsPerSec   float64 `json:"stepsPerSec"`
+	AllocsPerStep int64   `json:"allocsPerStep"`
+	BytesPerStep  int64   `json:"bytesPerStep"`
+}
+
+// coreReport is the BENCH_sim.json schema. Consumers (CI schema check,
+// trajectory tooling) rely on bench, goVersion, gomaxprocs, and results
+// with the coreCell fields above.
+type coreReport struct {
+	Bench      string     `json:"bench"`
+	GoVersion  string     `json:"goVersion"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Budget     string     `json:"budgetPerCell"`
+	Results    []coreCell `json:"results"`
+}
+
+// runCoreCell executes exactly `steps` scheduled operations of the step-loop
+// workload under the given power and process count, tracing off.
+func runCoreCell(power sched.Power, n, steps int) error {
+	f := register.NewFile()
+	a := f.Alloc(n, "bench")
+	prog := func(e *sim.Env) value.Value {
+		r := a.At(e.PID() % a.Len)
+		for i := 0; ; i++ {
+			e.Write(r, value.Value(i))
+			e.Read(r)
+			e.ProbWrite(r, value.Value(i), 1, 2)
+		}
+	}
+	res, err := sim.Run(sim.Config{
+		N: n, File: f, Seed: 1, MaxSteps: steps,
+		Scheduler: &benchSched{power: power, inner: sched.NewRoundRobin()},
+	}, prog)
+	if err != nil && !errors.Is(err, sim.ErrStepLimit) {
+		return err
+	}
+	if res.TotalWork != steps {
+		return fmt.Errorf("bench-core: executed %d steps, want %d", res.TotalWork, steps)
+	}
+	return nil
+}
+
+// measureCoreCell grows the step count until a run fills the time budget,
+// then reports the final run's per-step figures. Allocation counts are
+// process-wide malloc deltas; per-run setup is amortized by the step count.
+func measureCoreCell(power sched.Power, n int, budget time.Duration) (coreCell, error) {
+	steps := 50_000
+	for {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		if err := runCoreCell(power, n, steps); err != nil {
+			return coreCell{}, err
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		if elapsed >= budget || steps >= 1<<26 {
+			ns := float64(elapsed.Nanoseconds()) / float64(steps)
+			return coreCell{
+				Power:         power.String(),
+				N:             n,
+				Steps:         steps,
+				NsPerStep:     ns,
+				StepsPerSec:   1e9 / ns,
+				AllocsPerStep: int64(m1.Mallocs-m0.Mallocs) / int64(steps),
+				BytesPerStep:  int64(m1.TotalAlloc-m0.TotalAlloc) / int64(steps),
+			}, nil
+		}
+		// Scale toward the budget, at least doubling to converge fast.
+		grow := int(float64(steps) * float64(budget) / float64(elapsed+1))
+		if grow < steps*2 {
+			grow = steps * 2
+		}
+		steps = grow
+	}
+}
+
+// runBenchCore runs the full (power × n) matrix and writes the JSON report.
+func runBenchCore(out string, budget time.Duration, ns []int) error {
+	report := coreReport{
+		Bench:      "sim-step-loop",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Budget:     budget.String(),
+	}
+	powers := []sched.Power{
+		sched.Oblivious, sched.ValueOblivious, sched.LocationOblivious, sched.Adaptive,
+	}
+	for _, power := range powers {
+		for _, n := range ns {
+			cell, err := measureCoreCell(power, n, budget)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "bench-core: %-19s n=%-4d %10.1f ns/step %12.0f steps/sec %d allocs/step\n",
+				cell.Power, cell.N, cell.NsPerStep, cell.StepsPerSec, cell.AllocsPerStep)
+			report.Results = append(report.Results, cell)
+		}
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench-core: wrote %s (%d cells)\n", out, len(report.Results))
+	return nil
+}
+
+// parseBenchNs parses the -bench-n csv.
+func parseBenchNs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -bench-n entry %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("-bench-n is empty")
+	}
+	return out, nil
+}

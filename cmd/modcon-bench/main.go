@@ -15,6 +15,9 @@
 //	modcon-bench -markdown       # emit EXPERIMENTS.md-ready markdown
 //	modcon-bench -json           # emit tables as a JSON array
 //	modcon-bench -list           # list experiments
+//	modcon-bench -bench-core     # microbenchmark the step engine itself,
+//	                             # writing BENCH_sim.json (see -bench-out,
+//	                             # -bench-budget, -bench-n)
 //
 // Results are deterministic in (-seed, -trials) and independent of
 // -workers: trial seeds are derived per-trial and results are merged in
@@ -51,9 +54,22 @@ func run(args []string) error {
 		markdown = fs.Bool("markdown", false, "emit markdown instead of aligned text")
 		jsonOut  = fs.Bool("json", false, "emit completed tables as a JSON array")
 		list     = fs.Bool("list", false, "list experiments and exit")
+
+		benchCore   = fs.Bool("bench-core", false, "microbenchmark the step engine and write a JSON perf baseline")
+		benchOut    = fs.String("bench-out", "BENCH_sim.json", "output path for -bench-core")
+		benchBudget = fs.Duration("bench-budget", time.Second, "time budget per -bench-core cell")
+		benchN      = fs.String("bench-n", "2,16,256", "comma-separated process counts for -bench-core")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *benchCore {
+		ns, err := parseBenchNs(*benchN)
+		if err != nil {
+			return err
+		}
+		return runBenchCore(*benchOut, *benchBudget, ns)
 	}
 
 	if *list {

@@ -6,6 +6,13 @@
 // the ground truth for the paper's cost measures, which this backend also
 // tracks (operation counts are exact; only the interleaving is
 // uncontrolled).
+//
+// This is now the only backend in which processes are goroutines: the
+// simulated backend runs processes as same-thread coroutines for speed and
+// trace determinism. The split is intentional — here the Go scheduler *is*
+// the adversary, so real concurrency is the point, and the Env contract
+// (one pending shared-memory op per process, coins free) is identical in
+// both backends.
 package live
 
 import (

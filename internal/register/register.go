@@ -42,8 +42,18 @@ func (a Array) At(i int) Reg {
 // unless overridden with Init.
 type File struct {
 	cells []value.Value
-	// names carries an optional debug name per register.
-	names []string
+	// spans records one entry per Alloc call; per-cell debug names are
+	// derived lazily on Name lookup, so allocating a large file never pays
+	// O(cells) string formatting up front (names only matter for traces and
+	// error messages, which are off the hot path by construction).
+	spans []nameSpan
+}
+
+// nameSpan labels the contiguous block of registers from one Alloc call.
+type nameSpan struct {
+	base int
+	n    int
+	name string
 }
 
 // NewFile returns an empty register file.
@@ -52,7 +62,8 @@ func NewFile() *File {
 }
 
 // Alloc allocates n fresh registers initialized to ⊥ and returns the block.
-// name is a debug label for traces.
+// name is a debug label for traces; it is stored once per block and expanded
+// to "name[i]" lazily on the first Name lookup of a cell.
 func (f *File) Alloc(n int, name string) Array {
 	if n < 0 {
 		panic("register: Alloc with negative count")
@@ -60,11 +71,9 @@ func (f *File) Alloc(n int, name string) Array {
 	base := Reg(len(f.cells))
 	for i := 0; i < n; i++ {
 		f.cells = append(f.cells, value.None)
-		if n == 1 {
-			f.names = append(f.names, name)
-		} else {
-			f.names = append(f.names, fmt.Sprintf("%s[%d]", name, i))
-		}
+	}
+	if n > 0 {
+		f.spans = append(f.spans, nameSpan{base: int(base), n: n, name: name})
 	}
 	return Array{Base: base, Len: n}
 }
@@ -98,24 +107,59 @@ func (f *File) Snapshot(a Array) []value.Value {
 	return out
 }
 
+// SnapshotAppend appends the contents of an array to dst and returns the
+// extended slice. The allocation-free form of Snapshot: the simulator calls
+// it with a reused buffer on every cheap-collect step.
+func (f *File) SnapshotAppend(dst []value.Value, a Array) []value.Value {
+	if a.Len > 0 {
+		f.check(a.Base)
+		f.check(a.Base + Reg(a.Len) - 1)
+	}
+	return append(dst, f.cells[a.Base:a.Base+Reg(a.Len)]...)
+}
+
 // Len returns the number of allocated registers.
 func (f *File) Len() int { return len(f.cells) }
 
-// Name returns the debug name of r, or "r<i>" if unnamed.
+// Name returns the debug name of r ("label" for single-register blocks,
+// "label[i]" within larger blocks), or "r<i>" if unnamed. The string is
+// formatted on demand — allocation names are stored per block, not per cell.
 func (f *File) Name(r Reg) string {
 	i := f.check(r)
-	if f.names[i] != "" {
-		return f.names[i]
+	// Binary search the spans (sorted by base, non-overlapping) for i.
+	lo, hi := 0, len(f.spans)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if f.spans[mid].base+f.spans[mid].n <= i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(f.spans) && f.spans[lo].base <= i && f.spans[lo].name != "" {
+		s := f.spans[lo]
+		if s.n == 1 {
+			return s.name
+		}
+		return fmt.Sprintf("%s[%d]", s.name, i-s.base)
 	}
 	return fmt.Sprintf("r%d", i)
 }
 
-// Contents returns a copy of the whole memory. Used to build adversary views
-// for location-oblivious and adaptive adversaries.
+// Contents returns a copy of the whole memory. Used where a fresh, caller-
+// owned image is wanted (tests, archival); the simulator's hot path uses
+// AppendContents with a reused buffer instead.
 func (f *File) Contents() []value.Value {
 	out := make([]value.Value, len(f.cells))
 	copy(out, f.cells)
 	return out
+}
+
+// AppendContents appends the whole memory to dst and returns the extended
+// slice. The allocation-free form of Contents, used to rebuild adversary
+// views for location-oblivious and adaptive adversaries every step.
+func (f *File) AppendContents(dst []value.Value) []value.Value {
+	return append(dst, f.cells...)
 }
 
 // Reset restores every register to ⊥. Inits must be re-applied by the owner;

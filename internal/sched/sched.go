@@ -117,6 +117,14 @@ type Op struct {
 }
 
 // View is what the adversary sees when choosing the next step.
+//
+// Buffer-reuse contract (copy-on-escape): the View pointer and its Runnable,
+// Pending, and Memory slices are owned by the runtime and reused on every
+// step — the step path is allocation-free by design. A Scheduler may read
+// them freely during Next, but must not mutate them and must not retain any
+// of them past Next's return; a strategy that wants history (e.g. a memory
+// baseline to detect the first landed write) must copy what it needs into
+// its own state, as concTracker does with append(dst[:0], v.Memory...).
 type View struct {
 	// Power is the information class this view was built for.
 	Power Power

@@ -9,18 +9,25 @@ import (
 )
 
 // Env is a process's handle on the shared-memory world. Every method that
-// touches shared memory blocks until the adversary schedules the operation;
-// coin methods are local, free, and invisible to weak adversaries.
+// touches shared memory suspends the process's coroutine until the adversary
+// schedules the operation; coin methods are local, free, and invisible to
+// weak adversaries.
 //
-// An Env belongs to exactly one process goroutine and must not be shared.
+// An Env belongs to exactly one process coroutine and must not be shared.
 type Env struct {
-	pid    int
-	n      int
-	cheap  bool
-	coins  *xrand.Source
-	log    *trace.Log
-	st     *procState
-	killCh chan struct{}
+	pid   int
+	n     int
+	cheap bool
+	coins *xrand.Source
+	log   *trace.Log
+	// yield publishes a pending operation and suspends the coroutine; it
+	// returns false when the engine is tearing the process down.
+	yield func(request) bool
+	// resp points at the engine-side response slot for this process; it is
+	// valid exactly when yield has just returned true.
+	resp *response
+	// collectBuf backs non-cheap Collect results; see Collect's contract.
+	collectBuf []value.Value
 }
 
 // PID returns this process's id in [0, N).
@@ -61,69 +68,82 @@ func (e *Env) ProbWrite(r register.Reg, v value.Value, num, den uint64) bool {
 // it costs 1 operation; otherwise it is performed as arr.Len individual
 // reads (cost arr.Len, with scheduling points between reads, i.e. *not*
 // atomic — exactly the distinction §6.2 draws).
+//
+// Copy-on-escape: the returned slice is backed by a buffer the runtime
+// reuses, and is valid only until this process's next Env operation.
+// Protocols that consume the collect immediately (the normal shape — every
+// construction in this repo iterates over it right away) need no copy;
+// anything that retains the slice across a subsequent Read/Write/ProbWrite/
+// Collect must copy it first.
 func (e *Env) Collect(arr register.Array) []value.Value {
 	if e.cheap {
 		resp := e.do(request{kind: sched.OpCollect, arr: arr})
 		return resp.vals
 	}
-	out := make([]value.Value, arr.Len)
+	e.collectBuf = e.collectBuf[:0]
 	for i := 0; i < arr.Len; i++ {
-		out[i] = e.Read(arr.At(i))
+		e.collectBuf = append(e.collectBuf, e.Read(arr.At(i)))
 	}
-	return out
+	return e.collectBuf
 }
 
 // CoinUint64 flips 64 local coin bits. Cost: 0.
 func (e *Env) CoinUint64() uint64 {
 	v := e.coins.Uint64()
-	e.log.Append(trace.Event{Step: -1, PID: e.pid, Kind: trace.Coin, Val: value.Value(int64(v >> 1))})
+	if e.log != nil {
+		e.log.Append(trace.Event{Step: -1, PID: e.pid, Kind: trace.Coin, Val: value.Value(int64(v >> 1))})
+	}
 	return v
 }
 
 // CoinBool flips one fair local coin. Cost: 0.
 func (e *Env) CoinBool() bool {
 	v := e.coins.Bool()
-	bit := value.Value(0)
-	if v {
-		bit = 1
+	if e.log != nil {
+		bit := value.Value(0)
+		if v {
+			bit = 1
+		}
+		e.log.Append(trace.Event{Step: -1, PID: e.pid, Kind: trace.Coin, Val: bit})
 	}
-	e.log.Append(trace.Event{Step: -1, PID: e.pid, Kind: trace.Coin, Val: bit})
 	return v
 }
 
 // CoinIntn returns a uniform local random integer in [0, n). Cost: 0.
 func (e *Env) CoinIntn(n int) int {
 	v := e.coins.Intn(n)
-	e.log.Append(trace.Event{Step: -1, PID: e.pid, Kind: trace.Coin, Val: value.Value(v)})
+	if e.log != nil {
+		e.log.Append(trace.Event{Step: -1, PID: e.pid, Kind: trace.Coin, Val: value.Value(v)})
+	}
 	return v
 }
 
 // MarkInvoke annotates the trace with the start of an operation on a
 // deciding object. Cost: 0.
 func (e *Env) MarkInvoke(label string, v value.Value) {
-	e.log.Append(trace.Event{Step: -1, PID: e.pid, Kind: trace.Invoke, Label: label, Val: v})
+	if e.log != nil {
+		e.log.Append(trace.Event{Step: -1, PID: e.pid, Kind: trace.Invoke, Label: label, Val: v})
+	}
 }
 
 // MarkReturn annotates the trace with the result of an operation on a
 // deciding object. Cost: 0.
 func (e *Env) MarkReturn(label string, d value.Decision) {
-	e.log.Append(trace.Event{
-		Step: -1, PID: e.pid, Kind: trace.Return,
-		Label: label, Val: d.V, Decided: d.Decided,
-	})
+	if e.log != nil {
+		e.log.Append(trace.Event{
+			Step: -1, PID: e.pid, Kind: trace.Return,
+			Label: label, Val: d.V, Decided: d.Decided,
+		})
+	}
 }
 
-// do publishes a pending operation and blocks until the runtime executes it.
+// do publishes a pending operation, suspends the coroutine until the
+// runtime executes the operation, and returns the runtime's response. A
+// false yield means the runtime is unwinding this process (teardown after
+// halt-of-run, crash, cancellation, or another process's panic).
 func (e *Env) do(req request) response {
-	select {
-	case e.st.reqCh <- req:
-	case <-e.killCh:
+	if !e.yield(req) {
 		panic(errKilled)
 	}
-	select {
-	case resp := <-e.st.respCh:
-		return resp
-	case <-e.killCh:
-		panic(errKilled)
-	}
+	return *e.resp
 }

@@ -1,26 +1,36 @@
 // Package sim is the discrete-event runtime for the paper's asynchronous
 // shared-memory model (§2).
 //
-// Each of the n processes runs its Program in a goroutine. A process's call
-// into the Env (Read, Write, ProbWrite, Collect) publishes exactly one
-// pending operation and blocks; the runtime asks the adversary Scheduler
+// Each of the n processes runs its Program as a same-thread resumable
+// coroutine (an iter.Pull iterator over its pending operations). A process's
+// call into the Env (Read, Write, ProbWrite, Collect) publishes exactly one
+// pending operation and suspends; the runtime asks the adversary Scheduler
 // which pending operation executes next, applies it atomically to the
-// register file, and resumes that process. Asynchrony is therefore modeled
-// by interleaving, exactly as in the paper, and the runtime counts total and
-// per-process (individual) work as defined there: every shared-memory
-// operation costs 1 (probabilistic writes cost 1 whether or not they take
-// effect), local coin flips cost 0.
+// register file, and resumes that coroutine in place — a direct context
+// switch with no goroutine scheduler round-trip and no channel traffic.
+// Asynchrony is therefore modeled by interleaving, exactly as in the paper,
+// and the runtime counts total and per-process (individual) work as defined
+// there: every shared-memory operation costs 1 (probabilistic writes cost 1
+// whether or not they take effect), local coin flips cost 0.
+//
+// The step path is allocation-free in the steady state: scheduler views,
+// memory images, and collect snapshots are served from buffers owned by the
+// engine and reused every step (see the copy-on-escape contracts on
+// sched.View and Env.Collect), and trace events are not even constructed
+// when tracing is off.
 //
 // Executions are deterministic functions of (programs, scheduler, seed):
 // each process's local coins and probabilistic-write coins come from private
-// split streams, and the scheduler gets its own stream.
+// split streams, and the scheduler gets its own stream. Because processes
+// run as cooperatively scheduled coroutines, determinism extends to the
+// trace: free events (coins, markers) interleave identically on every run.
 package sim
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
+	"iter"
 
 	"github.com/modular-consensus/modcon/internal/register"
 	"github.com/modular-consensus/modcon/internal/sched"
@@ -129,16 +139,22 @@ type response struct {
 	ok   bool
 }
 
-type procFailure struct {
-	pid   int
-	cause any
-}
-
-type procState struct {
-	reqCh   chan request
-	respCh  chan response
-	doneCh  chan value.Value
-	failCh  chan procFailure
+// proc is the engine-side state of one process coroutine. The resume
+// protocol replaces the old four-channel handoff: the engine writes resp,
+// calls next() to transfer control into the coroutine, and the coroutine
+// either yields its next request (suspending itself) or returns (halting).
+// Control transfer is a same-thread coroutine switch (runtime coro under
+// iter.Pull), so resp/pending need no synchronization.
+type proc struct {
+	// next resumes the coroutine; it returns the process's next pending
+	// operation, or ok=false once the program has returned.
+	next func() (request, bool)
+	// stop unwinds a suspended coroutine (its pending Env call panics with
+	// errKilled, which the coroutine wrapper swallows).
+	stop func()
+	// resp is the engine's answer to the coroutine's previous request; the
+	// coroutine reads it immediately after its yield returns.
+	resp    response
 	pending request
 	hasOp   bool
 	halted  bool
@@ -146,7 +162,7 @@ type procState struct {
 	output  value.Value
 }
 
-// errKilled is the sentinel panic used to unwind process goroutines at
+// errKilled is the sentinel panic used to unwind process coroutines at
 // teardown.
 var errKilled = errors.New("sim: process killed")
 
@@ -189,9 +205,8 @@ func Run(cfg Config, programs ...Program) (*Result, error) {
 		power:    cfg.Scheduler.MinPower(),
 		maxSteps: maxSteps,
 		ctxDone:  ctxDone,
-		states:   make([]*procState, cfg.N),
+		procs:    make([]proc, cfg.N),
 		probSrc:  make([]*xrand.Source, cfg.N),
-		killCh:   make(chan struct{}),
 		result: &Result{
 			Outputs: make([]value.Value, cfg.N),
 			Halted:  make([]bool, cfg.N),
@@ -203,58 +218,63 @@ func Run(cfg Config, programs ...Program) (*Result, error) {
 		rt.result.Outputs[pid] = value.None
 	}
 
+	// CrashAfter is consulted on every step; flatten the map into a dense
+	// per-pid limit (MaxInt = never) so the hot path does one compare
+	// instead of a map lookup.
+	rt.crashAt = make([]int, cfg.N)
+	for pid := range rt.crashAt {
+		rt.crashAt[pid] = int(^uint(0) >> 1)
+	}
+	for pid, limit := range cfg.CrashAfter {
+		if pid >= 0 && pid < cfg.N {
+			rt.crashAt[pid] = limit
+		}
+	}
+
 	root := xrand.New(cfg.Seed)
 	cfg.Scheduler.Seed(root.Split(0))
 	for pid := 0; pid < cfg.N; pid++ {
 		rt.probSrc[pid] = root.Split(uint64(1_000_000 + pid))
-		rt.states[pid] = &procState{
-			reqCh:  make(chan request, 1),
-			respCh: make(chan response, 1),
-			doneCh: make(chan value.Value, 1),
-			failCh: make(chan procFailure, 1),
-		}
 	}
-
 	for pid := 0; pid < cfg.N; pid++ {
-		env := &Env{
-			pid:    pid,
-			n:      cfg.N,
-			cheap:  cfg.CheapCollect,
-			coins:  root.Split(uint64(1 + pid)),
-			log:    cfg.Trace,
-			st:     rt.states[pid],
-			killCh: rt.killCh,
-		}
-		rt.wg.Add(1)
-		go runProcess(rt, pid, programs[pid], env)
+		rt.spawn(pid, programs[pid], root.Split(uint64(1+pid)))
 	}
 
+	// teardown runs even when a program panic propagates out of a resume,
+	// so every suspended coroutine is unwound before Run re-panics.
+	defer rt.teardown()
 	err := rt.loop()
-	rt.teardown()
-	if rt.failure != nil {
-		panic(rt.failure.cause)
-	}
 	return rt.result, err
 }
 
-func runProcess(rt *engine, pid int, prog Program, env *Env) {
-	defer rt.wg.Done()
-	defer func() {
-		if r := recover(); r != nil {
-			if err, ok := r.(error); ok && errors.Is(err, errKilled) {
-				return
-			}
-			select {
-			case rt.states[pid].failCh <- procFailure{pid: pid, cause: r}:
-			case <-rt.killCh:
-			}
-		}
-	}()
-	out := prog(env)
-	select {
-	case rt.states[pid].doneCh <- out:
-	case <-rt.killCh:
+// spawn creates pid's coroutine. The coroutine body runs the program and
+// records its decision; a panic other than the errKilled teardown sentinel
+// propagates to whichever engine call resumed the coroutine — and from
+// there out of Run, preserving the original panic value.
+func (rt *engine) spawn(pid int, prog Program, coins *xrand.Source) {
+	p := &rt.procs[pid]
+	env := &Env{
+		pid:   pid,
+		n:     rt.cfg.N,
+		cheap: rt.cfg.CheapCollect,
+		coins: coins,
+		log:   rt.cfg.Trace,
+		resp:  &p.resp,
 	}
+	p.next, p.stop = iter.Pull(func(yield func(request) bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				if err, ok := r.(error); ok && errors.Is(err, errKilled) {
+					return
+				}
+				panic(r)
+			}
+		}()
+		env.yield = yield
+		out := prog(env)
+		p.halted = true
+		p.output = out
+	})
 }
 
 type engine struct {
@@ -262,30 +282,43 @@ type engine struct {
 	power    sched.Power
 	maxSteps int
 	ctxDone  <-chan struct{}
-	states   []*procState
+	procs    []proc
 	probSrc  []*xrand.Source
-	killCh   chan struct{}
-	wg       sync.WaitGroup
+	crashAt  []int
 	result   *Result
 	steps    int
-	failure  *procFailure
 
-	runnableBuf []int
+	// The scheduler view is maintained incrementally: exactly one process
+	// changes state per step, so runnable (ascending pids) and view.Pending
+	// are patched in O(1) amortized instead of rebuilt in O(n). The slices
+	// are engine-owned and reused every step; schedulers may read them only
+	// for the duration of one Next call (see the contract on sched.View).
+	view     sched.View
+	runnable []int
+	// memBuf backs View.Memory (location-oblivious/adaptive powers),
+	// collectBuf backs cheap-collect responses; both reused every step.
+	memBuf     []value.Value
+	collectBuf []value.Value
 }
 
 // loop drives the execution to completion or to the step limit.
 func (rt *engine) loop() error {
 	// Gather the initial pending operation (or immediate halt) of each
-	// process.
-	for pid := range rt.states {
-		if !rt.waitNext(pid) {
-			return nil // a process failed; failure recorded
+	// process, in pid order, then build the initial view state.
+	rt.view = sched.View{Power: rt.power, N: rt.cfg.N, Pending: make([]sched.Op, rt.cfg.N)}
+	rt.runnable = make([]int, 0, rt.cfg.N)
+	for pid := range rt.procs {
+		rt.resume(pid)
+	}
+	for pid := range rt.procs {
+		p := &rt.procs[pid]
+		if p.hasOp && !p.crashed && !p.halted {
+			rt.runnable = append(rt.runnable, pid)
+			rt.view.Pending[pid] = rt.restrictOp(p.pending)
 		}
 	}
-	view := &sched.View{Power: rt.power, N: rt.cfg.N}
 	for {
-		runnable := rt.collectRunnable()
-		if len(runnable) == 0 {
+		if len(rt.runnable) == 0 {
 			return nil // every process halted or crashed
 		}
 		if rt.steps >= rt.maxSteps {
@@ -298,158 +331,170 @@ func (rt *engine) loop() error {
 			default:
 			}
 		}
-		rt.buildView(view, runnable)
-		pid := rt.cfg.Scheduler.Next(view)
-		if pid < 0 || pid >= rt.cfg.N || !rt.states[pid].hasOp || rt.states[pid].crashed {
+		rt.view.Step = rt.steps
+		rt.view.Runnable = rt.runnable
+		switch rt.power {
+		case sched.LocationOblivious, sched.Adaptive:
+			rt.memBuf = rt.cfg.File.AppendContents(rt.memBuf[:0])
+			rt.view.Memory = rt.memBuf
+		}
+		pid := rt.cfg.Scheduler.Next(&rt.view)
+		if pid < 0 || pid >= rt.cfg.N || !rt.procs[pid].hasOp || rt.procs[pid].crashed {
 			panic(fmt.Sprintf("sim: scheduler %q chose non-runnable pid %d", rt.cfg.Scheduler.Name(), pid))
 		}
 		rt.execute(pid)
-		if rt.failure != nil {
-			return nil
+		// Patch the view entry of the one process that moved.
+		p := &rt.procs[pid]
+		if p.hasOp && !p.crashed && !p.halted {
+			rt.view.Pending[pid] = rt.restrictOp(p.pending)
+		} else {
+			rt.view.Pending[pid] = sched.Op{}
+			rt.dropRunnable(pid)
 		}
 	}
 }
 
-// collectRunnable reuses a per-engine buffer: with thousands of processes
-// the per-step allocation dominates the scheduling loop otherwise. The
-// slice is only valid until the next call; schedulers see it through the
-// View for the duration of one Next call.
-func (rt *engine) collectRunnable() []int {
-	rt.runnableBuf = rt.runnableBuf[:0]
-	for pid, st := range rt.states {
-		if st.hasOp && !st.crashed && !st.halted {
-			rt.runnableBuf = append(rt.runnableBuf, pid)
+// dropRunnable removes pid from the ascending runnable list (called only
+// when a process halts or crashes, so the O(n) shift is off the per-step
+// path).
+func (rt *engine) dropRunnable(pid int) {
+	for i, p := range rt.runnable {
+		if p == pid {
+			rt.runnable = append(rt.runnable[:i], rt.runnable[i+1:]...)
+			return
 		}
 	}
-	return rt.runnableBuf
 }
 
-// execute applies pid's pending operation, delivers the response, and waits
-// for pid's next request (unless pid crashes at this step).
+// execute applies pid's pending operation, then resumes pid's coroutine to
+// obtain its next request (unless pid crashes at this step).
 func (rt *engine) execute(pid int) {
-	st := rt.states[pid]
-	req := st.pending
-	st.hasOp = false
+	p := &rt.procs[pid]
+	req := p.pending
+	p.hasOp = false
 	file := rt.cfg.File
+	traced := rt.cfg.Trace != nil
 
 	var resp response
-	ev := trace.Event{Step: rt.steps, PID: pid, Reg: int(req.reg), Val: req.val}
 	switch req.kind {
 	case sched.OpRead:
 		resp.val = file.Load(req.reg)
-		ev.Kind = trace.Read
-		ev.Val = resp.val
 	case sched.OpWrite:
 		file.Store(req.reg, req.val)
-		ev.Kind = trace.Write
 	case sched.OpProbWrite:
 		resp.ok = rt.probSrc[pid].Bernoulli(req.num, req.den)
 		if resp.ok {
 			file.Store(req.reg, req.val)
 		}
-		ev.Kind = trace.ProbWrite
-		ev.Succeeded = resp.ok
-		ev.ProbNum, ev.ProbDen = req.num, req.den
 	case sched.OpCollect:
-		resp.vals = file.Snapshot(req.arr)
-		ev.Kind = trace.Collect
-		ev.Reg = int(req.arr.Base)
+		rt.collectBuf = file.SnapshotAppend(rt.collectBuf[:0], req.arr)
+		resp.vals = rt.collectBuf
 	default:
 		panic(fmt.Sprintf("sim: unknown op kind %v", req.kind))
 	}
-	rt.cfg.Trace.Append(ev)
+	if traced {
+		ev := trace.Event{Step: rt.steps, PID: pid, Reg: int(req.reg), Val: req.val}
+		switch req.kind {
+		case sched.OpRead:
+			ev.Kind = trace.Read
+			ev.Val = resp.val
+		case sched.OpWrite:
+			ev.Kind = trace.Write
+		case sched.OpProbWrite:
+			ev.Kind = trace.ProbWrite
+			ev.Succeeded = resp.ok
+			ev.ProbNum, ev.ProbDen = req.num, req.den
+		case sched.OpCollect:
+			ev.Kind = trace.Collect
+			ev.Reg = int(req.arr.Base)
+		}
+		rt.cfg.Trace.Append(ev)
+	}
 	rt.result.Work[pid]++
 	rt.result.TotalWork++
 	rt.steps++
 
-	if limit, ok := rt.cfg.CrashAfter[pid]; ok && rt.result.Work[pid] >= limit {
+	if rt.result.Work[pid] >= rt.crashAt[pid] {
 		// The operation took effect, but the process never observes the
-		// result and is never scheduled again.
-		st.crashed = true
+		// result and is never scheduled again; its coroutine stays suspended
+		// until teardown unwinds it.
+		p.crashed = true
 		rt.result.Crashed[pid] = true
-		rt.cfg.Trace.Append(trace.Event{Step: -1, PID: pid, Kind: trace.Crash})
+		if traced {
+			rt.cfg.Trace.Append(trace.Event{Step: -1, PID: pid, Kind: trace.Crash})
+		}
 		return
 	}
 
-	st.respCh <- resp
-	rt.waitNext(pid)
+	p.resp = resp
+	rt.resume(pid)
 }
 
-// waitNext blocks until pid publishes its next operation, halts, or fails.
-// It returns false when a process failure aborts the run.
-func (rt *engine) waitNext(pid int) bool {
-	st := rt.states[pid]
-	select {
-	case req := <-st.reqCh:
-		st.pending = req
-		st.hasOp = true
-		return true
-	case out := <-st.doneCh:
-		st.halted = true
-		st.output = out
-		rt.result.Halted[pid] = true
-		rt.result.Outputs[pid] = out
-		rt.cfg.Trace.Append(trace.Event{Step: -1, PID: pid, Kind: trace.Halt, Val: out})
-		return true
-	case f := <-st.failCh:
-		rt.failure = &f
-		return false
+// resume transfers control into pid's coroutine and records what comes
+// back: either the next pending operation or the program's return. A
+// program panic propagates out of p.next (and out of Run) with its original
+// value; the deferred teardown in Run unwinds the other coroutines first.
+func (rt *engine) resume(pid int) {
+	p := &rt.procs[pid]
+	req, ok := p.next()
+	if ok {
+		p.pending = req
+		p.hasOp = true
+		return
+	}
+	// The program returned: p.halted and p.output were set by the coroutine
+	// wrapper before it finished.
+	rt.result.Halted[pid] = true
+	rt.result.Outputs[pid] = p.output
+	if rt.cfg.Trace != nil {
+		rt.cfg.Trace.Append(trace.Event{Step: -1, PID: pid, Kind: trace.Halt, Val: p.output})
 	}
 }
 
-// buildView fills view with the information rt.power permits.
-func (rt *engine) buildView(view *sched.View, run []int) {
-	view.Step = rt.steps
-	view.Runnable = run
-	if view.Pending == nil {
-		view.Pending = make([]sched.Op, rt.cfg.N)
-	}
-	for pid := range view.Pending {
-		view.Pending[pid] = sched.Op{}
-	}
-	for _, pid := range run {
-		req := rt.states[pid].pending
-		op := sched.Op{Valid: true, Reg: -1, Val: value.None}
-		switch rt.power {
-		case sched.Oblivious:
-			// Liveness only.
-		case sched.ValueOblivious:
-			op.Kind = req.kind
-			op.Reg = req.reg
-			if req.kind == sched.OpCollect {
-				op.Reg = req.arr.Base
-			}
-		case sched.LocationOblivious:
-			op.Kind = req.kind
-			if req.kind == sched.OpWrite || req.kind == sched.OpProbWrite {
-				op.Val = req.val
-			}
-			op.ProbNum, op.ProbDen = req.num, req.den
-		case sched.Adaptive:
-			op.Kind = req.kind
-			op.Reg = req.reg
-			if req.kind == sched.OpCollect {
-				op.Reg = req.arr.Base
-			}
-			if req.kind == sched.OpWrite || req.kind == sched.OpProbWrite {
-				op.Val = req.val
-			}
-			op.ProbNum, op.ProbDen = req.num, req.den
-		default:
-			panic(fmt.Sprintf("sim: unknown power %v", rt.power))
-		}
-		view.Pending[pid] = op
-	}
+// restrictOp projects a pending request down to what rt.power permits the
+// adversary to observe (§2.1).
+func (rt *engine) restrictOp(req request) sched.Op {
+	op := sched.Op{Valid: true, Reg: -1, Val: value.None}
 	switch rt.power {
-	case sched.LocationOblivious, sched.Adaptive:
-		view.Memory = rt.cfg.File.Contents()
+	case sched.Oblivious:
+		// Liveness only.
+	case sched.ValueOblivious:
+		op.Kind = req.kind
+		op.Reg = req.reg
+		if req.kind == sched.OpCollect {
+			op.Reg = req.arr.Base
+		}
+	case sched.LocationOblivious:
+		op.Kind = req.kind
+		if req.kind == sched.OpWrite || req.kind == sched.OpProbWrite {
+			op.Val = req.val
+		}
+		op.ProbNum, op.ProbDen = req.num, req.den
+	case sched.Adaptive:
+		op.Kind = req.kind
+		op.Reg = req.reg
+		if req.kind == sched.OpCollect {
+			op.Reg = req.arr.Base
+		}
+		if req.kind == sched.OpWrite || req.kind == sched.OpProbWrite {
+			op.Val = req.val
+		}
+		op.ProbNum, op.ProbDen = req.num, req.den
 	default:
-		view.Memory = nil
+		panic(fmt.Sprintf("sim: unknown power %v", rt.power))
 	}
+	return op
 }
 
-// teardown unblocks and reaps every process goroutine.
+// teardown unwinds every coroutine that has not already returned: suspended
+// processes (crashed, step-limited, cancelled, or stranded by another
+// process's panic) see their pending Env call fail and exit through the
+// errKilled sentinel.
 func (rt *engine) teardown() {
-	close(rt.killCh)
-	rt.wg.Wait()
+	for pid := range rt.procs {
+		p := &rt.procs[pid]
+		if p.stop != nil {
+			p.stop()
+		}
+	}
 }
