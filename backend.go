@@ -1,0 +1,84 @@
+package modcon
+
+import (
+	"fmt"
+
+	"github.com/modular-consensus/modcon/internal/exec"
+	"github.com/modular-consensus/modcon/internal/live"
+	"github.com/modular-consensus/modcon/internal/sim"
+)
+
+// Backend selects the execution model for Run, RunProtocol, Simulate, and
+// Consensus.Solve. The same objects and protocols — written once against
+// Env — run unchanged on either backend; only how operations are
+// interleaved (and what can be observed about the run) differs.
+//
+//	Capability          Sim                    Live
+//	adversary control   yes (WithScheduler)    no (the Go scheduler decides)
+//	tracing             yes (WithTrace)        no
+//	deterministic       yes (pure fn of seed)  coins only; not interleaving
+//	wall-clock timing   no (simulated steps)   yes
+//
+// Asking a backend for a capability it lacks is a configuration error with
+// a precise message, never silent misbehavior. Work accounting (TotalWork,
+// Work) is exact on both; for single-process executions the two backends
+// produce bit-identical decisions and op counts.
+type Backend int
+
+const (
+	// Sim is the deterministic discrete-event simulator (the default): the
+	// adversary is an explicit Scheduler, executions are pure functions of
+	// (protocol, scheduler, seed), and full traces can be recorded. It is
+	// the ground truth for the paper's cost measures.
+	Sim Backend = iota
+	// Live runs processes as free-running goroutines over sync/atomic
+	// registers: the hardware scheduler decides the interleaving, so runs
+	// measure real concurrent behavior and wall-clock time. Safety
+	// properties must hold on every run; schedule distribution is not
+	// controlled.
+	Live
+)
+
+// String returns the backend's name ("sim", "live").
+func (b Backend) String() string {
+	switch b {
+	case Sim:
+		return "sim"
+	case Live:
+		return "live"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// impl resolves the public enum to the internal backend implementation.
+func (b Backend) impl() (exec.Backend, error) {
+	switch b {
+	case Sim:
+		return sim.Backend(), nil
+	case Live:
+		return live.Backend(), nil
+	default:
+		return nil, fmt.Errorf("modcon: unknown backend %d", int(b))
+	}
+}
+
+// validateOptions checks backend-dependent option combinations up front so
+// misconfigurations fail with an actionable message instead of surfacing
+// from deep inside a backend.
+func (b Backend) validateOptions(scheduler Scheduler, traced bool) error {
+	switch b {
+	case Sim:
+		if scheduler == nil {
+			return fmt.Errorf("modcon: a scheduler is required: the %s backend needs an explicit adversary", b)
+		}
+	case Live:
+		if scheduler != nil {
+			return fmt.Errorf("modcon: a scheduler is sim-only: the %s backend has no adversary control (the Go scheduler decides the interleaving)", b)
+		}
+		if traced {
+			return fmt.Errorf("modcon: tracing is sim-only: the %s backend has no global step sequence to record", b)
+		}
+	}
+	return nil
+}

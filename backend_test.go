@@ -1,0 +1,230 @@
+package modcon
+
+// Cross-backend tests through the public API: the seam's acceptance
+// criteria. Single-process executions must be bit-identical on Sim and
+// Live (same decisions, same op counts — pinned per catalog object), live
+// consensus must satisfy agreement and validity on every run across
+// process counts and seeds, and sim-only options must be rejected with
+// clear errors on Live. Names start with TestLive so CI's live smoke step
+// (`go test -race -run Live ./...`) picks them up.
+
+import (
+	"strings"
+	"testing"
+)
+
+// liveCatalog builds each public-catalog deciding object for a
+// single-process execution (objects are one-shot: fresh file and object
+// per run).
+func liveCatalog(t *testing.T) []struct {
+	name  string
+	build func() (*Registers, Object)
+	input Value
+} {
+	t.Helper()
+	type entry = struct {
+		name  string
+		build func() (*Registers, Object)
+		input Value
+	}
+	return []entry{
+		{"impatient-conciliator", func() (*Registers, Object) {
+			f := NewRegisters()
+			return f, NewImpatientConciliator(f, 1, 1)
+		}, 1},
+		{"constant-rate-conciliator", func() (*Registers, Object) {
+			f := NewRegisters()
+			return f, NewConstantRateConciliator(f, 1, 1)
+		}, 1},
+		{"coin-conciliator", func() (*Registers, Object) {
+			f := NewRegisters()
+			return f, NewCoinConciliator(f, 1, 1)
+		}, 1},
+		{"binary-ratifier", func() (*Registers, Object) {
+			f := NewRegisters()
+			r, err := NewRatifier(f, 2, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return f, r
+		}, 1},
+		{"pool-ratifier-m16", func() (*Registers, Object) {
+			f := NewRegisters()
+			r, err := NewRatifier(f, 16, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return f, r
+		}, 7},
+		{"cil-consensus", func() (*Registers, Object) {
+			f := NewRegisters()
+			return f, NewCILConsensus(f, 1, 1)
+		}, 1},
+	}
+}
+
+// TestLiveCrossBackendSingleProcess pins the seam's equivalence property:
+// with one process there is no interleaving to differ on, and both
+// backends derive the coin streams identically, so Sim and Live must
+// produce the same decision and the same op counts, bit for bit.
+func TestLiveCrossBackendSingleProcess(t *testing.T) {
+	for _, c := range liveCatalog(t) {
+		t.Run(c.name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 5; seed++ {
+				runOn := func(opts ...RunOption) *ObjectRun {
+					file, obj := c.build()
+					base := []RunOption{
+						WithN(1), WithRegisters(file), WithInputs(c.input), WithSeed(seed),
+					}
+					run, err := Run(obj, append(base, opts...)...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return run
+				}
+				simRun := runOn(WithScheduler(NewRoundRobin()))
+				liveRun := runOn(WithBackend(Live))
+				if simRun.Decisions[0] != liveRun.Decisions[0] {
+					t.Fatalf("seed %d: sim decided %v, live %v", seed, simRun.Decisions[0], liveRun.Decisions[0])
+				}
+				if simRun.Result.Work[0] != liveRun.Result.Work[0] ||
+					simRun.Result.TotalWork != liveRun.Result.TotalWork {
+					t.Fatalf("seed %d: sim work %v/%d, live %v/%d", seed,
+						simRun.Result.Work, simRun.Result.TotalWork,
+						liveRun.Result.Work, liveRun.Result.TotalWork)
+				}
+			}
+		})
+	}
+}
+
+// TestLiveBinaryConsensusSafety runs the full binary protocol on the live
+// backend across process counts and seeds; agreement and validity are
+// safety properties, so no goroutine interleaving may violate them (Solve
+// checks them internally and errors on violation).
+func TestLiveBinaryConsensusSafety(t *testing.T) {
+	for _, n := range []int{2, 8, 32} {
+		spec, err := NewBinary(n, WithFallback(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs := make([]Value, n)
+		for i := range inputs {
+			inputs[i] = Value(i % 2)
+		}
+		for seed := uint64(0); seed < 5; seed++ {
+			out, err := spec.Solve(inputs, nil, seed, RunConfig{Backend: Live})
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+			if out.Value.IsNone() {
+				t.Fatalf("n=%d seed=%d: no process decided", n, seed)
+			}
+			if err := Verify(inputs, out); err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+		}
+	}
+}
+
+// TestLiveMValuedConsensusSafety is the m-valued counterpart.
+func TestLiveMValuedConsensusSafety(t *testing.T) {
+	for _, n := range []int{2, 8, 32} {
+		const m = 5
+		spec, err := New(n, m, WithFallback(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs := make([]Value, n)
+		for i := range inputs {
+			inputs[i] = Value(i % m)
+		}
+		for seed := uint64(0); seed < 3; seed++ {
+			out, err := spec.Solve(inputs, nil, seed, RunConfig{Backend: Live})
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+			if err := Verify(inputs, out); err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+		}
+	}
+}
+
+// TestLiveRejectsSimOnlyOptions checks the capability errors: a scheduler
+// or trace request on Live, a missing scheduler on Sim, and an out-of-range
+// backend all fail with messages naming the problem.
+func TestLiveRejectsSimOnlyOptions(t *testing.T) {
+	file := NewRegisters()
+	obj := NewImpatientConciliator(file, 2, 1)
+	base := []RunOption{WithN(2), WithRegisters(file), WithInputs(0, 1), WithBackend(Live)}
+
+	if _, err := Run(obj, append(base, WithScheduler(NewRoundRobin()))...); err == nil || !strings.Contains(err.Error(), "sim-only") {
+		t.Fatalf("scheduler on live: err = %v", err)
+	}
+	if _, err := Run(obj, append(base, WithTrace(true))...); err == nil || !strings.Contains(err.Error(), "sim-only") {
+		t.Fatalf("trace on live: err = %v", err)
+	}
+	if _, err := Run(obj, WithN(2), WithRegisters(file), WithInputs(0, 1)); err == nil || !strings.Contains(err.Error(), "WithScheduler") {
+		t.Fatalf("missing scheduler on sim: err = %v", err)
+	}
+	if _, err := Run(obj, append(base, WithBackend(Backend(99)))...); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+
+	spec, err := NewBinary(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.Solve([]Value{0, 1}, NewRoundRobin(), 1, RunConfig{Backend: Live}); err == nil || !strings.Contains(err.Error(), "sim-only") {
+		t.Fatalf("Solve scheduler on live: err = %v", err)
+	}
+	if _, err := spec.Solve([]Value{0, 1}, nil, 1, RunConfig{Backend: Live, Traced: true}); err == nil || !strings.Contains(err.Error(), "sim-only") {
+		t.Fatalf("Solve traced on live: err = %v", err)
+	}
+	if _, err := spec.Solve([]Value{0, 1}, nil, 1); err == nil || !strings.Contains(err.Error(), "scheduler is required") {
+		t.Fatalf("Solve nil scheduler on sim: err = %v", err)
+	}
+}
+
+// TestLiveSimulateCustomProtocol runs a hand-assembled object chain on
+// both backends through Simulate; single-process results must match.
+func TestLiveSimulateCustomProtocol(t *testing.T) {
+	build := func() (*Registers, Object) {
+		f := NewRegisters()
+		c := NewImpatientConciliator(f, 1, 1)
+		r, err := NewRatifier(f, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f, Compose(c, r)
+	}
+	proc := func(chain Object) Proc {
+		return func(e Env) Value { return chain.Invoke(e, Value(e.PID()%2)).V }
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		fileA, chainA := build()
+		simRes, err := Simulate(1, fileA, NewRoundRobin(), seed, proc(chainA))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fileB, chainB := build()
+		liveRes, err := Simulate(1, fileB, nil, seed, proc(chainB), RunConfig{Backend: Live})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if simRes.Outputs[0] != liveRes.Outputs[0] || simRes.TotalWork != liveRes.TotalWork {
+			t.Fatalf("seed %d: sim %v/%d ops, live %v/%d ops", seed,
+				simRes.Outputs[0], simRes.TotalWork, liveRes.Outputs[0], liveRes.TotalWork)
+		}
+	}
+}
+
+func TestBackendString(t *testing.T) {
+	if Sim.String() != "sim" || Live.String() != "live" {
+		t.Fatalf("Backend strings: %q %q", Sim, Live)
+	}
+	if s := Backend(99).String(); !strings.Contains(s, "99") {
+		t.Fatalf("unknown backend string %q", s)
+	}
+}

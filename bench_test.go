@@ -19,7 +19,6 @@ import (
 	"github.com/modular-consensus/modcon/internal/core"
 	"github.com/modular-consensus/modcon/internal/exp"
 	"github.com/modular-consensus/modcon/internal/harness"
-	"github.com/modular-consensus/modcon/internal/live"
 	"github.com/modular-consensus/modcon/internal/quorum"
 	"github.com/modular-consensus/modcon/internal/ratifier"
 	"github.com/modular-consensus/modcon/internal/register"
@@ -348,23 +347,18 @@ func BenchmarkLiveBinaryConsensus(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		inputs := make([]Value, n)
+		for i := range inputs {
+			inputs[i] = Value(i % 2)
+		}
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				file, proto, err := spec.Build()
+				out, err := spec.Solve(inputs, nil, uint64(i), RunConfig{Backend: Live})
 				if err != nil {
 					b.Fatal(err)
 				}
-				res, err := live.Run(n, file, uint64(i), false, func(e *live.Env) value.Value {
-					out, _ := proto.Run(e, value.Value(e.PID()%2))
-					return out
-				})
-				if err != nil {
-					b.Fatal(err)
-				}
-				for _, v := range res.Outputs {
-					if v != res.Outputs[0] {
-						b.Fatal("live disagreement")
-					}
+				if out.Value.IsNone() {
+					b.Fatal("live run decided nothing")
 				}
 			}
 		})

@@ -7,8 +7,10 @@
 //
 // Usage:
 //
-//	modcon-bench                 # run every experiment at default scale
+//	modcon-bench                 # run every sim experiment at default scale
 //	modcon-bench -run E1,E6      # run selected experiments
+//	modcon-bench -backend live   # run the live-backend set (E18 validation,
+//	                             # E19 wall-clock) instead of the sim set
 //	modcon-bench -trials 50      # shrink/grow per-cell trial counts
 //	modcon-bench -workers 8      # cap concurrent trials (0 = GOMAXPROCS)
 //	modcon-bench -timeout 2m     # wall-clock budget for the whole run
@@ -46,7 +48,8 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("modcon-bench", flag.ContinueOnError)
 	var (
-		runList  = fs.String("run", "", "comma-separated experiment ids (default: all)")
+		runList  = fs.String("run", "", "comma-separated experiment ids (default: all for the selected backend)")
+		backend  = fs.String("backend", "sim", "experiment set to run: sim (deterministic simulator) or live (goroutine backend)")
 		trials   = fs.Int("trials", 0, "per-cell trials (0 = experiment default)")
 		seed     = fs.Uint64("seed", 1, "root seed (per-trial seeds are derived from it)")
 		workers  = fs.Int("workers", 0, "concurrent trials per cell (0 = GOMAXPROCS; results identical at any value)")
@@ -74,14 +77,28 @@ func run(args []string) error {
 
 	if *list {
 		for _, e := range exp.All() {
-			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+			be := "sim"
+			if e.Live {
+				be = "live"
+			}
+			fmt.Printf("%-4s [%s] %s\n", e.ID, be, e.Title)
 		}
 		return nil
 	}
 
+	// -run selects freely across backends; without it, -backend picks the
+	// default set (sim experiments are deterministic in the seed, live ones
+	// only in their safety verdicts).
 	var selected []exp.Experiment
 	if *runList == "" {
-		selected = exp.All()
+		switch *backend {
+		case "sim":
+			selected = exp.ByBackend(false)
+		case "live":
+			selected = exp.ByBackend(true)
+		default:
+			return fmt.Errorf("unknown backend %q (sim or live)", *backend)
+		}
 	} else {
 		for _, id := range strings.Split(*runList, ",") {
 			id = strings.TrimSpace(id)

@@ -231,7 +231,10 @@ func (c *Consensus) Build() (*Registers, *core.Protocol, error) {
 
 // RunConfig tunes a single Solve execution.
 type RunConfig struct {
-	// Traced records the full execution in Outcome.Trace.
+	// Backend selects the execution model (Sim, the default, or Live). On
+	// Live the scheduler argument must be nil and Traced must be false.
+	Backend Backend
+	// Traced records the full execution in Outcome.Trace (Sim only).
 	Traced bool
 	// CheapCollect enables the O(1)-collect cost model (needed by
 	// SchemeCollect to hit its 4-op bound).
@@ -275,8 +278,10 @@ func (o *Outcome) MaxWork() int {
 	return m
 }
 
-// Solve runs one simulated execution with the given per-process inputs
-// (len n, or a single value for all) under the adversary s. It returns an
+// Solve runs one execution with the given per-process inputs (len n, or a
+// single value for all) under the adversary s — or, with
+// RunConfig.Backend set to Live, under real goroutine concurrency (pass a
+// nil scheduler there; the Go scheduler is the adversary). It returns an
 // error for malformed configurations or step-limit exhaustion, and it
 // *verifies agreement and validity* before returning: a safety violation —
 // which would indicate a bug, not bad luck — is reported as an error.
@@ -289,6 +294,13 @@ func (c *Consensus) Solve(inputs []Value, s Scheduler, seed uint64, run ...RunCo
 	default:
 		return nil, errors.New("modcon: pass at most one RunConfig")
 	}
+	if err := rc.Backend.validateOptions(s, rc.Traced); err != nil {
+		return nil, err
+	}
+	be, err := rc.Backend.impl()
+	if err != nil {
+		return nil, err
+	}
 	for _, v := range inputs {
 		if v.IsNone() || v < 0 || int64(v) >= int64(c.m) {
 			return nil, fmt.Errorf("modcon: input %s outside [0, %d)", v, c.m)
@@ -299,7 +311,7 @@ func (c *Consensus) Solve(inputs []Value, s Scheduler, seed uint64, run ...RunCo
 		return nil, err
 	}
 	pr, err := harness.RunProtocol(proto, harness.ObjectConfig{
-		N: c.n, File: file, Inputs: inputs, Scheduler: s, Seed: seed,
+		N: c.n, File: file, Inputs: inputs, Backend: be, Scheduler: s, Seed: seed,
 		Traced: rc.Traced, CheapCollect: rc.CheapCollect,
 		CrashAfter: rc.CrashAfter, MaxSteps: rc.MaxSteps, Context: rc.Context,
 	})

@@ -164,6 +164,25 @@ func IndividualWorkBound(work []int, bound int) error {
 	return nil
 }
 
+// WorkAccounting verifies the bookkeeping invariants every backend's
+// Result must satisfy: per-process work is non-negative and sums exactly
+// to total work. A backend that drops or double-counts operations (say,
+// around a crash or cancellation boundary) fails here before any
+// cost-measure comparison would.
+func WorkAccounting(work []int, total int) error {
+	sum := 0
+	for pid, w := range work {
+		if w < 0 {
+			return fmt.Errorf("check: process %d has negative work %d", pid, w)
+		}
+		sum += w
+	}
+	if sum != total {
+		return fmt.Errorf("check: per-process work sums to %d but total work is %d", sum, total)
+	}
+	return nil
+}
+
 // Unanimous reports whether all values in xs are equal (and xs is
 // non-empty); it is the event whose probability a conciliator's δ bounds.
 func Unanimous(xs []value.Value) bool {

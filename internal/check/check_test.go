@@ -180,3 +180,18 @@ func TestUnanimous(t *testing.T) {
 		t.Fatal("2,3 is not unanimous")
 	}
 }
+
+func TestWorkAccounting(t *testing.T) {
+	if err := WorkAccounting([]int{3, 0, 4}, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := WorkAccounting(nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := WorkAccounting([]int{3, 4}, 8); err == nil {
+		t.Fatal("expected sum mismatch")
+	}
+	if err := WorkAccounting([]int{-1, 2}, 1); err == nil {
+		t.Fatal("expected negative-work error")
+	}
+}

@@ -1,0 +1,265 @@
+// Package exec defines the backend-neutral execution contract: what it
+// means to run n process programs against a shared register file, and what
+// an execution reports back.
+//
+// The paper's whole point is modularity — deciding objects are written once
+// against the abstract shared-memory Env (internal/core) and make sense in
+// any execution model that honors it. This package is the runtime-side
+// mirror of that contract: a Backend configures an execution (process
+// count, register file, seed, crash plan, cost model, cancellation,
+// optional adversary and tracing) and returns a shared Result (per-process
+// outputs and fates, the paper's total/individual work measures, step
+// count, optional trace).
+//
+// Two backends implement the contract today:
+//
+//   - internal/sim — the deterministic discrete-event simulator. The
+//     adversary is an explicit sched.Scheduler, executions are pure
+//     functions of (programs, scheduler, seed), and full traces can be
+//     recorded. It is the ground truth for the paper's cost measures.
+//   - internal/live — sync/atomic registers and free-running goroutines.
+//     The "adversary" is the hardware scheduler, so runs measure wall-clock
+//     behavior; operation counts are still exact, only the interleaving is
+//     uncontrolled.
+//
+// Capabilities make the differences explicit instead of implicit: a caller
+// that asks a backend for a feature it lacks (an adversary schedule on
+// live, a trace on live) gets a clean error, not silent misbehavior.
+// Future models — weaker registers, message-passing shims, remote
+// execution — slot in as new Backend implementations rather than forks of
+// the harness.
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/modular-consensus/modcon/internal/core"
+	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/sched"
+	"github.com/modular-consensus/modcon/internal/trace"
+	"github.com/modular-consensus/modcon/internal/value"
+	"github.com/modular-consensus/modcon/internal/xrand"
+)
+
+// ErrStepLimit is returned by Backend.Run when the execution exceeds
+// Config.MaxSteps before every live process halts. Randomized wait-free
+// protocols terminate with probability 1 but not surely, so a limit keeps
+// adversarial experiments finite; hitting it is reported, never hidden.
+var ErrStepLimit = errors.New("exec: step limit exceeded")
+
+// ErrCancelled is returned (wrapped, together with the context's cause) by
+// Backend.Run when Config.Context is cancelled before every process halts.
+var ErrCancelled = errors.New("exec: execution cancelled")
+
+// Program is the code of one process, written against the backend-neutral
+// Env. It receives its environment and returns the process's final value.
+// Programs must perform all shared-memory access through the Env.
+type Program func(e core.Env) value.Value
+
+// Config describes one execution, independent of the backend running it.
+type Config struct {
+	// N is the number of processes.
+	N int
+	// File is the shared register file the programs were built against.
+	// Backends mirror its layout and initial contents into their own
+	// memory; the file itself is not mutated by non-sim backends.
+	File *register.File
+	// Scheduler is the explicit adversary. It is honored only by backends
+	// whose Capabilities report Adversary (and required by them); backends
+	// without adversary control reject a non-nil Scheduler.
+	Scheduler sched.Scheduler
+	// Seed determines every random choice the backend controls. On a
+	// deterministic backend that is the whole execution; on live it covers
+	// the per-process coin streams but not the interleaving.
+	Seed uint64
+	// Trace, if non-nil, records the execution. Only backends whose
+	// Capabilities report Tracing accept it.
+	Trace *trace.Log
+	// CheapCollect enables the cheap-collect cost model (§6.2, choice 4):
+	// Env.Collect costs one operation instead of one per register.
+	CheapCollect bool
+	// CrashAfter maps pid -> number of operations after which the process
+	// crashes: its last operation takes effect, but the process never
+	// observes the result and performs no further operations.
+	CrashAfter map[int]int
+	// MaxSteps bounds total work. On sim, 0 means the simulator's default
+	// bound; on live, 0 means unbounded (the hardware scheduler is fair in
+	// practice, and Context is the idiomatic way to bound wall-clock runs).
+	MaxSteps int
+	// Context, if non-nil, cancels the execution at the next operation
+	// boundary. Cancellation is reported as an error wrapping both
+	// ErrCancelled and the context's cause.
+	Context context.Context
+}
+
+// Validate checks the backend-independent requirements of a Config.
+func (cfg *Config) Validate() error {
+	if cfg.N <= 0 {
+		return fmt.Errorf("exec: N=%d must be positive", cfg.N)
+	}
+	if cfg.File == nil {
+		return errors.New("exec: nil register file")
+	}
+	return nil
+}
+
+// Capabilities declares what a backend can do, so callers can reject
+// unsupported options up front with a precise error.
+type Capabilities struct {
+	// Adversary reports whether the backend honors Config.Scheduler. When
+	// false the interleaving is outside the caller's control and a non-nil
+	// Scheduler is a configuration error.
+	Adversary bool
+	// Tracing reports whether the backend can record Config.Trace.
+	Tracing bool
+	// Deterministic reports whether an execution is a pure function of
+	// (programs, scheduler, seed) — replayable bit for bit.
+	Deterministic bool
+	// WallClock reports whether elapsed time on this backend is a
+	// meaningful performance measurement (real hardware concurrency) as
+	// opposed to simulated model cost.
+	WallClock bool
+}
+
+// Backend runs process programs against shared registers under one
+// execution model. Implementations: internal/sim (Backend()) and
+// internal/live (Backend()).
+type Backend interface {
+	// Name identifies the backend in errors and reports ("sim", "live").
+	Name() string
+	// Capabilities declares the backend's feature set.
+	Capabilities() Capabilities
+	// Run executes programs[pid] for each pid under cfg. If len(programs)
+	// is 1 the single program is used for every process. Run returns the
+	// (possibly partial) result together with any execution error, and
+	// panics if a process program panics (with the original panic value).
+	Run(cfg Config, programs ...Program) (*Result, error)
+}
+
+// Result summarizes an execution in backend-neutral terms.
+type Result struct {
+	// Outputs holds each process's final value; value.None if it never
+	// halted (crashed, cancelled, or the step limit cut the run short).
+	Outputs []value.Value
+	// Halted reports which processes returned from their Program.
+	Halted []bool
+	// Crashed reports which processes the runtime crashed (CrashAfter).
+	Crashed []bool
+	// Work is the per-process operation count (the paper's individual
+	// work). The Env contract prices operations identically on every
+	// backend, so Work is backend-independent for the same interleaving.
+	Work []int
+	// TotalWork is the total operation count (the paper's total work).
+	TotalWork int
+	// Steps counts scheduled operations. On sim it equals TotalWork (one
+	// operation per scheduled step); backends without a global step
+	// sequence report TotalWork here too. Excluded from JSON so results
+	// marshal identically to the pre-seam golden fixtures that pin engine
+	// equivalence (internal/sim/testdata).
+	Steps int `json:"-"`
+	// Trace is the recorded execution when tracing was requested and the
+	// backend supports it; nil otherwise. Excluded from JSON for the same
+	// reason as Steps (traces have their own JSON encoding in
+	// internal/trace).
+	Trace *trace.Log `json:"-"`
+}
+
+// NewResult allocates a Result for n processes with all outputs ⊥.
+func NewResult(n int) *Result {
+	r := &Result{
+		Outputs: make([]value.Value, n),
+		Halted:  make([]bool, n),
+		Crashed: make([]bool, n),
+		Work:    make([]int, n),
+	}
+	for i := range r.Outputs {
+		r.Outputs[i] = value.None
+	}
+	return r
+}
+
+// MaxIndividualWork returns max over processes of Work.
+func (r *Result) MaxIndividualWork() int {
+	m := 0
+	for _, w := range r.Work {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// HaltedOutputs returns the outputs of processes that halted.
+func (r *Result) HaltedOutputs() []value.Value {
+	var out []value.Value
+	for pid, h := range r.Halted {
+		if h {
+			out = append(out, r.Outputs[pid])
+		}
+	}
+	return out
+}
+
+// Programs resolves a 1-or-N program slice to exactly one program per
+// process, broadcasting a single program to all n. Backends share this so
+// the overload rule cannot drift between them.
+func Programs(n int, programs []Program) ([]Program, error) {
+	switch len(programs) {
+	case n:
+		return programs, nil
+	case 1:
+		one := programs[0]
+		out := make([]Program, n)
+		for i := range out {
+			out[i] = one
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("exec: got %d programs for %d processes", len(programs), n)
+	}
+}
+
+// TrialSeed derives the seed of trial i from a sweep's root seed. It is a
+// pure function (splitmix64-style finalizers over root and index), so a
+// sweep's per-trial seeds are reproducible across machines, worker counts,
+// and backends; distinct (root, index) pairs give statistically independent
+// streams. The scheme is documented in README.md ("Reproducibility").
+// internal/harness re-exports it; it lives here so every backend and
+// driver derives seeds the same way.
+func TrialSeed(root uint64, i int) uint64 {
+	x := root ^ 0x9e3779b97f4a7c15
+	x = mix64(x)
+	x ^= uint64(i)*0xd1b54a32d192ed03 + 0x8cb92ba72f3d8dd7
+	return mix64(x)
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche mix.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Per-process random streams are derived from the execution's root source
+// with fixed split indices. Both backends MUST use these helpers: the
+// derivation being shared is what makes adversary-free (single-process)
+// executions bit-equivalent across backends — same coins, same
+// probabilistic-write outcomes, same decisions, same op counts — which the
+// cross-backend equivalence tests pin.
+const (
+	procCoinStream = 1         // + pid: local coin flips (cost 0)
+	procProbStream = 1_000_000 // + pid: probabilistic-write coins
+)
+
+// ProcCoins derives process pid's local-coin stream from the root source.
+func ProcCoins(root *xrand.Source, pid int) *xrand.Source {
+	return root.Split(uint64(procCoinStream + pid))
+}
+
+// ProcProb derives process pid's probabilistic-write coin stream from the
+// root source.
+func ProcProb(root *xrand.Source, pid int) *xrand.Source {
+	return root.Split(uint64(procProbStream + pid))
+}

@@ -137,6 +137,11 @@ type Experiment struct {
 	ID string
 	// Title is the short description.
 	Title string
+	// Live marks experiments that execute on the live (goroutine) backend;
+	// cmd/modcon-bench selects by backend (-backend sim runs the
+	// deterministic set, -backend live this set). Live experiments are
+	// reproducible in their safety verdicts but not their interleavings.
+	Live bool
 	// Run executes the experiment and returns its table.
 	Run func(cfg Config) *Table
 }
@@ -161,7 +166,21 @@ func All() []Experiment {
 		{ID: "E15", Title: "Ablations: detection, growth, fast path, quorums", Run: E15Ablations},
 		{ID: "E16", Title: "k-set agreement extension", Run: E16SetAgreement},
 		{ID: "E17", Title: "Multi-slot consensus sequences (extension)", Run: E17Sequences},
+		{ID: "E18", Title: "Cross-backend validation: sim vs live equivalence and live safety", Live: true, Run: E18CrossBackend},
+		{ID: "E19", Title: "Live-backend wall-clock consensus cost", Live: true, Run: E19LiveWallClock},
 	}
+}
+
+// ByBackend returns the experiments for one backend: the deterministic
+// simulator set (live == false) or the live-backend set (live == true).
+func ByBackend(live bool) []Experiment {
+	var out []Experiment
+	for _, e := range All() {
+		if e.Live == live {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // ByID returns the experiment with the given id.

@@ -1,5 +1,6 @@
-// Package harness runs protocols and objects under the simulator, many
-// trials at a time, and aggregates the statistics the experiments report.
+// Package harness runs protocols and objects — on any exec.Backend, the
+// deterministic simulator by default — many trials at a time, and aggregates
+// the statistics the experiments report.
 package harness
 
 import (
@@ -7,6 +8,7 @@ import (
 	"fmt"
 
 	"github.com/modular-consensus/modcon/internal/core"
+	"github.com/modular-consensus/modcon/internal/exec"
 	"github.com/modular-consensus/modcon/internal/register"
 	"github.com/modular-consensus/modcon/internal/sched"
 	"github.com/modular-consensus/modcon/internal/sim"
@@ -14,13 +16,12 @@ import (
 	"github.com/modular-consensus/modcon/internal/value"
 )
 
-// The simulated environment must satisfy the object model's Env contract.
-var _ core.Env = (*sim.Env)(nil)
-
 // ObjectRun is the outcome of one execution of a single deciding object.
 type ObjectRun struct {
-	// Result carries work accounting and halting information.
-	Result *sim.Result
+	// Result carries work accounting and halting information; its shape is
+	// backend-neutral (exec.Result), so the same run type serves every
+	// backend.
+	Result *exec.Result
 	// Decisions holds each process's (d, v) output; the zero Decision (with
 	// V = 0) never occurs for legal objects, and crashed processes keep
 	// Decided=false, V=None.
@@ -40,7 +41,7 @@ func (r *ObjectRun) Outputs() []value.Value {
 	return out
 }
 
-// ObjectConfig describes one object execution.
+// ObjectConfig describes one object or protocol execution.
 type ObjectConfig struct {
 	// N is the process count.
 	N int
@@ -49,21 +50,60 @@ type ObjectConfig struct {
 	// Inputs are per-process input values (len N), or a single value used
 	// by all processes.
 	Inputs []value.Value
-	// Scheduler is the adversary (required).
+	// Backend selects the execution model; nil means the simulator.
+	Backend exec.Backend
+	// Scheduler is the adversary. Required by backends with adversary
+	// control (sim); rejected by backends without it (live).
 	Scheduler sched.Scheduler
-	// Seed drives all randomness.
+	// Seed drives all backend-controlled randomness.
 	Seed uint64
-	// Traced requests a full execution trace.
+	// Traced requests a full execution trace (tracing backends only).
 	Traced bool
 	// CheapCollect enables the cheap-collect cost model.
 	CheapCollect bool
-	// CrashAfter is forwarded to the simulator.
+	// CrashAfter is forwarded to the backend.
 	CrashAfter map[int]int
-	// MaxSteps is forwarded to the simulator (0 = default).
+	// MaxSteps is forwarded to the backend (0 = backend default).
 	MaxSteps int
-	// Context, if non-nil, cancels the execution between scheduled steps
-	// (forwarded to the simulator).
+	// Context, if non-nil, cancels the execution at the next operation
+	// boundary (forwarded to the backend).
 	Context context.Context
+}
+
+// backend resolves cfg.Backend (nil = sim) and checks the requested options
+// against its capabilities, so unsupported combinations fail with a precise
+// error here rather than deep inside a backend.
+func (cfg *ObjectConfig) backend() (exec.Backend, error) {
+	be := cfg.Backend
+	if be == nil {
+		be = sim.Backend()
+	}
+	caps := be.Capabilities()
+	if !caps.Adversary && cfg.Scheduler != nil {
+		return nil, fmt.Errorf("harness: backend %q rejects scheduler %q: it has no adversary control (the interleaving is not the caller's to choose)", be.Name(), cfg.Scheduler.Name())
+	}
+	if caps.Adversary && cfg.Scheduler == nil {
+		return nil, fmt.Errorf("harness: backend %q requires a scheduler (an explicit adversary)", be.Name())
+	}
+	if !caps.Tracing && cfg.Traced {
+		return nil, fmt.Errorf("harness: backend %q cannot record traces (no global step sequence)", be.Name())
+	}
+	return be, nil
+}
+
+// execConfig lowers an ObjectConfig to the backend-neutral exec.Config.
+func (cfg *ObjectConfig) execConfig(log *trace.Log) exec.Config {
+	return exec.Config{
+		N:            cfg.N,
+		File:         cfg.File,
+		Scheduler:    cfg.Scheduler,
+		Seed:         cfg.Seed,
+		Trace:        log,
+		CheapCollect: cfg.CheapCollect,
+		CrashAfter:   cfg.CrashAfter,
+		MaxSteps:     cfg.MaxSteps,
+		Context:      cfg.Context,
+	}
 }
 
 // inputs resolves cfg.Inputs to exactly one value per process. A slice of
@@ -90,7 +130,13 @@ func (cfg *ObjectConfig) inputs() ([]value.Value, error) {
 }
 
 // RunObject executes obj once: every process invokes it with its input.
+// Per-process slots of run.Decisions are written only by their own process,
+// so the recording is race-free even on concurrent backends.
 func RunObject(obj core.Object, cfg ObjectConfig) (*ObjectRun, error) {
+	be, err := cfg.backend()
+	if err != nil {
+		return nil, err
+	}
 	inputs, err := cfg.inputs()
 	if err != nil {
 		return nil, err
@@ -102,7 +148,7 @@ func RunObject(obj core.Object, cfg ObjectConfig) (*ObjectRun, error) {
 	if cfg.Traced {
 		run.Trace = trace.New()
 	}
-	prog := func(e *sim.Env) value.Value {
+	prog := func(e core.Env) value.Value {
 		v := inputs[e.PID()]
 		e.MarkInvoke(obj.Label(), v)
 		d := obj.Invoke(e, v)
@@ -110,17 +156,7 @@ func RunObject(obj core.Object, cfg ObjectConfig) (*ObjectRun, error) {
 		run.Decisions[e.PID()] = d
 		return d.V
 	}
-	res, err := sim.Run(sim.Config{
-		N:            cfg.N,
-		File:         cfg.File,
-		Scheduler:    cfg.Scheduler,
-		Seed:         cfg.Seed,
-		Trace:        run.Trace,
-		CheapCollect: cfg.CheapCollect,
-		CrashAfter:   cfg.CrashAfter,
-		MaxSteps:     cfg.MaxSteps,
-		Context:      cfg.Context,
-	}, prog)
+	res, err := be.Run(cfg.execConfig(run.Trace), prog)
 	run.Result = res
 	return run, err
 }
@@ -132,8 +168,9 @@ func (r *ObjectRun) SweepCost() (steps, work int) {
 
 // ProtocolRun is the outcome of one execution of a consensus protocol.
 type ProtocolRun struct {
-	// Result carries work accounting and halting information.
-	Result *sim.Result
+	// Result carries work accounting and halting information
+	// (backend-neutral, like ObjectRun.Result).
+	Result *exec.Result
 	// Decided reports, per process, whether the protocol chain produced a
 	// decision (false for crashed processes and chain exhaustion).
 	Decided []bool
@@ -154,6 +191,10 @@ func (r *ProtocolRun) DecidedOutputs() []value.Value {
 
 // RunProtocol executes a consensus protocol built by core.NewProtocol.
 func RunProtocol(p *core.Protocol, cfg ObjectConfig) (*ProtocolRun, error) {
+	be, err := cfg.backend()
+	if err != nil {
+		return nil, err
+	}
 	inputs, err := cfg.inputs()
 	if err != nil {
 		return nil, err
@@ -162,22 +203,12 @@ func RunProtocol(p *core.Protocol, cfg ObjectConfig) (*ProtocolRun, error) {
 	if cfg.Traced {
 		run.Trace = trace.New()
 	}
-	prog := func(e *sim.Env) value.Value {
+	prog := func(e core.Env) value.Value {
 		out, ok := p.Run(e, inputs[e.PID()])
 		run.Decided[e.PID()] = ok
 		return out
 	}
-	res, err := sim.Run(sim.Config{
-		N:            cfg.N,
-		File:         cfg.File,
-		Scheduler:    cfg.Scheduler,
-		Seed:         cfg.Seed,
-		Trace:        run.Trace,
-		CheapCollect: cfg.CheapCollect,
-		CrashAfter:   cfg.CrashAfter,
-		MaxSteps:     cfg.MaxSteps,
-		Context:      cfg.Context,
-	}, prog)
+	res, err := be.Run(cfg.execConfig(run.Trace), prog)
 	run.Result = res
 	return run, err
 }

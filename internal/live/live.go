@@ -1,25 +1,42 @@
 // Package live runs the same deciding objects on real hardware concurrency:
 // registers are backed by sync/atomic, processes are free-running
-// goroutines, and the "adversary" is the Go scheduler. This backend exists
-// for testing.B benchmarks that measure wall-clock behavior rather than the
-// model's operation counts — the simulated backend (internal/sim) remains
-// the ground truth for the paper's cost measures, which this backend also
-// tracks (operation counts are exact; only the interleaving is
-// uncontrolled).
+// goroutines, and the "adversary" is the Go scheduler. It implements the
+// backend-neutral exec.Backend contract as a first-class peer of the
+// simulator (internal/sim): per-process operation accounting into the
+// shared exec.Result, crash-after injection, context cancellation, and an
+// optional total-operation budget all behave as on sim — only the
+// interleaving is uncontrolled, which is the point. Wall-clock numbers come
+// from here; the simulated backend remains the ground truth for the paper's
+// model-cost measures, which this backend also tracks exactly (the Env
+// contract prices operations identically on both).
 //
-// This is now the only backend in which processes are goroutines: the
-// simulated backend runs processes as same-thread coroutines for speed and
-// trace determinism. The split is intentional — here the Go scheduler *is*
-// the adversary, so real concurrency is the point, and the Env contract
-// (one pending shared-memory op per process, coins free) is identical in
-// both backends.
+// This is the only backend in which processes are goroutines: the simulated
+// backend runs processes as same-thread coroutines for speed and trace
+// determinism. The split is intentional — here the Go scheduler *is* the
+// adversary, so real concurrency is the point, and the Env contract (one
+// pending shared-memory op per process, coins free) is identical in both
+// backends.
+//
+// Determinism: per-process coin and probabilistic-write streams are derived
+// from the seed with the same exec.ProcCoins/ProcProb derivation the
+// simulator uses, so they are reproducible per (seed, pid) — and for
+// adversary-free (single-process) executions the whole run is
+// bit-equivalent to sim: same coins, same probabilistic-write outcomes,
+// same decision, same op count. The cross-backend equivalence tests pin
+// this. With n > 1 the interleaving, and hence outputs, may differ run to
+// run; only safety properties (agreement, validity) are schedule-
+// independent.
 package live
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"unsafe"
 
 	"github.com/modular-consensus/modcon/internal/core"
+	"github.com/modular-consensus/modcon/internal/exec"
 	"github.com/modular-consensus/modcon/internal/register"
 	"github.com/modular-consensus/modcon/internal/value"
 	"github.com/modular-consensus/modcon/internal/xrand"
@@ -32,11 +49,18 @@ type Memory struct {
 	cells []paddedCell
 }
 
+// cacheLine is the assumed cache-line size; 64 bytes covers every platform
+// this module targets (x86-64, arm64).
+const cacheLine = 64
+
 // paddedCell keeps each register on its own cache line so benchmark
-// contention reflects algorithmic sharing, not false sharing.
+// contention reflects algorithmic sharing, not false sharing. The pad is
+// computed from unsafe.Sizeof at compile time, so a representation change
+// of value.AtomicValue resizes it automatically instead of quietly
+// re-introducing false sharing (pinned by TestPaddedCellFillsCacheLine).
 type paddedCell struct {
 	v value.AtomicValue
-	_ [56]byte
+	_ [(cacheLine - unsafe.Sizeof(value.AtomicValue{})%cacheLine) % cacheLine]byte
 }
 
 // NewMemory builds atomic memory with the same size and initial contents as
@@ -55,17 +79,67 @@ func (m *Memory) Load(r register.Reg) value.Value { return m.cells[r].v.Load() }
 // Store atomically writes register r.
 func (m *Memory) Store(r register.Reg, v value.Value) { m.cells[r].v.Store(v) }
 
+// procStop is the sentinel panic that unwinds a process goroutine when the
+// runtime stops it mid-program: a planned crash (CrashAfter), context
+// cancellation, or the shared operation budget running out. The goroutine
+// wrapper swallows it and records the fate; any other panic propagates out
+// of Run with its original value.
+type procStop struct {
+	crashed   bool
+	cancelled bool
+	limited   bool
+}
+
+// never is the per-pid crash threshold meaning "no planned crash".
+const never = int(^uint(0) >> 1)
+
 // Env implements core.Env over atomic memory for one goroutine-process.
 type Env struct {
 	mem   *Memory
 	pid   int
 	n     int
 	cheap bool
-	src   *xrand.Source
+	// coins serves local coin flips and prob the probabilistic-write
+	// coins — two streams, split exactly as the simulator splits them, so
+	// single-process executions are bit-equivalent across backends.
+	coins *xrand.Source
+	prob  *xrand.Source
 	ops   int
+	// crashAt is the operation count at which this process crashes
+	// (never if unplanned).
+	crashAt int
+	// ctxDone, if non-nil, is polled at every operation boundary.
+	ctxDone <-chan struct{}
+	// budget, if non-nil, is the shared remaining-operation counter
+	// backing Config.MaxSteps.
+	budget *atomic.Int64
+	// collectBuf backs Collect results; reused per the copy-on-escape
+	// contract on core.Env.Collect.
+	collectBuf []value.Value
 }
 
 var _ core.Env = (*Env)(nil)
+
+// account charges one operation and applies the runtime's stop conditions.
+// It runs after the operation took effect, mirroring sim: a crashed
+// process's final operation lands in memory, but the process never observes
+// the result and performs no further operations.
+func (e *Env) account() {
+	e.ops++
+	if e.budget != nil && e.budget.Add(-1) < 0 {
+		panic(procStop{limited: true})
+	}
+	if e.ops >= e.crashAt {
+		panic(procStop{crashed: true})
+	}
+	if e.ctxDone != nil {
+		select {
+		case <-e.ctxDone:
+			panic(procStop{cancelled: true})
+		default:
+		}
+	}
+}
 
 // PID implements core.Env.
 func (e *Env) PID() int { return e.pid }
@@ -75,101 +149,196 @@ func (e *Env) N() int { return e.n }
 
 // Read implements core.Env.
 func (e *Env) Read(r register.Reg) value.Value {
-	e.ops++
-	return e.mem.Load(r)
+	v := e.mem.Load(r)
+	e.account()
+	return v
 }
 
 // Write implements core.Env.
 func (e *Env) Write(r register.Reg, v value.Value) {
-	e.ops++
 	e.mem.Store(r, v)
+	e.account()
 }
 
 // ProbWrite implements core.Env: the coin is local, the store atomic. (The
 // hardware scheduler cannot condition on the coin any more than the model's
 // location-oblivious adversary can.)
 func (e *Env) ProbWrite(r register.Reg, v value.Value, num, den uint64) bool {
-	e.ops++
-	if !e.src.Bernoulli(num, den) {
-		return false
+	ok := e.prob.Bernoulli(num, den)
+	if ok {
+		e.mem.Store(r, v)
 	}
-	e.mem.Store(r, v)
-	return true
+	e.account()
+	return ok
 }
 
-// Collect implements core.Env: a read sweep (one op under the cheap model).
+// Collect implements core.Env: a read sweep costing one operation under the
+// cheap model and one per register otherwise. As on sim, the non-cheap
+// sweep is not atomic — each read is its own operation boundary, so crashes
+// and cancellation can land mid-sweep. Copy-on-escape: the returned slice
+// is reused by this Env's next Collect.
 func (e *Env) Collect(arr register.Array) []value.Value {
-	out := make([]value.Value, arr.Len)
-	for i := range out {
-		out[i] = e.mem.Load(arr.At(i))
-	}
+	e.collectBuf = e.collectBuf[:0]
 	if e.cheap {
-		e.ops++
-	} else {
-		e.ops += arr.Len
+		for i := 0; i < arr.Len; i++ {
+			e.collectBuf = append(e.collectBuf, e.mem.Load(arr.At(i)))
+		}
+		e.account()
+		return e.collectBuf
 	}
-	return out
+	for i := 0; i < arr.Len; i++ {
+		e.collectBuf = append(e.collectBuf, e.Read(arr.At(i)))
+	}
+	return e.collectBuf
 }
 
 // CheapCollect implements core.Env.
 func (e *Env) CheapCollect() bool { return e.cheap }
 
 // CoinUint64 implements core.Env.
-func (e *Env) CoinUint64() uint64 { return e.src.Uint64() }
+func (e *Env) CoinUint64() uint64 { return e.coins.Uint64() }
 
 // CoinBool implements core.Env.
-func (e *Env) CoinBool() bool { return e.src.Bool() }
+func (e *Env) CoinBool() bool { return e.coins.Bool() }
 
 // CoinIntn implements core.Env.
-func (e *Env) CoinIntn(n int) int { return e.src.Intn(n) }
+func (e *Env) CoinIntn(n int) int { return e.coins.Intn(n) }
 
-// MarkInvoke implements core.Env (no tracing in live mode).
+// MarkInvoke implements core.Env (no tracing on the live backend).
 func (e *Env) MarkInvoke(string, value.Value) {}
 
-// MarkReturn implements core.Env (no tracing in live mode).
+// MarkReturn implements core.Env (no tracing on the live backend).
 func (e *Env) MarkReturn(string, value.Decision) {}
 
 // Ops returns the operations this process has performed.
 func (e *Env) Ops() int { return e.ops }
 
-// Result reports a live execution.
-type Result struct {
-	// Outputs holds per-process return values.
-	Outputs []value.Value
-	// Work is the per-process operation count.
-	Work []int
-	// TotalWork sums Work.
-	TotalWork int
+// backend implements exec.Backend over atomic memory and goroutines.
+type backend struct{}
+
+// Backend returns the live runtime as an exec.Backend.
+func Backend() exec.Backend { return backend{} }
+
+// Name implements exec.Backend.
+func (backend) Name() string { return "live" }
+
+// Capabilities implements exec.Backend: no adversary control (the hardware
+// scheduler decides the interleaving), no tracing (there is no global step
+// sequence to order events by), no deterministic replay for n > 1 — but
+// wall-clock timings are real.
+func (backend) Capabilities() exec.Capabilities {
+	return exec.Capabilities{WallClock: true}
 }
 
-// Run executes prog for n free-running goroutine-processes over atomic
-// memory mirroring file, and blocks until all return.
-func Run(n int, file *register.File, seed uint64, cheapCollect bool, prog func(e *Env) value.Value) (*Result, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("live: n=%d must be positive", n)
+// Run implements exec.Backend: it executes one free-running goroutine per
+// process over atomic memory mirroring cfg.File and blocks until every
+// process halts, crashes, is cancelled, or exhausts the operation budget.
+func (backend) Run(cfg exec.Config, programs ...exec.Program) (*exec.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	mem := NewMemory(file)
-	res := &Result{
-		Outputs: make([]value.Value, n),
-		Work:    make([]int, n),
+	if cfg.Scheduler != nil {
+		return nil, fmt.Errorf("live: scheduler %q rejected: the live backend has no adversary control (the hardware scheduler decides the interleaving)", cfg.Scheduler.Name())
 	}
-	root := xrand.New(seed)
-	envs := make([]*Env, n)
-	for pid := 0; pid < n; pid++ {
-		envs[pid] = &Env{mem: mem, pid: pid, n: n, cheap: cheapCollect, src: root.Split(uint64(pid + 1))}
+	if cfg.Trace != nil {
+		return nil, fmt.Errorf("live: tracing rejected: the live backend has no global step sequence to record")
 	}
-	var wg sync.WaitGroup
-	for pid := 0; pid < n; pid++ {
+	progs, err := exec.Programs(cfg.N, programs)
+	if err != nil {
+		return nil, err
+	}
+
+	mem := NewMemory(cfg.File)
+	res := exec.NewResult(cfg.N)
+
+	var budget *atomic.Int64
+	if cfg.MaxSteps > 0 {
+		budget = new(atomic.Int64)
+		budget.Store(int64(cfg.MaxSteps))
+	}
+	var ctxDone <-chan struct{}
+	if cfg.Context != nil {
+		ctxDone = cfg.Context.Done()
+	}
+
+	root := xrand.New(cfg.Seed)
+	envs := make([]*Env, cfg.N)
+	for pid := 0; pid < cfg.N; pid++ {
+		envs[pid] = &Env{
+			mem: mem, pid: pid, n: cfg.N, cheap: cfg.CheapCollect,
+			coins: exec.ProcCoins(root, pid), prob: exec.ProcProb(root, pid),
+			crashAt: never, ctxDone: ctxDone, budget: budget,
+		}
+	}
+	for pid, limit := range cfg.CrashAfter {
+		if pid >= 0 && pid < cfg.N {
+			envs[pid].crashAt = limit
+		}
+	}
+
+	var (
+		wg        sync.WaitGroup
+		limited   atomic.Bool
+		cancelled atomic.Bool
+		// firstPanic captures a program panic so Run can re-panic it on
+		// the caller's goroutine (matching sim's propagation contract)
+		// instead of crashing the process from a worker.
+		panicMu    sync.Mutex
+		firstPanic any
+	)
+	for pid := 0; pid < cfg.N; pid++ {
 		wg.Add(1)
 		go func(pid int) {
 			defer wg.Done()
-			res.Outputs[pid] = prog(envs[pid])
+			defer func() {
+				r := recover()
+				if r == nil {
+					return
+				}
+				if stop, ok := r.(procStop); ok {
+					switch {
+					case stop.crashed:
+						res.Crashed[pid] = true
+					case stop.limited:
+						limited.Store(true)
+					case stop.cancelled:
+						cancelled.Store(true)
+					}
+					return
+				}
+				panicMu.Lock()
+				if firstPanic == nil {
+					firstPanic = r
+				}
+				panicMu.Unlock()
+			}()
+			out := progs[pid](envs[pid])
+			res.Outputs[pid] = out
+			res.Halted[pid] = true
 		}(pid)
 	}
 	wg.Wait()
+	if firstPanic != nil {
+		panic(firstPanic)
+	}
+
 	for pid, e := range envs {
-		res.Work[pid] = e.Ops()
-		res.TotalWork += e.Ops()
+		res.Work[pid] = e.ops
+		res.TotalWork += e.ops
+	}
+	res.Steps = res.TotalWork
+
+	switch {
+	case limited.Load():
+		return res, fmt.Errorf("%w (limit %d, backend %q)", exec.ErrStepLimit, cfg.MaxSteps, "live")
+	case cancelled.Load():
+		return res, fmt.Errorf("%w after %d operations: %w", exec.ErrCancelled, res.TotalWork, context.Cause(cfg.Context))
 	}
 	return res, nil
+}
+
+// Run executes programs under cfg on the live backend; it is shorthand for
+// Backend().Run(cfg, programs...).
+func Run(cfg exec.Config, programs ...exec.Program) (*exec.Result, error) {
+	return backend{}.Run(cfg, programs...)
 }

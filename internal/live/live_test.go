@@ -1,16 +1,32 @@
 package live
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"unsafe"
 
 	"github.com/modular-consensus/modcon/internal/check"
 	"github.com/modular-consensus/modcon/internal/conciliator"
 	"github.com/modular-consensus/modcon/internal/core"
+	"github.com/modular-consensus/modcon/internal/exec"
 	"github.com/modular-consensus/modcon/internal/fallback"
 	"github.com/modular-consensus/modcon/internal/ratifier"
 	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/sched"
 	"github.com/modular-consensus/modcon/internal/value"
 )
+
+func TestPaddedCellFillsCacheLine(t *testing.T) {
+	// The false-sharing guard must hold for whatever size value.AtomicValue
+	// has: cells round up to a whole number of cache lines.
+	if s := unsafe.Sizeof(paddedCell{}); s%cacheLine != 0 {
+		t.Fatalf("paddedCell is %d bytes, not a multiple of the %d-byte cache line", s, cacheLine)
+	}
+	if s, c := unsafe.Sizeof(paddedCell{}), unsafe.Sizeof(value.AtomicValue{}); s < c {
+		t.Fatalf("paddedCell (%d bytes) smaller than its cell (%d bytes)", s, c)
+	}
+}
 
 func TestMemoryMirrorsFile(t *testing.T) {
 	file := register.NewFile()
@@ -36,15 +52,39 @@ func TestMemoryMirrorsFile(t *testing.T) {
 
 func TestRunValidation(t *testing.T) {
 	file := register.NewFile()
-	if _, err := Run(0, file, 1, false, func(e *Env) value.Value { return 0 }); err == nil {
+	noop := func(e core.Env) value.Value { return 0 }
+	if _, err := Run(exec.Config{N: 0, File: file}, noop); err == nil {
 		t.Fatal("n=0 accepted")
+	}
+	if _, err := Run(exec.Config{N: 1}, noop); err == nil {
+		t.Fatal("nil file accepted")
+	}
+	if _, err := Run(exec.Config{N: 2, File: file}, noop, noop, noop); err == nil {
+		t.Fatal("3 programs for 2 processes accepted")
+	}
+	if _, err := Run(exec.Config{N: 1, File: file, Scheduler: sched.NewRoundRobin()}, noop); err == nil {
+		t.Fatal("scheduler accepted by the live backend")
+	}
+}
+
+func TestBackendCapabilities(t *testing.T) {
+	be := Backend()
+	if be.Name() != "live" {
+		t.Fatalf("Name = %q", be.Name())
+	}
+	caps := be.Capabilities()
+	if caps.Adversary || caps.Tracing || caps.Deterministic {
+		t.Fatalf("live claims sim-only capabilities: %+v", caps)
+	}
+	if !caps.WallClock {
+		t.Fatal("live does not claim wall-clock realism")
 	}
 }
 
 func TestRunBasics(t *testing.T) {
 	file := register.NewFile()
 	r := file.Alloc1("x")
-	res, err := Run(4, file, 1, false, func(e *Env) value.Value {
+	res, err := Run(exec.Config{N: 4, File: file, Seed: 1}, func(e core.Env) value.Value {
 		e.Write(r, value.Value(e.PID()))
 		return e.Read(r) // some pid's value
 	})
@@ -55,9 +95,12 @@ func TestRunBasics(t *testing.T) {
 		if out < 0 || out > 3 {
 			t.Fatalf("pid %d read %s", pid, out)
 		}
+		if !res.Halted[pid] || res.Crashed[pid] {
+			t.Fatalf("pid %d fate: halted=%v crashed=%v", pid, res.Halted[pid], res.Crashed[pid])
+		}
 	}
-	if res.TotalWork != 8 {
-		t.Fatalf("TotalWork = %d, want 8", res.TotalWork)
+	if res.TotalWork != 8 || res.Steps != 8 {
+		t.Fatalf("TotalWork = %d, Steps = %d, want 8", res.TotalWork, res.Steps)
 	}
 	for _, w := range res.Work {
 		if w != 2 {
@@ -69,7 +112,7 @@ func TestRunBasics(t *testing.T) {
 func TestCoinDeterminismPerSeedPerPid(t *testing.T) {
 	file := register.NewFile()
 	run := func() []value.Value {
-		res, err := Run(3, file, 42, false, func(e *Env) value.Value {
+		res, err := Run(exec.Config{N: 3, File: file, Seed: 42}, func(e core.Env) value.Value {
 			return value.Value(e.CoinIntn(1 << 20))
 		})
 		if err != nil {
@@ -91,7 +134,7 @@ func TestCoinDeterminismPerSeedPerPid(t *testing.T) {
 func TestCollectCostModes(t *testing.T) {
 	file := register.NewFile()
 	arr := file.Alloc(5, "arr")
-	res, err := Run(1, file, 1, true, func(e *Env) value.Value {
+	res, err := Run(exec.Config{N: 1, File: file, Seed: 1, CheapCollect: true}, func(e core.Env) value.Value {
 		e.Collect(arr)
 		return 0
 	})
@@ -101,7 +144,7 @@ func TestCollectCostModes(t *testing.T) {
 	if res.TotalWork != 1 {
 		t.Fatalf("cheap collect cost %d", res.TotalWork)
 	}
-	res, err = Run(1, file, 1, false, func(e *Env) value.Value {
+	res, err = Run(exec.Config{N: 1, File: file, Seed: 1}, func(e core.Env) value.Value {
 		e.Collect(arr)
 		return 0
 	})
@@ -110,6 +153,78 @@ func TestCollectCostModes(t *testing.T) {
 	}
 	if res.TotalWork != 5 {
 		t.Fatalf("linear collect cost %d", res.TotalWork)
+	}
+}
+
+func TestCrashAfterInjection(t *testing.T) {
+	file := register.NewFile()
+	r := file.Alloc1("x")
+	res, err := Run(exec.Config{
+		N: 2, File: file, Seed: 1,
+		CrashAfter: map[int]int{0: 3},
+	}, func(e core.Env) value.Value {
+		for i := 0; i < 10; i++ {
+			e.Write(r, value.Value(i))
+		}
+		return 99
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Crashed[0] || res.Halted[0] {
+		t.Fatalf("pid 0 fate: crashed=%v halted=%v", res.Crashed[0], res.Halted[0])
+	}
+	if !res.Outputs[0].IsNone() {
+		t.Fatalf("crashed pid output = %s, want ⊥", res.Outputs[0])
+	}
+	if res.Work[0] != 3 {
+		t.Fatalf("crashed pid did %d ops, want exactly 3 (last op takes effect)", res.Work[0])
+	}
+	if !res.Halted[1] || res.Work[1] != 10 {
+		t.Fatalf("pid 1 fate: halted=%v work=%d", res.Halted[1], res.Work[1])
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	file := register.NewFile()
+	r := file.Alloc1("x")
+	ctx, cancel := context.WithCancel(context.Background())
+	res, err := Run(exec.Config{
+		N: 2, File: file, Seed: 1, Context: ctx,
+	}, func(e core.Env) value.Value {
+		for i := 0; ; i++ {
+			if i == 50 && e.PID() == 0 {
+				cancel()
+			}
+			e.Write(r, value.Value(i))
+		}
+	})
+	if !errors.Is(err, exec.ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCancelled wrapping context.Canceled", err)
+	}
+	for pid := range res.Halted {
+		if res.Halted[pid] || res.Crashed[pid] {
+			t.Fatalf("pid %d fate after cancel: halted=%v crashed=%v", pid, res.Halted[pid], res.Crashed[pid])
+		}
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	file := register.NewFile()
+	r := file.Alloc1("x")
+	res, err := Run(exec.Config{
+		N: 2, File: file, Seed: 1, MaxSteps: 100,
+	}, func(e core.Env) value.Value {
+		for i := 0; ; i++ {
+			e.Write(r, value.Value(i))
+		}
+	})
+	if !errors.Is(err, exec.ErrStepLimit) {
+		t.Fatalf("err = %v, want ErrStepLimit", err)
+	}
+	// The budget stops the run within one in-flight operation per process.
+	if res.TotalWork > 100+2 {
+		t.Fatalf("TotalWork = %d, budget 100 overrun by more than n", res.TotalWork)
 	}
 }
 
@@ -145,7 +260,7 @@ func TestLiveBinaryConsensus(t *testing.T) {
 			for i := range inputs {
 				inputs[i] = value.Value(i % 2)
 			}
-			res, err := Run(n, file, seed, false, func(e *Env) value.Value {
+			res, err := Run(exec.Config{N: n, File: file, Seed: seed}, func(e core.Env) value.Value {
 				out, ok := proto.Run(e, inputs[e.PID()])
 				if !ok {
 					t.Errorf("pid %d fell off the chain", e.PID())
@@ -155,7 +270,10 @@ func TestLiveBinaryConsensus(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := check.Consensus(inputs, res.Outputs); err != nil {
+			if err := check.Consensus(inputs, res.HaltedOutputs()); err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+			if err := check.WorkAccounting(res.Work, res.TotalWork); err != nil {
 				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
 			}
 		}
@@ -169,14 +287,14 @@ func TestLiveConsensusRace(t *testing.T) {
 		t.Fatal(err)
 	}
 	inputs := []value.Value{0, 1, 1, 0}
-	res, err := Run(4, file, 7, false, func(e *Env) value.Value {
+	res, err := Run(exec.Config{N: 4, File: file, Seed: 7}, func(e core.Env) value.Value {
 		out, _ := proto.Run(e, inputs[e.PID()])
 		return out
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := check.Consensus(inputs, res.Outputs); err != nil {
+	if err := check.Consensus(inputs, res.HaltedOutputs()); err != nil {
 		t.Fatal(err)
 	}
 }

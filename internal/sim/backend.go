@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"errors"
+
+	"github.com/modular-consensus/modcon/internal/core"
+	"github.com/modular-consensus/modcon/internal/exec"
+	"github.com/modular-consensus/modcon/internal/value"
+)
+
+// The simulated environment must satisfy the object model's Env contract.
+var _ core.Env = (*Env)(nil)
+
+// backend adapts the simulator to the backend-neutral exec contract. The
+// adapter's only per-run cost is one closure per program; the step loop is
+// untouched, so the seam adds no per-step allocations or indirection (the
+// zero-alloc and speedup pins in engine_bench_test.go hold on this path).
+type backend struct{}
+
+// Backend returns the simulator as an exec.Backend.
+func Backend() exec.Backend { return backend{} }
+
+// Name implements exec.Backend.
+func (backend) Name() string { return "sim" }
+
+// Capabilities implements exec.Backend: the simulator has full adversary
+// control, deterministic replay, and trace recording; its clock is
+// simulated steps, not wall time.
+func (backend) Capabilities() exec.Capabilities {
+	return exec.Capabilities{Adversary: true, Tracing: true, Deterministic: true}
+}
+
+// Run implements exec.Backend by bridging exec.Program (written against
+// core.Env) onto the simulator's concrete *Env programs.
+func (backend) Run(cfg exec.Config, programs ...exec.Program) (*exec.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Scheduler == nil {
+		return nil, errors.New("sim: nil scheduler (the sim backend requires an explicit adversary)")
+	}
+	progs := make([]Program, len(programs))
+	for i, p := range programs {
+		p := p
+		progs[i] = func(e *Env) value.Value { return p(e) }
+	}
+	return Run(Config{
+		N:            cfg.N,
+		File:         cfg.File,
+		Scheduler:    cfg.Scheduler,
+		Seed:         cfg.Seed,
+		Trace:        cfg.Trace,
+		CheapCollect: cfg.CheapCollect,
+		CrashAfter:   cfg.CrashAfter,
+		MaxSteps:     cfg.MaxSteps,
+		Context:      cfg.Context,
+	}, progs...)
+}

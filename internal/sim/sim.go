@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"iter"
 
+	"github.com/modular-consensus/modcon/internal/exec"
 	"github.com/modular-consensus/modcon/internal/register"
 	"github.com/modular-consensus/modcon/internal/sched"
 	"github.com/modular-consensus/modcon/internal/trace"
@@ -43,11 +44,14 @@ import (
 // before every live process halts. Randomized wait-free protocols terminate
 // with probability 1 but not surely, so a limit is required to keep
 // adversarial experiments finite; hitting it is reported, never hidden.
-var ErrStepLimit = errors.New("sim: step limit exceeded")
+// It is the backend-neutral exec.ErrStepLimit, so errors.Is works whichever
+// package the caller matched against.
+var ErrStepLimit = exec.ErrStepLimit
 
 // ErrCancelled is returned (wrapped, together with the context's cause) by
 // Run when Config.Context is cancelled before every live process halts.
-var ErrCancelled = errors.New("sim: execution cancelled")
+// It is the backend-neutral exec.ErrCancelled.
+var ErrCancelled = exec.ErrCancelled
 
 // DefaultMaxSteps bounds executions when Config.MaxSteps is zero.
 const DefaultMaxSteps = 10_000_000
@@ -87,42 +91,10 @@ type Config struct {
 	Context context.Context
 }
 
-// Result summarizes an execution.
-type Result struct {
-	// Outputs holds each process's decision; value.None if it never halted
-	// (crashed, or execution hit the step limit).
-	Outputs []value.Value
-	// Halted reports which processes returned from their Program.
-	Halted []bool
-	// Crashed reports which processes the runtime crashed.
-	Crashed []bool
-	// Work is the per-process operation count (individual work).
-	Work []int
-	// TotalWork is the total operation count.
-	TotalWork int
-}
-
-// MaxIndividualWork returns max over processes of Work.
-func (r *Result) MaxIndividualWork() int {
-	m := 0
-	for _, w := range r.Work {
-		if w > m {
-			m = w
-		}
-	}
-	return m
-}
-
-// HaltedOutputs returns the outputs of processes that halted.
-func (r *Result) HaltedOutputs() []value.Value {
-	var out []value.Value
-	for pid, h := range r.Halted {
-		if h {
-			out = append(out, r.Outputs[pid])
-		}
-	}
-	return out
-}
+// Result summarizes an execution. It is the backend-neutral exec.Result:
+// the simulator fills every field, including Steps (== TotalWork here, one
+// operation per scheduled step) and Trace when tracing was requested.
+type Result = exec.Result
 
 type request struct {
 	kind sched.OpKind
@@ -207,16 +179,9 @@ func Run(cfg Config, programs ...Program) (*Result, error) {
 		ctxDone:  ctxDone,
 		procs:    make([]proc, cfg.N),
 		probSrc:  make([]*xrand.Source, cfg.N),
-		result: &Result{
-			Outputs: make([]value.Value, cfg.N),
-			Halted:  make([]bool, cfg.N),
-			Crashed: make([]bool, cfg.N),
-			Work:    make([]int, cfg.N),
-		},
+		result:   exec.NewResult(cfg.N),
 	}
-	for pid := range rt.result.Outputs {
-		rt.result.Outputs[pid] = value.None
-	}
+	rt.result.Trace = cfg.Trace
 
 	// CrashAfter is consulted on every step; flatten the map into a dense
 	// per-pid limit (MaxInt = never) so the hot path does one compare
@@ -231,19 +196,23 @@ func Run(cfg Config, programs ...Program) (*Result, error) {
 		}
 	}
 
+	// Per-process streams come from the shared exec derivation so that
+	// adversary-free executions are bit-equivalent on every backend (the
+	// scheduler's stream is sim-only and never consumed by processes).
 	root := xrand.New(cfg.Seed)
 	cfg.Scheduler.Seed(root.Split(0))
 	for pid := 0; pid < cfg.N; pid++ {
-		rt.probSrc[pid] = root.Split(uint64(1_000_000 + pid))
+		rt.probSrc[pid] = exec.ProcProb(root, pid)
 	}
 	for pid := 0; pid < cfg.N; pid++ {
-		rt.spawn(pid, programs[pid], root.Split(uint64(1+pid)))
+		rt.spawn(pid, programs[pid], exec.ProcCoins(root, pid))
 	}
 
 	// teardown runs even when a program panic propagates out of a resume,
 	// so every suspended coroutine is unwound before Run re-panics.
 	defer rt.teardown()
 	err := rt.loop()
+	rt.result.Steps = rt.steps
 	return rt.result, err
 }
 

@@ -7,11 +7,11 @@ import (
 	"github.com/modular-consensus/modcon/internal/adoptcommit"
 	"github.com/modular-consensus/modcon/internal/check"
 	"github.com/modular-consensus/modcon/internal/conciliator"
+	"github.com/modular-consensus/modcon/internal/exec"
 	"github.com/modular-consensus/modcon/internal/fallback"
 	"github.com/modular-consensus/modcon/internal/ratifier"
 	"github.com/modular-consensus/modcon/internal/setagree"
 	"github.com/modular-consensus/modcon/internal/sharedcoin"
-	"github.com/modular-consensus/modcon/internal/sim"
 	"github.com/modular-consensus/modcon/internal/tas"
 	"github.com/modular-consensus/modcon/internal/trace"
 )
@@ -85,7 +85,7 @@ func NewCILConsensus(file *Registers, n, index int) Object {
 // environment and returns the process's final value.
 type Proc func(e Env) Value
 
-// SimResult reports a custom simulation.
+// SimResult reports a custom execution (on either backend).
 type SimResult struct {
 	// Outputs holds each process's return value (None if it crashed or the
 	// step limit cut the run short).
@@ -113,6 +113,9 @@ type SimResult struct {
 //	        d := chain.Invoke(e, modcon.Value(e.PID()%2))
 //	        return d.V
 //	    })
+//
+// With RunConfig.Backend set to Live the same proc runs as free-running
+// goroutines over atomic registers; pass a nil scheduler there.
 func Simulate(n int, file *Registers, s Scheduler, seed uint64, proc Proc, run ...RunConfig) (*SimResult, error) {
 	var rc RunConfig
 	switch len(run) {
@@ -122,16 +125,23 @@ func Simulate(n int, file *Registers, s Scheduler, seed uint64, proc Proc, run .
 	default:
 		return nil, errors.New("modcon: pass at most one RunConfig")
 	}
+	if err := rc.Backend.validateOptions(s, rc.Traced); err != nil {
+		return nil, err
+	}
+	be, err := rc.Backend.impl()
+	if err != nil {
+		return nil, err
+	}
 	var tr *Trace
 	if rc.Traced {
 		tr = trace.New()
 	}
-	res, err := sim.Run(sim.Config{
+	res, err := be.Run(exec.Config{
 		N: n, File: file, Scheduler: s, Seed: seed,
 		Trace: tr, CheapCollect: rc.CheapCollect,
 		CrashAfter: rc.CrashAfter, MaxSteps: rc.MaxSteps,
 		Context: rc.Context,
-	}, func(e *sim.Env) Value { return proc(e) })
+	}, exec.Program(proc))
 	if err != nil {
 		return nil, err
 	}

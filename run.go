@@ -44,6 +44,7 @@ type runConfig struct {
 	n            int
 	file         *Registers
 	inputs       []Value
+	backend      Backend
 	scheduler    Scheduler
 	seed         uint64
 	traced       bool
@@ -72,8 +73,17 @@ func WithInputs(vs ...Value) RunOption {
 	return runOptionFunc(func(c *runConfig) { c.inputs = vs })
 }
 
-// WithScheduler sets the adversary (required). Schedulers are stateful —
-// pass a fresh one per execution.
+// WithBackend selects the execution model: Sim (the default — deterministic
+// simulator with an explicit adversary) or Live (free-running goroutines
+// over atomic registers). Sim-only options (WithScheduler, WithTrace) are
+// rejected with a clear error on backends that cannot honor them.
+func WithBackend(b Backend) RunOption {
+	return runOptionFunc(func(c *runConfig) { c.backend = b })
+}
+
+// WithScheduler sets the adversary (required on the Sim backend; rejected
+// on Live, which has no adversary control). Schedulers are stateful — pass
+// a fresh one per execution.
 func WithScheduler(s Scheduler) RunOption {
 	return runOptionFunc(func(c *runConfig) { c.scheduler = s })
 }
@@ -139,16 +149,24 @@ func (c *runConfig) objectConfig() (harness.ObjectConfig, error) {
 	if c.file == nil {
 		return harness.ObjectConfig{}, errors.New("modcon: WithRegisters is required (objects run in the file they were built against)")
 	}
-	if c.scheduler == nil {
-		return harness.ObjectConfig{}, errors.New("modcon: WithScheduler is required")
+	if c.backend == Sim && c.scheduler == nil {
+		return harness.ObjectConfig{}, errors.New("modcon: WithScheduler is required (the sim backend needs an explicit adversary; use WithBackend(Live) to run without one)")
+	}
+	if err := c.backend.validateOptions(c.scheduler, c.traced); err != nil {
+		return harness.ObjectConfig{}, err
 	}
 	if len(c.inputs) == 0 {
 		return harness.ObjectConfig{}, errors.New("modcon: WithInputs is required")
+	}
+	be, err := c.backend.impl()
+	if err != nil {
+		return harness.ObjectConfig{}, err
 	}
 	return harness.ObjectConfig{
 		N:            c.n,
 		File:         c.file,
 		Inputs:       c.inputs,
+		Backend:      be,
 		Scheduler:    c.scheduler,
 		Seed:         c.seed,
 		Traced:       c.traced,
