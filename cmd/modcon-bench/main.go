@@ -10,10 +10,13 @@
 //	modcon-bench                 # run every sim experiment at default scale
 //	modcon-bench -run E1,E6      # run selected experiments
 //	modcon-bench -backend live   # run the live-backend set (E18 validation,
-//	                             # E19 wall-clock) instead of the sim set
+//	                             # E19 wall-clock, E20 faults) instead of
+//	                             # the sim set
 //	modcon-bench -trials 50      # shrink/grow per-cell trial counts
 //	modcon-bench -workers 8      # cap concurrent trials (0 = GOMAXPROCS)
 //	modcon-bench -timeout 2m     # wall-clock budget for the whole run
+//	modcon-bench -fail-fast      # stop a fault sweep at its first safety
+//	                             # violation instead of finishing the cell
 //	modcon-bench -markdown       # emit EXPERIMENTS.md-ready markdown
 //	modcon-bench -json           # emit tables as a JSON array
 //	modcon-bench -list           # list experiments
@@ -24,6 +27,9 @@
 // Results are deterministic in (-seed, -trials) and independent of
 // -workers: trial seeds are derived per-trial and results are merged in
 // trial order.
+//
+// The exit status is nonzero when any experiment reports a safety
+// violation, so CI can gate on it directly.
 package main
 
 import (
@@ -54,6 +60,7 @@ func run(args []string) error {
 		seed     = fs.Uint64("seed", 1, "root seed (per-trial seeds are derived from it)")
 		workers  = fs.Int("workers", 0, "concurrent trials per cell (0 = GOMAXPROCS; results identical at any value)")
 		timeout  = fs.Duration("timeout", 0, "wall-clock budget; in-flight executions are cancelled when it expires (0 = none)")
+		failFast = fs.Bool("fail-fast", false, "stop fault sweeps (E20) at the first safety violation")
 		markdown = fs.Bool("markdown", false, "emit markdown instead of aligned text")
 		jsonOut  = fs.Bool("json", false, "emit completed tables as a JSON array")
 		list     = fs.Bool("list", false, "list experiments and exit")
@@ -116,7 +123,7 @@ func run(args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	cfg := exp.Config{Trials: *trials, Seed: *seed, Workers: *workers, Ctx: ctx}
+	cfg := exp.Config{Trials: *trials, Seed: *seed, Workers: *workers, Ctx: ctx, FailFast: *failFast}
 
 	var tables []*exp.Table
 	for i, e := range selected {
@@ -146,7 +153,18 @@ func run(args []string) error {
 		}
 	}
 	if *jsonOut {
-		return emitJSON(tables)
+		if err := emitJSON(tables); err != nil {
+			return err
+		}
+	}
+	// A safety violation is a bug, never bad luck: exit nonzero so CI and
+	// scripts fail without having to parse the tables.
+	violations := 0
+	for _, t := range tables {
+		violations += t.Violations
+	}
+	if violations > 0 {
+		return fmt.Errorf("%d safety violation(s) observed — see the table notes above", violations)
 	}
 	return nil
 }

@@ -239,8 +239,14 @@ type RunConfig struct {
 	// CheapCollect enables the O(1)-collect cost model (needed by
 	// SchemeCollect to hit its 4-op bound).
 	CheapCollect bool
-	// CrashAfter crashes pid after its given operation count.
+	// CrashAfter crashes pid after its given operation count (legacy sugar
+	// for a plan of crash faults; merged with Faults, smaller threshold
+	// wins).
 	CrashAfter map[int]int
+	// Faults is the typed fault plan: crashes, stalls, per-op delay
+	// jitter, lost probabilistic-write coins (see Faults, ParseFaults).
+	// Stall faults require Context.
+	Faults *FaultPlan
 	// MaxSteps bounds total work (0 = simulator default).
 	MaxSteps int
 	// Context, if non-nil, cancels the execution between simulated steps.
@@ -263,8 +269,37 @@ type Outcome struct {
 	// TotalWork and Work are the paper's cost measures.
 	TotalWork int
 	Work      []int
+	// Violation is the safety violation Solve detected (also returned as
+	// its error); nil for safe runs. The field exists so TrialsRobust can
+	// classify a trial as violated rather than retrying it as an unknown
+	// failure.
+	Violation error
 	// Trace is non-nil when RunConfig.Traced was set.
 	Trace *Trace
+}
+
+// SafetyViolation reports the run's safety violation (nil if safe); the
+// resilient trial engine uses it to classify trials. Nil-receiver-safe:
+// trials whose Solve failed outright hand the classifier a nil outcome.
+func (o *Outcome) SafetyViolation() error {
+	if o == nil {
+		return nil
+	}
+	return o.Violation
+}
+
+// CutShort reports that no process decided — an execution cut down by
+// crashes or the step budget before the protocol could finish.
+func (o *Outcome) CutShort() bool {
+	if o == nil {
+		return true
+	}
+	for _, d := range o.Decided {
+		if d {
+			return false
+		}
+	}
+	return true
 }
 
 // MaxWork returns the individual work (max over processes).
@@ -313,7 +348,8 @@ func (c *Consensus) Solve(inputs []Value, s Scheduler, seed uint64, run ...RunCo
 	pr, err := harness.RunProtocol(proto, harness.ObjectConfig{
 		N: c.n, File: file, Inputs: inputs, Backend: be, Scheduler: s, Seed: seed,
 		Traced: rc.Traced, CheapCollect: rc.CheapCollect,
-		CrashAfter: rc.CrashAfter, MaxSteps: rc.MaxSteps, Context: rc.Context,
+		CrashAfter: rc.CrashAfter, Faults: rc.Faults,
+		MaxSteps: rc.MaxSteps, Context: rc.Context,
 	})
 	if err != nil {
 		return nil, err
@@ -326,6 +362,7 @@ func (c *Consensus) Solve(inputs []Value, s Scheduler, seed uint64, run ...RunCo
 		FellBack:  make([]bool, c.n),
 		TotalWork: pr.Result.TotalWork,
 		Work:      pr.Result.Work,
+		Violation: pr.Violation,
 		Trace:     pr.Trace,
 		Value:     None,
 	}
@@ -344,6 +381,9 @@ func (c *Consensus) Solve(inputs []Value, s Scheduler, seed uint64, run ...RunCo
 		}
 	}
 	if err := check.Consensus(full, decided); err != nil {
+		if out.Violation == nil {
+			out.Violation = err
+		}
 		return out, fmt.Errorf("modcon: SAFETY VIOLATION (bug): %w", err)
 	}
 	return out, nil

@@ -11,10 +11,63 @@ package check
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/modular-consensus/modcon/internal/trace"
 	"github.com/modular-consensus/modcon/internal/value"
 )
+
+// Monitor checks agreement and validity online, as decisions land, instead
+// of post-hoc over a finished result: a violation is flagged the moment the
+// offending decision is observed, even if the execution then livelocks,
+// crashes, or is cancelled before a post-hoc check could run. It is safe
+// for concurrent use — on the live backend decisions land from
+// free-running goroutines.
+type Monitor struct {
+	mu      sync.Mutex
+	inputs  map[value.Value]bool
+	ins     []value.Value
+	decided bool
+	first   value.Value
+	pid     int
+	err     error
+}
+
+// NewMonitor builds a monitor for an execution with the given per-process
+// inputs (the validity reference set).
+func NewMonitor(inputs []value.Value) *Monitor {
+	m := &Monitor{inputs: make(map[value.Value]bool, len(inputs)), ins: inputs}
+	for _, v := range inputs {
+		m.inputs[v] = true
+	}
+	return m
+}
+
+// Observe records pid's decision v and checks it against the inputs
+// (validity) and every previously observed decision (agreement). The first
+// violation is retained and returned by Err; Observe returns it too so
+// callers may react immediately.
+func (m *Monitor) Observe(pid int, v value.Value) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err == nil && !m.inputs[v] {
+		m.err = fmt.Errorf("check: validity violated online: process %d decided %s, nobody's input %v", pid, v, m.ins)
+	}
+	if m.err == nil && m.decided && v != m.first {
+		m.err = fmt.Errorf("check: agreement violated online: process %d decided %s but process %d decided %s", pid, v, m.pid, m.first)
+	}
+	if !m.decided {
+		m.decided, m.first, m.pid = true, v, pid
+	}
+	return m.err
+}
+
+// Err returns the first violation the monitor observed, nil if none.
+func (m *Monitor) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err
+}
 
 // Agreement verifies that all outputs are equal. Crashed or non-terminated
 // processes should be excluded by the caller (pass Result.HaltedOutputs()).

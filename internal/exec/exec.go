@@ -36,6 +36,7 @@ import (
 	"fmt"
 
 	"github.com/modular-consensus/modcon/internal/core"
+	"github.com/modular-consensus/modcon/internal/fault"
 	"github.com/modular-consensus/modcon/internal/register"
 	"github.com/modular-consensus/modcon/internal/sched"
 	"github.com/modular-consensus/modcon/internal/trace"
@@ -80,10 +81,16 @@ type Config struct {
 	// CheapCollect enables the cheap-collect cost model (§6.2, choice 4):
 	// Env.Collect costs one operation instead of one per register.
 	CheapCollect bool
-	// CrashAfter maps pid -> number of operations after which the process
-	// crashes: its last operation takes effect, but the process never
-	// observes the result and performs no further operations.
-	CrashAfter map[int]int
+	// Faults is the typed fault plan for this execution: crashes (after k
+	// own operations or on a global round), stalls, per-operation delay
+	// jitter, and lost probabilistic-write coins. Backends compile it with
+	// fault.Compile and honor the injector at their operation boundaries;
+	// crash semantics match the paper's model (the last operation takes
+	// effect, the process never observes the result). A nil or empty plan
+	// is bit-identical to a fault-free execution. Plans containing stall
+	// faults require a non-nil Context, since a stalled process never halts
+	// and only cancellation can end the execution.
+	Faults *fault.Plan
 	// MaxSteps bounds total work. On sim, 0 means the simulator's default
 	// bound; on live, 0 means unbounded (the hardware scheduler is fair in
 	// practice, and Context is the idiomatic way to bound wall-clock runs).
@@ -101,6 +108,14 @@ func (cfg *Config) Validate() error {
 	}
 	if cfg.File == nil {
 		return errors.New("exec: nil register file")
+	}
+	if !cfg.Faults.Empty() {
+		if err := cfg.Faults.Validate(cfg.N); err != nil {
+			return fmt.Errorf("exec: %w", err)
+		}
+		if cfg.Faults.HasStall() && cfg.Context == nil {
+			return errors.New("exec: stall faults require a Context (a stalled process never halts; only cancellation ends the execution)")
+		}
 	}
 	return nil
 }
@@ -145,8 +160,15 @@ type Result struct {
 	Outputs []value.Value
 	// Halted reports which processes returned from their Program.
 	Halted []bool
-	// Crashed reports which processes the runtime crashed (CrashAfter).
+	// Crashed reports which processes the runtime crashed (crash faults).
 	Crashed []bool
+	// Stalled reports which processes a stall fault froze: the process is
+	// neither halted nor crashed — it holds its state forever and performs
+	// no further operations until cancellation tears the execution down.
+	// Allocated only when the plan contains stall faults, and omitted from
+	// JSON when nil so fault-free results marshal identically to the golden
+	// fixtures in internal/sim/testdata.
+	Stalled []bool `json:"Stalled,omitempty"`
 	// Work is the per-process operation count (the paper's individual
 	// work). The Env contract prices operations identically on every
 	// backend, so Work is backend-independent for the same interleaving.

@@ -23,6 +23,10 @@ type Table struct {
 	Rows [][]string
 	// Notes carry fit results, verdicts, and caveats.
 	Notes []string
+	// Violations counts safety violations the experiment observed. Any
+	// nonzero value is a bug, never bad luck; cmd/modcon-bench exits
+	// nonzero when the sum over tables is nonzero.
+	Violations int
 }
 
 // AddRow appends a row of formatted cells.
@@ -117,6 +121,9 @@ type Config struct {
 	// (cancellation surfaces as a panic from the experiment; see
 	// cmd/modcon-bench for the recover pattern).
 	Ctx context.Context
+	// FailFast makes experiments that classify safety per trial (E20) stop
+	// their sweep at the first violation instead of finishing the cell.
+	FailFast bool
 }
 
 func (c Config) trials(def int) int {
@@ -168,6 +175,7 @@ func All() []Experiment {
 		{ID: "E17", Title: "Multi-slot consensus sequences (extension)", Run: E17Sequences},
 		{ID: "E18", Title: "Cross-backend validation: sim vs live equivalence and live safety", Live: true, Run: E18CrossBackend},
 		{ID: "E19", Title: "Live-backend wall-clock consensus cost", Live: true, Run: E19LiveWallClock},
+		{ID: "E20", Title: "Fault intensity vs termination and work (robust sweeps, both backends)", Live: true, Run: E20FaultIntensity},
 	}
 }
 

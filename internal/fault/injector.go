@@ -1,0 +1,180 @@
+package fault
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/modular-consensus/modcon/internal/xrand"
+)
+
+// faultStream is the split index base of the per-process fault RNG
+// streams. It is disjoint from the process coin (1 + pid) and
+// probabilistic-write (1_000_000 + pid) streams in internal/exec, so fault
+// randomness never perturbs a process's own coins: an execution with a
+// delay or lost-coin fault draws from streams a fault-free execution never
+// touches, and an execution with an empty plan draws nothing at all.
+const faultStream = 2_000_000
+
+// Injector is a Plan compiled for one execution: per-process thresholds in
+// dense arrays (one compare on the hot path, like the engines' crash
+// slices) and per-process fault RNG streams. Backends consult it at their
+// operation boundaries; a nil *Injector means "no faults" and must cost
+// nothing.
+//
+// Injector methods are safe for concurrent use by distinct pids (each pid
+// only touches its own entries and its own RNG stream), which is exactly
+// how the live backend's free-running goroutines call them. No single pid's
+// methods may be called concurrently with themselves — true on both
+// backends, where a process is one coroutine or one goroutine.
+type Injector struct {
+	n int
+	// crashAt / stallAt are per-pid own-operation thresholds (Never when
+	// unplanned): the process crashes/stalls once its operation count
+	// reaches the threshold. 0 fires before the first operation.
+	crashAt []int
+	stallAt []int
+	// crashStep is the per-pid global-operation threshold compiled from
+	// crash-on-round faults (Never when unplanned): the process crashes at
+	// its first own operation whose 1-based global index is >= crashStep.
+	crashStep []int
+	// jitter is the per-pid max per-op delay (0 = none); loseNum/loseDen
+	// the per-pid coin-loss probability (den 0 = none).
+	jitter  []time.Duration
+	lose    [][2]uint64
+	src     []*xrand.Source
+	anyStep bool
+	anyStall bool
+}
+
+// Compile lowers the plan for an n-process execution seeded with seed.
+// The per-process fault streams are derived from the seed the same way on
+// every backend, so a fault scenario is reproducible per (plan, seed) on
+// the simulator and per (plan, seed, interleaving) on live. An empty plan
+// compiles to a nil Injector.
+func Compile(p *Plan, n int, seed uint64) (*Injector, error) {
+	if p.Empty() {
+		return nil, nil
+	}
+	if err := p.Validate(n); err != nil {
+		return nil, err
+	}
+	in := &Injector{
+		n:         n,
+		crashAt:   make([]int, n),
+		stallAt:   make([]int, n),
+		crashStep: make([]int, n),
+		jitter:    make([]time.Duration, n),
+		lose:      make([][2]uint64, n),
+	}
+	for pid := 0; pid < n; pid++ {
+		in.crashAt[pid], in.stallAt[pid], in.crashStep[pid] = Never, Never, Never
+	}
+	each := func(f Fault, apply func(pid int)) {
+		if f.PID == AllProcs {
+			for pid := 0; pid < n; pid++ {
+				apply(pid)
+			}
+			return
+		}
+		apply(f.PID)
+	}
+	for _, f := range p.Faults {
+		switch f.Kind {
+		case KindCrash:
+			each(f, func(pid int) { in.crashAt[pid] = min(in.crashAt[pid], f.After) })
+		case KindStall:
+			each(f, func(pid int) { in.stallAt[pid] = min(in.stallAt[pid], f.After) })
+			in.anyStall = true
+		case KindCrashOnRound:
+			// Round r (1-based) spans global operations (r-1)*n+1 .. r*n;
+			// the process crashes at its first own operation inside or
+			// after the round. Round <= 1 folds into crash-before-op-0
+			// territory only at r=0, which validates but means "round 1".
+			step := 1
+			if f.Round > 1 {
+				step = (f.Round-1)*n + 1
+			}
+			each(f, func(pid int) { in.crashStep[pid] = min(in.crashStep[pid], step) })
+			in.anyStep = true
+		case KindDelay:
+			each(f, func(pid int) { in.jitter[pid] = max(in.jitter[pid], f.Jitter) })
+		case KindLoseCoin:
+			// Two lost-coin faults on one pid keep the larger probability
+			// (compare num/den as cross products to stay exact).
+			each(f, func(pid int) {
+				cur := in.lose[pid]
+				if cur[1] == 0 || f.Num*cur[1] > cur[0]*f.Den {
+					in.lose[pid] = [2]uint64{f.Num, f.Den}
+				}
+			})
+		default:
+			return nil, fmt.Errorf("fault: compile: unknown kind %d", int(f.Kind))
+		}
+	}
+	// Fault streams exist only for pids that draw (delay or lost-coin), so
+	// plans made of crashes and stalls stay allocation-light.
+	root := xrand.New(seed)
+	for pid := 0; pid < n; pid++ {
+		if in.jitter[pid] > 0 || in.lose[pid][1] != 0 {
+			if in.src == nil {
+				in.src = make([]*xrand.Source, n)
+			}
+			in.src[pid] = root.Split(uint64(faultStream + pid))
+		}
+	}
+	return in, nil
+}
+
+// N returns the process count the injector was compiled for.
+func (in *Injector) N() int { return in.n }
+
+// CrashAt returns pid's own-operation crash threshold (Never if none). A
+// nil injector reports Never.
+func (in *Injector) CrashAt(pid int) int {
+	if in == nil {
+		return Never
+	}
+	return in.crashAt[pid]
+}
+
+// StallAt returns pid's own-operation stall threshold (Never if none).
+func (in *Injector) StallAt(pid int) int {
+	if in == nil {
+		return Never
+	}
+	return in.stallAt[pid]
+}
+
+// CrashStep returns pid's global-operation crash threshold (Never if
+// none); thresholds are 1-based global operation indices.
+func (in *Injector) CrashStep(pid int) int {
+	if in == nil {
+		return Never
+	}
+	return in.crashStep[pid]
+}
+
+// HasCrashStep reports whether any crash-on-round fault was compiled, so
+// backends only maintain a global operation counter when one is needed.
+func (in *Injector) HasCrashStep() bool { return in != nil && in.anyStep }
+
+// HasStall reports whether any stall fault was compiled.
+func (in *Injector) HasStall() bool { return in != nil && in.anyStall }
+
+// OpDelay draws pid's next per-operation delay: uniform in [0, max], 0
+// when pid has no delay fault. Deterministic per (plan, seed, pid, call
+// index).
+func (in *Injector) OpDelay(pid int) time.Duration {
+	if in == nil || in.jitter[pid] <= 0 {
+		return 0
+	}
+	return time.Duration(in.src[pid].Intn(int(in.jitter[pid]) + 1))
+}
+
+// LoseCoin draws whether pid's current probabilistic write loses its coin.
+func (in *Injector) LoseCoin(pid int) bool {
+	if in == nil || in.lose[pid][1] == 0 {
+		return false
+	}
+	return in.src[pid].Bernoulli(in.lose[pid][0], in.lose[pid][1])
+}

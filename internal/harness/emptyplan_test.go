@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/modular-consensus/modcon/internal/exec"
+	"github.com/modular-consensus/modcon/internal/fault"
+	"github.com/modular-consensus/modcon/internal/live"
+	"github.com/modular-consensus/modcon/internal/sched"
+	"github.com/modular-consensus/modcon/internal/value"
+)
+
+// TestEmptyFaultPlanBitIdentical is the property that keeps the sim golden
+// fixtures honest: threading an empty fault plan through the whole stack —
+// config validation, injector compilation, backend hot path — must leave an
+// execution bit-identical to a run with no plan at all. Compared on the
+// JSON encoding of exec.Result, the same shape the goldens pin, so a new
+// field leaking into fault-free results (e.g. a non-nil Stalled) shows up
+// here before it moves a fixture.
+func TestEmptyFaultPlanBitIdentical(t *testing.T) {
+	marshal := func(t *testing.T, r *exec.Result) string {
+		t.Helper()
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	plans := map[string]*fault.Plan{
+		"nil-plan":    nil,
+		"zero-plan":   {},
+		"empty-New":   fault.New(),
+		"empty-merge": fault.Merge(nil, fault.FromCrashMap(nil)),
+	}
+
+	t.Run("sim", func(t *testing.T) {
+		run := func(p *fault.Plan) string {
+			file, proto := robustProto(t, 4)
+			r, err := RunProtocol(proto, ObjectConfig{
+				N: 4, File: file, Inputs: []value.Value{0, 1, 0, 1},
+				Seed: 42, Scheduler: sched.NewUniformRandom(), Faults: p,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return marshal(t, r.Result)
+		}
+		want := run(nil)
+		for name, p := range plans {
+			if got := run(p); got != want {
+				t.Errorf("%s diverged from fault-free run:\n got %s\nwant %s", name, got, want)
+			}
+		}
+	})
+
+	// The live backend is deterministic only for n=1, where bit-equivalence
+	// is a meaningful cross-run property.
+	t.Run("live-n1", func(t *testing.T) {
+		run := func(p *fault.Plan) string {
+			file, proto := robustProto(t, 1)
+			r, err := RunProtocol(proto, ObjectConfig{
+				N: 1, File: file, Inputs: []value.Value{1},
+				Seed: 42, Backend: live.Backend(), Faults: p,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return marshal(t, r.Result)
+		}
+		want := run(nil)
+		for name, p := range plans {
+			if got := run(p); got != want {
+				t.Errorf("%s diverged from fault-free run:\n got %s\nwant %s", name, got, want)
+			}
+		}
+	})
+}

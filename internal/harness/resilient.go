@@ -1,0 +1,415 @@
+// Resilient trial engine.
+//
+// RunTrials (trials.go) treats any trial error as fatal to the sweep —
+// the right contract for equivalence tests, where an error means the
+// experiment itself is broken. Fault-injection sweeps invert that premise:
+// trials are *expected* to crash short, livelock, or (if a bug slips in)
+// violate safety, and the sweep's job is to keep going and report how many
+// did what. RunTrialsRobust is the graceful-degradation engine for those
+// sweeps: per-trial panic containment, a deadline watchdog that detects
+// livelocked or stuck trials on either backend, bounded retry with
+// exponential backoff for infrastructure failures, and per-trial outcome
+// classification (ok | violated | timeout | panicked | crashed-short |
+// failed) folded into partial aggregates instead of aborting the sweep.
+//
+// The determinism story of RunTrials carries over: trial seeds come from
+// the same TrialSeed derivation, and reports are folded in trial-index
+// order through the same reorder-buffer pattern, so per-outcome counts are
+// reproducible at any worker count (wall-clock-dependent classifications —
+// timeouts on a loaded machine — are the one unavoidable exception, and
+// exactly what the deadline exists to bound).
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/modular-consensus/modcon/internal/exec"
+)
+
+// ErrTrialDeadline is the cancellation cause the watchdog attaches when a
+// trial outlives Resilience.Deadline; backends wrap it into their
+// cancellation error, so errors.Is identifies watchdog kills wherever they
+// surface.
+var ErrTrialDeadline = errors.New("harness: trial deadline exceeded")
+
+// TrialOutcome classifies one trial of a robust sweep.
+type TrialOutcome string
+
+const (
+	// OutcomeOK: the trial completed and its online safety monitor (if
+	// any) observed no violation.
+	OutcomeOK TrialOutcome = "ok"
+	// OutcomeViolated: the trial's safety monitor observed an agreement or
+	// validity violation — a bug, never bad luck.
+	OutcomeViolated TrialOutcome = "violated"
+	// OutcomeTimeout: the deadline watchdog killed a livelocked or stuck
+	// trial (or the trial was unresponsive even to cancellation).
+	OutcomeTimeout TrialOutcome = "timeout"
+	// OutcomePanicked: the trial's execution panicked; the panic was
+	// contained to the trial and the sweep continued.
+	OutcomePanicked TrialOutcome = "panicked"
+	// OutcomeCrashedShort: the execution ended without any process
+	// deciding (every process crashed, or the step limit cut it down).
+	OutcomeCrashedShort TrialOutcome = "crashed-short"
+	// OutcomeFailed: an infrastructure error persisted through every
+	// retry.
+	OutcomeFailed TrialOutcome = "failed"
+)
+
+// Resilience tunes the robust trial engine.
+type Resilience struct {
+	// Deadline is the per-trial watchdog: a trial still running after this
+	// long is cancelled (cause ErrTrialDeadline) and classified
+	// OutcomeTimeout. 0 disables the watchdog.
+	Deadline time.Duration
+	// Grace bounds how long the watchdog waits, after cancelling, for the
+	// trial to acknowledge before abandoning its goroutine (a backend
+	// honoring the Context contract acknowledges at its next operation
+	// boundary). 0 means 1s.
+	Grace time.Duration
+	// Retries bounds re-attempts of a trial that failed with an unknown
+	// (infrastructure) error. Model-level outcomes — violations, timeouts,
+	// panics, step-limit exhaustion — are deterministic verdicts and are
+	// never retried.
+	Retries int
+	// Backoff is the first retry's delay, doubling per attempt. 0 means
+	// 10ms.
+	Backoff time.Duration
+	// FailFast stops the sweep at the first safety violation (remaining
+	// in-flight trials are cancelled; the report keeps what finished).
+	FailFast bool
+}
+
+func (r Resilience) grace() time.Duration {
+	if r.Grace <= 0 {
+		return time.Second
+	}
+	return r.Grace
+}
+
+func (r Resilience) backoff() time.Duration {
+	if r.Backoff <= 0 {
+		return 10 * time.Millisecond
+	}
+	return r.Backoff
+}
+
+// TrialReport is the per-trial record of a robust sweep.
+type TrialReport struct {
+	// Trial is the trial's index and derived seed.
+	Trial Trial
+	// Outcome is the classification.
+	Outcome TrialOutcome
+	// Err explains any non-ok outcome (the violation, the watchdog kill,
+	// the contained panic, ...); nil for OutcomeOK.
+	Err error
+	// Attempts counts executions of the trial (1 + retries used).
+	Attempts int
+	// Elapsed is the trial's total wall time across attempts.
+	Elapsed time.Duration
+}
+
+// SweepReport aggregates a robust sweep: per-outcome counts plus the
+// per-trial reports, in trial order. When the sweep is cut short (FailFast
+// or external cancellation) the aggregates cover exactly the classified
+// trials — partial but correct.
+type SweepReport struct {
+	// Trials counts classified trials (== len(Reports)).
+	Trials int
+	// Counts maps each observed outcome to its frequency.
+	Counts map[TrialOutcome]int
+	// Reports holds the per-trial records in trial-index order.
+	Reports []TrialReport
+	// StoppedEarly reports that the sweep ended before classifying every
+	// trial (FailFast tripped, or the sweep context was cancelled).
+	StoppedEarly bool
+}
+
+// Count returns the number of trials with the given outcome.
+func (r *SweepReport) Count(o TrialOutcome) int { return r.Counts[o] }
+
+// Violations returns the number of trials that violated safety.
+func (r *SweepReport) Violations() int { return r.Counts[OutcomeViolated] }
+
+// String renders the counts compactly ("ok=98 timeout=2"), in a fixed
+// outcome order so reports are comparable.
+func (r *SweepReport) String() string {
+	s := ""
+	for _, o := range []TrialOutcome{OutcomeOK, OutcomeViolated, OutcomeTimeout, OutcomePanicked, OutcomeCrashedShort, OutcomeFailed} {
+		if n := r.Counts[o]; n > 0 {
+			if s != "" {
+				s += " "
+			}
+			s += fmt.Sprintf("%s=%d", o, n)
+		}
+	}
+	if s == "" {
+		s = "empty"
+	}
+	return s
+}
+
+// safetyReporter lets trial results surface an online safety violation to
+// the classifier; *ProtocolRun implements it.
+type safetyReporter interface{ SafetyViolation() error }
+
+// shortReporter lets trial results report that the execution ended with no
+// decision; *ProtocolRun implements it.
+type shortReporter interface{ CutShort() bool }
+
+// classify turns one attempt's (result, error) into a TrialOutcome, or ""
+// for an unknown error that retry should handle. A safety violation
+// dominates every other signal: a run that both violated and then timed
+// out is a violated run.
+func classify[T any](r T, err error) (TrialOutcome, error) {
+	if sr, ok := any(r).(safetyReporter); ok {
+		if v := sr.SafetyViolation(); v != nil {
+			return OutcomeViolated, v
+		}
+	}
+	if err == nil {
+		if cs, ok := any(r).(shortReporter); ok && cs.CutShort() {
+			return OutcomeCrashedShort, errors.New("harness: no process decided (execution cut short)")
+		}
+		return OutcomeOK, nil
+	}
+	if errors.Is(err, ErrTrialDeadline) || errors.Is(err, context.DeadlineExceeded) {
+		return OutcomeTimeout, err
+	}
+	if errors.Is(err, exec.ErrStepLimit) {
+		return OutcomeCrashedShort, err
+	}
+	return "", err
+}
+
+// runAttempt executes one attempt of a trial under the watchdog, containing
+// panics to the attempt's goroutine. abandoned reports the pathological
+// case of a trial that ignored cancellation past the grace period — its
+// goroutine is leaked by design (there is no way to kill it), counted as a
+// timeout, and the leak is bounded by one goroutine per abandoned trial.
+func runAttempt[T any](ctx context.Context, rz Resilience, t Trial, run func(context.Context, Trial) (T, error)) (result T, err error, pan any, abandoned bool) {
+	attemptCtx := ctx
+	cancel := context.CancelFunc(func() {})
+	if rz.Deadline > 0 {
+		attemptCtx, cancel = context.WithTimeoutCause(ctx, rz.Deadline, ErrTrialDeadline)
+	}
+	defer cancel()
+
+	type attemptDone struct {
+		result T
+		err    error
+		pan    any
+	}
+	ch := make(chan attemptDone, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- attemptDone{pan: p}
+			}
+		}()
+		r, err := run(attemptCtx, t)
+		ch <- attemptDone{result: r, err: err}
+	}()
+
+	var d attemptDone
+	select {
+	case d = <-ch:
+	case <-attemptCtx.Done():
+		// Watchdog or sweep cancellation fired. A backend honoring the
+		// Context contract acknowledges at its next operation boundary —
+		// and a stalled process unwinds the moment the context does — so
+		// wait a grace period for the attempt to come home.
+		timer := time.NewTimer(rz.grace())
+		defer timer.Stop()
+		select {
+		case d = <-ch:
+		case <-timer.C:
+			return result, fmt.Errorf("%w (unresponsive to cancellation for %v; goroutine abandoned)", context.Cause(attemptCtx), rz.grace()), nil, true
+		}
+	}
+	return d.result, d.err, d.pan, false
+}
+
+// runRobustTrial drives one trial to a classification: attempts, watchdog,
+// panic containment, bounded retry. dropped means the sweep was cancelled
+// mid-trial and the trial should not be counted at all.
+func runRobustTrial[T any](ctx context.Context, rz Resilience, t Trial, run func(context.Context, Trial) (T, error)) (result T, rep TrialReport, dropped bool) {
+	rep = TrialReport{Trial: t}
+	start := time.Now()
+	defer func() { rep.Elapsed = time.Since(start) }()
+	backoff := rz.backoff()
+	for attempt := 0; ; attempt++ {
+		rep.Attempts = attempt + 1
+		r, err, pan, abandoned := runAttempt(ctx, rz, t, run)
+		if pan != nil {
+			// A panic is a bug, hence deterministic: contain it, report
+			// it, never retry it.
+			rep.Outcome = OutcomePanicked
+			rep.Err = fmt.Errorf("harness: trial panicked: %v", pan)
+			return r, rep, false
+		}
+		if abandoned {
+			rep.Outcome = OutcomeTimeout
+			rep.Err = err
+			return r, rep, false
+		}
+		outcome, cerr := classify(r, err)
+		if outcome == OutcomeTimeout && ctx.Err() != nil && !errors.Is(err, ErrTrialDeadline) {
+			// The sweep's own context (not the per-trial watchdog) killed
+			// this attempt: the trial was never given its full deadline,
+			// so counting it as a timeout would poison the aggregates.
+			return r, rep, true
+		}
+		if outcome != "" {
+			rep.Outcome = outcome
+			rep.Err = cerr
+			return r, rep, false
+		}
+		// Unknown error: infrastructure trouble, worth retrying — unless
+		// the sweep is shutting down, which is indistinguishable from (and
+		// usually the cause of) the failure.
+		if ctx.Err() != nil {
+			return r, rep, true
+		}
+		if attempt >= rz.Retries {
+			rep.Outcome = OutcomeFailed
+			rep.Err = fmt.Errorf("harness: trial failed after %d attempt(s): %w", attempt+1, err)
+			return r, rep, false
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return r, rep, true
+		}
+		backoff *= 2
+	}
+}
+
+// RunTrialsRobust executes run for every trial of s like RunTrials, but
+// degrades gracefully instead of aborting: each trial is classified
+// (contained panics, watchdog timeouts, safety violations, short runs,
+// retried-then-failed infrastructure errors) and the sweep always returns
+// its partial aggregates. merge, which may be nil, receives every
+// classified trial in trial-index order together with its report; for
+// non-ok outcomes the result may be partial or the zero value — consult
+// rep.Outcome before trusting it.
+//
+// The returned error is nil unless the sweep's own context was cancelled
+// externally; violations and timeouts are reported, not returned.
+func RunTrialsRobust[T any](s Sweep, rz Resilience, run func(ctx context.Context, t Trial) (T, error), merge func(t Trial, r T, rep TrialReport)) (*SweepReport, error) {
+	report := &SweepReport{Counts: make(map[TrialOutcome]int)}
+	if s.Trials <= 0 {
+		return report, nil
+	}
+	parent := s.Context
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	workers := s.workers()
+	type robustOutcome struct {
+		trial   Trial
+		result  T
+		report  TrialReport
+		dropped bool
+	}
+	results := make(chan robustOutcome, workers)
+	var (
+		next int
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+	)
+	claim := func() (Trial, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= s.Trials {
+			return Trial{}, false
+		}
+		t := Trial{Index: next, Seed: TrialSeed(s.Seed, next)}
+		next++
+		return t, true
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				t, ok := claim()
+				if !ok {
+					return
+				}
+				r, rep, dropped := runRobustTrial(ctx, rz, t, run)
+				// Every claimed trial reports in — even dropped ones — so
+				// the fold below sees a gap-free index sequence. The
+				// collector drains until the channel closes, so this send
+				// cannot deadlock.
+				results <- robustOutcome{trial: t, result: r, report: rep, dropped: dropped}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Fold classified trials in trial-index order (reorder buffer, as in
+	// RunTrials) so counts, reports, and merge calls are deterministic at
+	// any worker count.
+	var (
+		start    = time.Now()
+		pending  = make(map[int]robustOutcome, workers)
+		nextFold = 0
+		prog     = Progress{Total: s.Trials}
+	)
+	for oc := range results {
+		pending[oc.trial.Index] = oc
+		for {
+			oc, ok := pending[nextFold]
+			if !ok {
+				break
+			}
+			delete(pending, nextFold)
+			nextFold++
+			if oc.dropped {
+				report.StoppedEarly = true
+				continue
+			}
+			report.Trials++
+			report.Counts[oc.report.Outcome]++
+			report.Reports = append(report.Reports, oc.report)
+			if merge != nil {
+				merge(oc.trial, oc.result, oc.report)
+			}
+			prog.Done++
+			if m, ok := any(oc.result).(Metered); ok && oc.report.Outcome == OutcomeOK {
+				steps, work := m.SweepCost()
+				prog.Steps += int64(steps)
+				prog.Work += int64(work)
+			}
+			if s.Progress != nil {
+				prog.Elapsed = time.Since(start)
+				s.Progress(prog)
+			}
+			if rz.FailFast && oc.report.Outcome == OutcomeViolated {
+				report.StoppedEarly = true
+				cancel()
+			}
+		}
+	}
+	if nextFold < s.Trials {
+		report.StoppedEarly = true
+	}
+	if err := parent.Err(); err != nil {
+		return report, err
+	}
+	return report, nil
+}

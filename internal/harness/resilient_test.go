@@ -1,0 +1,379 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/modular-consensus/modcon/internal/conciliator"
+	"github.com/modular-consensus/modcon/internal/core"
+	"github.com/modular-consensus/modcon/internal/exec"
+	"github.com/modular-consensus/modcon/internal/fallback"
+	"github.com/modular-consensus/modcon/internal/fault"
+	"github.com/modular-consensus/modcon/internal/live"
+	"github.com/modular-consensus/modcon/internal/ratifier"
+	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/sched"
+	"github.com/modular-consensus/modcon/internal/value"
+)
+
+// robustProto builds the full binary protocol (with the CIL fallback, so
+// fault-free executions always decide) for the robust-engine tests.
+func robustProto(t *testing.T, n int) (*register.File, *core.Protocol) {
+	t.Helper()
+	file := register.NewFile()
+	proto, err := core.NewProtocol(core.Options{
+		N: n, File: file,
+		NewRatifier: func(f *register.File, i int) core.Object { return ratifier.NewBinary(f, i) },
+		NewConciliator: func(f *register.File, i int) core.Object {
+			return conciliator.NewImpatient(f, n, i)
+		},
+		FastPath: true,
+		Fallback: fallback.New(file, n, 0),
+		Stages:   64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return file, proto
+}
+
+// robustConfig is the per-backend ObjectConfig seasoning: sim needs an
+// adversary, live rejects one.
+func robustBackends() []struct {
+	name string
+	cfg  func(oc ObjectConfig) ObjectConfig
+} {
+	return []struct {
+		name string
+		cfg  func(oc ObjectConfig) ObjectConfig
+	}{
+		{"sim", func(oc ObjectConfig) ObjectConfig {
+			oc.Scheduler = sched.NewUniformRandom()
+			return oc
+		}},
+		{"live", func(oc ObjectConfig) ObjectConfig {
+			oc.Backend = live.Backend()
+			return oc
+		}},
+	}
+}
+
+// TestRobustWatchdogKillsStalledTrials is the PR's acceptance scenario: a
+// fault plan stalling every process livelocks each trial; the deadline
+// watchdog must kill the trial, classify it timeout, and the sweep must
+// still complete with correct partial aggregates — on both backends. Runs
+// under -race in CI.
+func TestRobustWatchdogKillsStalledTrials(t *testing.T) {
+	for _, be := range robustBackends() {
+		t.Run(be.name, func(t *testing.T) {
+			const trials = 3
+			stallAll := fault.New(fault.Stall(fault.AllProcs, 2))
+			report, err := RunTrialsRobust(
+				Sweep{Trials: trials, Seed: 7},
+				Resilience{Deadline: 100 * time.Millisecond},
+				func(ctx context.Context, tr Trial) (*ProtocolRun, error) {
+					file, proto := robustProto(t, 4)
+					return RunProtocol(proto, be.cfg(ObjectConfig{
+						N: 4, File: file, Inputs: []value.Value{0, 1, 0, 1},
+						Seed: tr.Seed, Faults: stallAll, Context: ctx,
+					}))
+				}, nil)
+			if err != nil {
+				t.Fatalf("sweep returned error: %v", err)
+			}
+			if report.Trials != trials {
+				t.Fatalf("classified %d trials, want %d", report.Trials, trials)
+			}
+			if got := report.Count(OutcomeTimeout); got != trials {
+				t.Fatalf("timeouts = %d, want %d (report: %s)", got, trials, report)
+			}
+			if report.StoppedEarly {
+				t.Fatal("sweep reported StoppedEarly despite classifying every trial")
+			}
+			for _, rep := range report.Reports {
+				if !errors.Is(rep.Err, ErrTrialDeadline) {
+					t.Fatalf("trial %d error %v does not wrap ErrTrialDeadline", rep.Trial.Index, rep.Err)
+				}
+			}
+		})
+	}
+}
+
+// TestRobustMixedOutcomesPartialAggregates stalls a strict subset of trials
+// (by index) and checks the aggregates separate ok from timeout correctly.
+func TestRobustMixedOutcomesPartialAggregates(t *testing.T) {
+	const trials = 6
+	stallAll := fault.New(fault.Stall(fault.AllProcs, 2))
+	report, err := RunTrialsRobust(
+		Sweep{Trials: trials, Seed: 11},
+		Resilience{Deadline: 150 * time.Millisecond},
+		func(ctx context.Context, tr Trial) (*ProtocolRun, error) {
+			file, proto := robustProto(t, 4)
+			oc := ObjectConfig{
+				N: 4, File: file, Inputs: []value.Value{0, 1, 0, 1},
+				Seed: tr.Seed, Scheduler: sched.NewUniformRandom(), Context: ctx,
+			}
+			if tr.Index%2 == 1 {
+				oc.Faults = stallAll
+			}
+			return RunProtocol(proto, oc)
+		}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Count(OutcomeOK) != 3 || report.Count(OutcomeTimeout) != 3 {
+		t.Fatalf("outcomes %s, want ok=3 timeout=3", report)
+	}
+	for _, rep := range report.Reports {
+		want := OutcomeOK
+		if rep.Trial.Index%2 == 1 {
+			want = OutcomeTimeout
+		}
+		if rep.Outcome != want {
+			t.Fatalf("trial %d classified %s, want %s", rep.Trial.Index, rep.Outcome, want)
+		}
+	}
+}
+
+// TestRobustPanicContainment: a panicking trial is contained and classified;
+// the rest of the sweep completes.
+func TestRobustPanicContainment(t *testing.T) {
+	report, err := RunTrialsRobust(
+		Sweep{Trials: 5, Seed: 3},
+		Resilience{},
+		func(ctx context.Context, tr Trial) (int, error) {
+			if tr.Index == 2 {
+				panic("boom in trial 2")
+			}
+			return tr.Index, nil
+		}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Count(OutcomeOK) != 4 || report.Count(OutcomePanicked) != 1 {
+		t.Fatalf("outcomes %s, want ok=4 panicked=1", report)
+	}
+	rep := report.Reports[2]
+	if rep.Outcome != OutcomePanicked || !strings.Contains(rep.Err.Error(), "boom in trial 2") {
+		t.Fatalf("trial 2 report: outcome=%s err=%v", rep.Outcome, rep.Err)
+	}
+	if rep.Attempts != 1 {
+		t.Fatalf("panicked trial retried: %d attempts", rep.Attempts)
+	}
+}
+
+// fakeViolator drives the safetyReporter classification path without
+// needing a genuinely unsafe protocol.
+type fakeViolator struct{ v error }
+
+func (f fakeViolator) SafetyViolation() error { return f.v }
+
+func TestRobustViolationClassification(t *testing.T) {
+	violation := errors.New("agreement violated: 0 vs 1")
+	report, err := RunTrialsRobust(
+		Sweep{Trials: 4, Seed: 5},
+		Resilience{},
+		func(ctx context.Context, tr Trial) (fakeViolator, error) {
+			if tr.Index == 1 {
+				return fakeViolator{v: violation}, nil
+			}
+			return fakeViolator{}, nil
+		}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Violations() != 1 || report.Count(OutcomeOK) != 3 {
+		t.Fatalf("outcomes %s, want ok=3 violated=1", report)
+	}
+	if !errors.Is(report.Reports[1].Err, violation) {
+		t.Fatalf("violated trial err = %v", report.Reports[1].Err)
+	}
+}
+
+func TestRobustFailFastStopsSweep(t *testing.T) {
+	violation := errors.New("validity violated")
+	report, err := RunTrialsRobust(
+		Sweep{Trials: 64, Seed: 5, Workers: 2},
+		Resilience{FailFast: true},
+		func(ctx context.Context, tr Trial) (fakeViolator, error) {
+			if tr.Index == 3 {
+				return fakeViolator{v: violation}, nil
+			}
+			// Slow the tail so the cancellation demonstrably cuts it off.
+			select {
+			case <-ctx.Done():
+			case <-time.After(5 * time.Millisecond):
+			}
+			return fakeViolator{}, nil
+		}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Violations() != 1 {
+		t.Fatalf("violations = %d, want 1", report.Violations())
+	}
+	if !report.StoppedEarly {
+		t.Fatal("FailFast sweep did not report StoppedEarly")
+	}
+	if report.Trials >= 64 {
+		t.Fatalf("FailFast classified all %d trials", report.Trials)
+	}
+}
+
+// TestRobustRetryThenSuccess: unknown (infrastructure) errors are retried
+// with backoff; a later clean attempt yields OutcomeOK.
+func TestRobustRetryThenSuccess(t *testing.T) {
+	report, err := RunTrialsRobust(
+		Sweep{Trials: 1, Seed: 9, Workers: 1},
+		Resilience{Retries: 2, Backoff: time.Millisecond},
+		func() func(ctx context.Context, tr Trial) (int, error) {
+			calls := 0
+			return func(ctx context.Context, tr Trial) (int, error) {
+				calls++
+				if calls < 3 {
+					return 0, fmt.Errorf("flaky infrastructure (call %d)", calls)
+				}
+				return 42, nil
+			}
+		}(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := report.Reports[0]
+	if rep.Outcome != OutcomeOK || rep.Attempts != 3 {
+		t.Fatalf("outcome=%s attempts=%d, want ok after 3 attempts", rep.Outcome, rep.Attempts)
+	}
+}
+
+func TestRobustRetriesExhaustedFails(t *testing.T) {
+	infra := errors.New("register file on fire")
+	report, err := RunTrialsRobust(
+		Sweep{Trials: 1, Seed: 9},
+		Resilience{Retries: 1, Backoff: time.Millisecond},
+		func(ctx context.Context, tr Trial) (int, error) { return 0, infra }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := report.Reports[0]
+	if rep.Outcome != OutcomeFailed || rep.Attempts != 2 || !errors.Is(rep.Err, infra) {
+		t.Fatalf("outcome=%s attempts=%d err=%v, want failed after 2 attempts", rep.Outcome, rep.Attempts, rep.Err)
+	}
+}
+
+// TestRobustCrashedShortClassification: crashing every process yields a
+// completed execution with no deciders — crashed-short, not an error.
+func TestRobustCrashedShortClassification(t *testing.T) {
+	crashAll := fault.New(fault.Crash(fault.AllProcs, 2))
+	report, err := RunTrialsRobust(
+		Sweep{Trials: 3, Seed: 13},
+		Resilience{Deadline: 5 * time.Second},
+		func(ctx context.Context, tr Trial) (*ProtocolRun, error) {
+			file, proto := robustProto(t, 4)
+			return RunProtocol(proto, ObjectConfig{
+				N: 4, File: file, Inputs: []value.Value{0, 1, 0, 1},
+				Seed: tr.Seed, Scheduler: sched.NewUniformRandom(),
+				Faults: crashAll, Context: ctx,
+			})
+		}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := report.Count(OutcomeCrashedShort); got != 3 {
+		t.Fatalf("crashed-short = %d, want 3 (report: %s)", got, report)
+	}
+}
+
+// TestRobustStepLimitClassifiedCrashedShort: exhausting MaxSteps is a
+// model-level verdict (crashed-short), never a retried infrastructure error.
+func TestRobustStepLimitClassifiedCrashedShort(t *testing.T) {
+	report, err := RunTrialsRobust(
+		Sweep{Trials: 1, Seed: 17},
+		Resilience{Retries: 3},
+		func(ctx context.Context, tr Trial) (*ProtocolRun, error) {
+			file, proto := robustProto(t, 4)
+			return RunProtocol(proto, ObjectConfig{
+				N: 4, File: file, Inputs: []value.Value{0, 1, 0, 1},
+				Seed: tr.Seed, Scheduler: sched.NewUniformRandom(), MaxSteps: 5,
+			})
+		}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := report.Reports[0]
+	if rep.Outcome != OutcomeCrashedShort || !errors.Is(rep.Err, exec.ErrStepLimit) {
+		t.Fatalf("outcome=%s err=%v, want crashed-short wrapping ErrStepLimit", rep.Outcome, rep.Err)
+	}
+	if rep.Attempts != 1 {
+		t.Fatalf("step-limited trial retried: %d attempts", rep.Attempts)
+	}
+}
+
+// TestRobustExternalCancellation: cancelling the sweep's own context drops
+// in-flight trials (no outcome pollution) and surfaces the cancellation.
+func TestRobustExternalCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	report, err := RunTrialsRobust(
+		Sweep{Trials: 100, Seed: 21, Workers: 2, Context: ctx},
+		Resilience{Deadline: time.Minute},
+		func(tctx context.Context, tr Trial) (int, error) {
+			if tr.Index == 4 {
+				cancel()
+			}
+			select {
+			case <-tctx.Done():
+				return 0, tctx.Err()
+			case <-time.After(2 * time.Millisecond):
+				return tr.Index, nil
+			}
+		}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !report.StoppedEarly {
+		t.Fatal("cancelled sweep did not report StoppedEarly")
+	}
+	if report.Count(OutcomeTimeout) != 0 {
+		t.Fatalf("sweep cancellation polluted aggregates with timeouts: %s", report)
+	}
+	if report.Trials >= 100 {
+		t.Fatal("cancelled sweep classified every trial")
+	}
+}
+
+// TestRobustMergeOrderDeterministic: merge sees trials in index order at any
+// worker count, exactly like RunTrials.
+func TestRobustMergeOrderDeterministic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var order []int
+		_, err := RunTrialsRobust(
+			Sweep{Trials: 16, Seed: 23, Workers: workers},
+			Resilience{},
+			func(ctx context.Context, tr Trial) (int, error) { return tr.Index, nil },
+			func(tr Trial, r int, rep TrialReport) { order = append(order, r) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, got := range order {
+			if got != i {
+				t.Fatalf("workers=%d: merge order %v", workers, order)
+			}
+		}
+	}
+}
+
+func TestSweepReportString(t *testing.T) {
+	r := &SweepReport{Counts: map[TrialOutcome]int{
+		OutcomeTimeout: 2, OutcomeOK: 98,
+	}}
+	if got := r.String(); got != "ok=98 timeout=2" {
+		t.Fatalf("String() = %q", got)
+	}
+	empty := &SweepReport{Counts: map[TrialOutcome]int{}}
+	if got := empty.String(); got != "empty" {
+		t.Fatalf("empty String() = %q", got)
+	}
+}

@@ -7,8 +7,10 @@ import (
 	"context"
 	"fmt"
 
+	"github.com/modular-consensus/modcon/internal/check"
 	"github.com/modular-consensus/modcon/internal/core"
 	"github.com/modular-consensus/modcon/internal/exec"
+	"github.com/modular-consensus/modcon/internal/fault"
 	"github.com/modular-consensus/modcon/internal/register"
 	"github.com/modular-consensus/modcon/internal/sched"
 	"github.com/modular-consensus/modcon/internal/sim"
@@ -61,8 +63,12 @@ type ObjectConfig struct {
 	Traced bool
 	// CheapCollect enables the cheap-collect cost model.
 	CheapCollect bool
-	// CrashAfter is forwarded to the backend.
+	// CrashAfter is legacy sugar for a plan of plain crash faults; it is
+	// merged (min-threshold wins) with Faults before reaching the backend.
 	CrashAfter map[int]int
+	// Faults is the typed fault plan forwarded to the backend (crashes,
+	// stalls, delay jitter, lost coins — see internal/fault).
+	Faults *fault.Plan
 	// MaxSteps is forwarded to the backend (0 = backend default).
 	MaxSteps int
 	// Context, if non-nil, cancels the execution at the next operation
@@ -100,7 +106,7 @@ func (cfg *ObjectConfig) execConfig(log *trace.Log) exec.Config {
 		Seed:         cfg.Seed,
 		Trace:        log,
 		CheapCollect: cfg.CheapCollect,
-		CrashAfter:   cfg.CrashAfter,
+		Faults:       fault.Merge(cfg.Faults, fault.FromCrashMap(cfg.CrashAfter)),
 		MaxSteps:     cfg.MaxSteps,
 		Context:      cfg.Context,
 	}
@@ -174,8 +180,39 @@ type ProtocolRun struct {
 	// Decided reports, per process, whether the protocol chain produced a
 	// decision (false for crashed processes and chain exhaustion).
 	Decided []bool
+	// Violation is the first safety violation (agreement or validity) the
+	// run's online monitor observed as decisions landed; nil if the run was
+	// safe. Unlike a post-hoc check, it is meaningful even when the
+	// execution was cut short by a crash, stall, or cancellation.
+	Violation error
 	// Trace is non-nil if tracing was requested.
 	Trace *trace.Log
+}
+
+// SafetyViolation returns the first online agreement/validity violation, or
+// nil. The resilient trial engine uses it to classify trials as violated;
+// it is nil-receiver-safe because failed trials hand the classifier a
+// typed-nil run.
+func (r *ProtocolRun) SafetyViolation() error {
+	if r == nil {
+		return nil
+	}
+	return r.Violation
+}
+
+// CutShort reports whether the execution ended with no process deciding —
+// the signature of a run cut down by crashes or the step limit before the
+// protocol could finish.
+func (r *ProtocolRun) CutShort() bool {
+	if r == nil {
+		return true
+	}
+	for _, d := range r.Decided {
+		if d {
+			return false
+		}
+	}
+	return true
 }
 
 // DecidedOutputs returns the outputs of processes that genuinely decided.
@@ -203,13 +240,21 @@ func RunProtocol(p *core.Protocol, cfg ObjectConfig) (*ProtocolRun, error) {
 	if cfg.Traced {
 		run.Trace = trace.New()
 	}
+	// The online monitor checks each decision the moment it lands (from
+	// concurrently running goroutines on the live backend), so a violation
+	// is caught even if the execution never finishes cleanly.
+	mon := check.NewMonitor(inputs)
 	prog := func(e core.Env) value.Value {
 		out, ok := p.Run(e, inputs[e.PID()])
 		run.Decided[e.PID()] = ok
+		if ok {
+			mon.Observe(e.PID(), out)
+		}
 		return out
 	}
 	res, err := be.Run(cfg.execConfig(run.Trace), prog)
 	run.Result = res
+	run.Violation = mon.Err()
 	return run, err
 }
 

@@ -3,7 +3,8 @@
 // goroutines, and the "adversary" is the Go scheduler. It implements the
 // backend-neutral exec.Backend contract as a first-class peer of the
 // simulator (internal/sim): per-process operation accounting into the
-// shared exec.Result, crash-after injection, context cancellation, and an
+// shared exec.Result, fault injection (crashes, stalls, delay jitter, lost
+// coins — internal/fault), context cancellation, and an
 // optional total-operation budget all behave as on sim — only the
 // interleaving is uncontrolled, which is the point. Wall-clock numbers come
 // from here; the simulated backend remains the ground truth for the paper's
@@ -33,10 +34,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 	"unsafe"
 
 	"github.com/modular-consensus/modcon/internal/core"
 	"github.com/modular-consensus/modcon/internal/exec"
+	"github.com/modular-consensus/modcon/internal/fault"
 	"github.com/modular-consensus/modcon/internal/register"
 	"github.com/modular-consensus/modcon/internal/value"
 	"github.com/modular-consensus/modcon/internal/xrand"
@@ -80,18 +83,18 @@ func (m *Memory) Load(r register.Reg) value.Value { return m.cells[r].v.Load() }
 func (m *Memory) Store(r register.Reg, v value.Value) { m.cells[r].v.Store(v) }
 
 // procStop is the sentinel panic that unwinds a process goroutine when the
-// runtime stops it mid-program: a planned crash (CrashAfter), context
-// cancellation, or the shared operation budget running out. The goroutine
-// wrapper swallows it and records the fate; any other panic propagates out
-// of Run with its original value.
+// runtime stops it mid-program: a planned crash or stall (fault plan),
+// context cancellation, or the shared operation budget running out. The
+// goroutine wrapper swallows it and records the fate; any other panic
+// propagates out of Run with its original value. A stalled goroutine blocks
+// on the context first and unwinds only once cancellation fires — that is
+// the injection point for livelock, and why stall faults require a Context.
 type procStop struct {
 	crashed   bool
+	stalled   bool
 	cancelled bool
 	limited   bool
 }
-
-// never is the per-pid crash threshold meaning "no planned crash".
-const never = int(^uint(0) >> 1)
 
 // Env implements core.Env over atomic memory for one goroutine-process.
 type Env struct {
@@ -105,9 +108,19 @@ type Env struct {
 	coins *xrand.Source
 	prob  *xrand.Source
 	ops   int
-	// crashAt is the operation count at which this process crashes
-	// (never if unplanned).
-	crashAt int
+	// crashAt / stallAt are the own-operation counts at which this process
+	// crashes / stalls (fault.Never if unplanned); stepCrashAt is the 1-based
+	// global-operation threshold compiled from crash-on-round faults,
+	// checked against totalOps when that counter exists.
+	crashAt     int
+	stallAt     int
+	stepCrashAt int
+	// inj serves per-op delay and lost-coin draws; nil-safe and free when
+	// no fault plan is active.
+	inj *fault.Injector
+	// totalOps is the shared global operation counter, allocated only when
+	// the plan contains crash-on-round faults.
+	totalOps *atomic.Int64
 	// ctxDone, if non-nil, is polled at every operation boundary.
 	ctxDone <-chan struct{}
 	// budget, if non-nil, is the shared remaining-operation counter
@@ -126,11 +139,27 @@ var _ core.Env = (*Env)(nil)
 // the result and performs no further operations.
 func (e *Env) account() {
 	e.ops++
+	var gop int64
+	if e.totalOps != nil {
+		// The Add result is the 1-based global index of the operation that
+		// just landed — the exact quantity crash-on-round thresholds are
+		// compiled against (on sim the step counter plays this role).
+		gop = e.totalOps.Add(1)
+	}
 	if e.budget != nil && e.budget.Add(-1) < 0 {
 		panic(procStop{limited: true})
 	}
 	if e.ops >= e.crashAt {
 		panic(procStop{crashed: true})
+	}
+	if e.totalOps != nil && gop >= int64(e.stepCrashAt) {
+		panic(procStop{crashed: true})
+	}
+	if e.ops >= e.stallAt {
+		e.stallForever()
+	}
+	if d := e.inj.OpDelay(e.pid); d > 0 {
+		time.Sleep(d)
 	}
 	if e.ctxDone != nil {
 		select {
@@ -139,6 +168,17 @@ func (e *Env) account() {
 		default:
 		}
 	}
+}
+
+// stallForever is the live injection point for stall faults: the goroutine
+// holds its state and performs no further operations until the context is
+// cancelled, then unwinds as stalled. This is the livelock the harness
+// watchdog exists to catch.
+func (e *Env) stallForever() {
+	if e.ctxDone != nil {
+		<-e.ctxDone
+	}
+	panic(procStop{stalled: true})
 }
 
 // PID implements core.Env.
@@ -165,6 +205,13 @@ func (e *Env) Write(r register.Reg, v value.Value) {
 // location-oblivious adversary can.)
 func (e *Env) ProbWrite(r register.Reg, v value.Value, num, den uint64) bool {
 	ok := e.prob.Bernoulli(num, den)
+	if e.inj.LoseCoin(e.pid) {
+		// Lost in flight: the process's own coin stream is consumed exactly
+		// as in a fault-free run, but the write is suppressed and reported
+		// failed (same draw order as sim, so n=1 runs stay bit-equivalent
+		// across backends under the same plan).
+		ok = false
+	}
 	if ok {
 		e.mem.Store(r, v)
 	}
@@ -261,18 +308,27 @@ func (backend) Run(cfg exec.Config, programs ...exec.Program) (*exec.Result, err
 		ctxDone = cfg.Context.Done()
 	}
 
+	inj, err := fault.Compile(cfg.Faults, cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var totalOps *atomic.Int64
+	if inj.HasCrashStep() {
+		totalOps = new(atomic.Int64)
+	}
+	if inj.HasStall() {
+		res.Stalled = make([]bool, cfg.N)
+	}
+
 	root := xrand.New(cfg.Seed)
 	envs := make([]*Env, cfg.N)
 	for pid := 0; pid < cfg.N; pid++ {
 		envs[pid] = &Env{
 			mem: mem, pid: pid, n: cfg.N, cheap: cfg.CheapCollect,
 			coins: exec.ProcCoins(root, pid), prob: exec.ProcProb(root, pid),
-			crashAt: never, ctxDone: ctxDone, budget: budget,
-		}
-	}
-	for pid, limit := range cfg.CrashAfter {
-		if pid >= 0 && pid < cfg.N {
-			envs[pid].crashAt = limit
+			crashAt: inj.CrashAt(pid), stallAt: inj.StallAt(pid),
+			stepCrashAt: inj.CrashStep(pid), inj: inj, totalOps: totalOps,
+			ctxDone: ctxDone, budget: budget,
 		}
 	}
 
@@ -299,6 +355,14 @@ func (backend) Run(cfg exec.Config, programs ...exec.Program) (*exec.Result, err
 					switch {
 					case stop.crashed:
 						res.Crashed[pid] = true
+					case stop.stalled:
+						// The stalled goroutine only unwound because the
+						// context fired, so the run as a whole reports
+						// cancellation.
+						res.Stalled[pid] = true
+						if ctxDone != nil {
+							cancelled.Store(true)
+						}
 					case stop.limited:
 						limited.Store(true)
 					case stop.cancelled:
@@ -312,7 +376,16 @@ func (backend) Run(cfg exec.Config, programs ...exec.Program) (*exec.Result, err
 				}
 				panicMu.Unlock()
 			}()
-			out := progs[pid](envs[pid])
+			e := envs[pid]
+			// Threshold 0 fires before the first operation: the process
+			// crashes or stalls having done nothing at all.
+			if e.crashAt <= 0 {
+				panic(procStop{crashed: true})
+			}
+			if e.stallAt <= 0 {
+				e.stallForever()
+			}
+			out := progs[pid](e)
 			res.Outputs[pid] = out
 			res.Halted[pid] = true
 		}(pid)

@@ -11,6 +11,7 @@ import (
 	"github.com/modular-consensus/modcon/internal/core"
 	"github.com/modular-consensus/modcon/internal/exec"
 	"github.com/modular-consensus/modcon/internal/fallback"
+	"github.com/modular-consensus/modcon/internal/fault"
 	"github.com/modular-consensus/modcon/internal/ratifier"
 	"github.com/modular-consensus/modcon/internal/register"
 	"github.com/modular-consensus/modcon/internal/sched"
@@ -161,7 +162,7 @@ func TestCrashAfterInjection(t *testing.T) {
 	r := file.Alloc1("x")
 	res, err := Run(exec.Config{
 		N: 2, File: file, Seed: 1,
-		CrashAfter: map[int]int{0: 3},
+		Faults: fault.New(fault.Crash(0, 3)),
 	}, func(e core.Env) value.Value {
 		for i := 0; i < 10; i++ {
 			e.Write(r, value.Value(i))

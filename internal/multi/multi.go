@@ -17,6 +17,7 @@ import (
 	"github.com/modular-consensus/modcon/internal/conciliator"
 	"github.com/modular-consensus/modcon/internal/core"
 	"github.com/modular-consensus/modcon/internal/fallback"
+	"github.com/modular-consensus/modcon/internal/fault"
 	"github.com/modular-consensus/modcon/internal/ratifier"
 	"github.com/modular-consensus/modcon/internal/register"
 	"github.com/modular-consensus/modcon/internal/sched"
@@ -42,6 +43,9 @@ type Config struct {
 	MaxSteps int
 	// CrashAfter is forwarded to the simulator.
 	CrashAfter map[int]int
+	// Faults is the typed fault plan, compiled for the whole multi-slot
+	// execution (crash thresholds merge with CrashAfter in the simulator).
+	Faults *fault.Plan
 	// Context, if non-nil, cancels the execution between simulated steps.
 	Context context.Context
 }
@@ -112,9 +116,15 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	inj, err := fault.Compile(cfg.Faults, cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("multi: %w", err)
+	}
+
 	simRes, err := sim.Run(sim.Config{
 		N: cfg.N, File: file, Scheduler: cfg.Scheduler, Seed: cfg.Seed,
-		MaxSteps: cfg.MaxSteps, CrashAfter: cfg.CrashAfter, Context: cfg.Context,
+		MaxSteps: cfg.MaxSteps, CrashAfter: cfg.CrashAfter, Faults: inj,
+		Context: cfg.Context,
 	}, func(e *sim.Env) value.Value {
 		pid := e.PID()
 		var last value.Value = value.None

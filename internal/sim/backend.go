@@ -5,6 +5,7 @@ import (
 
 	"github.com/modular-consensus/modcon/internal/core"
 	"github.com/modular-consensus/modcon/internal/exec"
+	"github.com/modular-consensus/modcon/internal/fault"
 	"github.com/modular-consensus/modcon/internal/value"
 )
 
@@ -39,6 +40,10 @@ func (backend) Run(cfg exec.Config, programs ...exec.Program) (*exec.Result, err
 	if cfg.Scheduler == nil {
 		return nil, errors.New("sim: nil scheduler (the sim backend requires an explicit adversary)")
 	}
+	inj, err := fault.Compile(cfg.Faults, cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 	progs := make([]Program, len(programs))
 	for i, p := range programs {
 		p := p
@@ -51,7 +56,7 @@ func (backend) Run(cfg exec.Config, programs ...exec.Program) (*exec.Result, err
 		Seed:         cfg.Seed,
 		Trace:        cfg.Trace,
 		CheapCollect: cfg.CheapCollect,
-		CrashAfter:   cfg.CrashAfter,
+		Faults:       inj,
 		MaxSteps:     cfg.MaxSteps,
 		Context:      cfg.Context,
 	}, progs...)

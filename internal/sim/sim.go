@@ -31,8 +31,10 @@ import (
 	"errors"
 	"fmt"
 	"iter"
+	"time"
 
 	"github.com/modular-consensus/modcon/internal/exec"
+	"github.com/modular-consensus/modcon/internal/fault"
 	"github.com/modular-consensus/modcon/internal/register"
 	"github.com/modular-consensus/modcon/internal/sched"
 	"github.com/modular-consensus/modcon/internal/trace"
@@ -82,6 +84,16 @@ type Config struct {
 	// crashes (its last operation takes effect, but the process never
 	// observes the result and is never scheduled again).
 	CrashAfter map[int]int
+	// Faults is the compiled fault injector (fault.Compile), consulted at
+	// operation boundaries: crash thresholds merge with CrashAfter (the
+	// smaller wins), global-step crashes fire at the first own operation at
+	// or past the threshold, stalls freeze a process without halting or
+	// crashing it, per-op delays sleep the engine thread, and lost coins
+	// suppress probabilistic writes after the process's own coin stream is
+	// consumed as usual. Stall faults require a non-nil Context: a stalled
+	// process never halts, so only cancellation can end the execution. nil
+	// means no faults and costs nothing on the step path.
+	Faults *fault.Injector
 	// MaxSteps bounds total work; 0 means DefaultMaxSteps.
 	MaxSteps int
 	// Context, if non-nil, cancels the execution between scheduled
@@ -131,6 +143,7 @@ type proc struct {
 	hasOp   bool
 	halted  bool
 	crashed bool
+	stalled bool
 	output  value.Value
 }
 
@@ -196,6 +209,26 @@ func Run(cfg Config, programs ...Program) (*Result, error) {
 		}
 	}
 
+	// Fault thresholds are dense per-pid slices too; a nil injector leaves
+	// rt.faulty false and the step path untouched.
+	if in := cfg.Faults; in != nil {
+		rt.inj = in
+		rt.faulty = true
+		rt.stallAt = make([]int, cfg.N)
+		rt.stepCrashAt = make([]int, cfg.N)
+		for pid := 0; pid < cfg.N; pid++ {
+			rt.crashAt[pid] = min(rt.crashAt[pid], in.CrashAt(pid))
+			rt.stallAt[pid] = in.StallAt(pid)
+			rt.stepCrashAt[pid] = in.CrashStep(pid)
+		}
+		if in.HasStall() {
+			if cfg.Context == nil {
+				return nil, errors.New("sim: stall faults require a Context (a stalled process never halts; only cancellation ends the execution)")
+			}
+			rt.result.Stalled = make([]bool, cfg.N)
+		}
+	}
+
 	// Per-process streams come from the shared exec derivation so that
 	// adversary-free executions are bit-equivalent on every backend (the
 	// scheduler's stream is sim-only and never consumed by processes).
@@ -257,6 +290,17 @@ type engine struct {
 	result   *Result
 	steps    int
 
+	// Fault plane (nil/false when Config.Faults is nil): dense thresholds
+	// mirroring crashAt, plus the injector for delay and lost-coin draws.
+	// stalledN counts processes frozen by a stall fault — they are neither
+	// halted nor crashed, so the loop must not report completion while any
+	// remain.
+	inj         *fault.Injector
+	stallAt     []int
+	stepCrashAt []int
+	faulty      bool
+	stalledN    int
+
 	// The scheduler view is maintained incrementally: exactly one process
 	// changes state per step, so runnable (ascending pids) and view.Pending
 	// are patched in O(1) amortized instead of rebuilt in O(n). The slices
@@ -277,6 +321,17 @@ func (rt *engine) loop() error {
 	rt.view = sched.View{Power: rt.power, N: rt.cfg.N, Pending: make([]sched.Op, rt.cfg.N)}
 	rt.runnable = make([]int, 0, rt.cfg.N)
 	for pid := range rt.procs {
+		// Threshold 0 fires before the first operation: the process crashes
+		// or stalls having done nothing at all, and its coroutine is never
+		// started (teardown unwinds it).
+		if rt.crashAt[pid] <= 0 {
+			rt.crash(pid)
+			continue
+		}
+		if rt.faulty && rt.stallAt[pid] <= 0 {
+			rt.stall(pid)
+			continue
+		}
 		rt.resume(pid)
 	}
 	for pid := range rt.procs {
@@ -288,7 +343,18 @@ func (rt *engine) loop() error {
 	}
 	for {
 		if len(rt.runnable) == 0 {
-			return nil // every process halted or crashed
+			if rt.stalledN == 0 {
+				return nil // every process halted or crashed
+			}
+			// Only stalled processes remain: the execution can never finish
+			// on its own (the livelock a deadline watchdog exists to catch).
+			// Block until cancellation; Run validated that a Context exists
+			// whenever stall faults do.
+			if rt.ctxDone == nil {
+				return fmt.Errorf("sim: %d process(es) stalled with no context to interrupt the execution", rt.stalledN)
+			}
+			<-rt.ctxDone
+			return fmt.Errorf("%w after %d steps (%d process(es) stalled): %w", ErrCancelled, rt.steps, rt.stalledN, context.Cause(rt.cfg.Context))
 		}
 		if rt.steps >= rt.maxSteps {
 			return fmt.Errorf("%w (limit %d, scheduler %q)", ErrStepLimit, rt.maxSteps, rt.cfg.Scheduler.Name())
@@ -352,6 +418,13 @@ func (rt *engine) execute(pid int) {
 		file.Store(req.reg, req.val)
 	case sched.OpProbWrite:
 		resp.ok = rt.probSrc[pid].Bernoulli(req.num, req.den)
+		if rt.faulty && rt.inj.LoseCoin(pid) {
+			// The coin is lost in flight: the process's own coin stream was
+			// consumed exactly as in a fault-free run (so no-loss draws stay
+			// bit-identical), but the write is suppressed and reported
+			// failed. Safe degradation — it can only slow termination.
+			resp.ok = false
+		}
 		if resp.ok {
 			file.Store(req.reg, req.val)
 		}
@@ -383,20 +456,51 @@ func (rt *engine) execute(pid int) {
 	rt.result.TotalWork++
 	rt.steps++
 
-	if rt.result.Work[pid] >= rt.crashAt[pid] {
-		// The operation took effect, but the process never observes the
-		// result and is never scheduled again; its coroutine stays suspended
-		// until teardown unwinds it.
-		p.crashed = true
-		rt.result.Crashed[pid] = true
-		if traced {
-			rt.cfg.Trace.Append(trace.Event{Step: -1, PID: pid, Kind: trace.Crash})
+	if rt.faulty {
+		if d := rt.inj.OpDelay(pid); d > 0 {
+			// Per-op jitter: the engine is single-threaded, so sleeping here
+			// slows the whole (simulated) execution — meaningful for wall
+			// clock stress, invisible to the step-count cost model.
+			time.Sleep(d)
 		}
+	}
+
+	// Crash checks run after the operation lands: the last operation takes
+	// effect, but the process never observes the result and is never
+	// scheduled again; its coroutine stays suspended until teardown unwinds
+	// it. rt.steps is now the 1-based global index of this operation, which
+	// is what the crash-on-round thresholds are compiled against.
+	if rt.result.Work[pid] >= rt.crashAt[pid] || (rt.faulty && rt.steps >= rt.stepCrashAt[pid]) {
+		rt.crash(pid)
+		return
+	}
+	if rt.faulty && rt.result.Work[pid] >= rt.stallAt[pid] {
+		rt.stall(pid)
 		return
 	}
 
 	p.resp = resp
 	rt.resume(pid)
+}
+
+// crash marks pid crashed. Called either after its last operation landed or
+// before its first (threshold 0).
+func (rt *engine) crash(pid int) {
+	rt.procs[pid].crashed = true
+	rt.result.Crashed[pid] = true
+	if rt.cfg.Trace != nil {
+		rt.cfg.Trace.Append(trace.Event{Step: -1, PID: pid, Kind: trace.Crash})
+	}
+}
+
+// stall freezes pid: unlike a crash it is not reported as failed — the
+// process holds its state forever and simply never takes another step, the
+// classic livelock a deadline watchdog has to catch. Its coroutine stays
+// suspended until teardown.
+func (rt *engine) stall(pid int) {
+	rt.procs[pid].stalled = true
+	rt.result.Stalled[pid] = true
+	rt.stalledN++
 }
 
 // resume transfers control into pid's coroutine and records what comes

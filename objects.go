@@ -9,6 +9,7 @@ import (
 	"github.com/modular-consensus/modcon/internal/conciliator"
 	"github.com/modular-consensus/modcon/internal/exec"
 	"github.com/modular-consensus/modcon/internal/fallback"
+	"github.com/modular-consensus/modcon/internal/fault"
 	"github.com/modular-consensus/modcon/internal/ratifier"
 	"github.com/modular-consensus/modcon/internal/setagree"
 	"github.com/modular-consensus/modcon/internal/sharedcoin"
@@ -90,9 +91,11 @@ type SimResult struct {
 	// Outputs holds each process's return value (None if it crashed or the
 	// step limit cut the run short).
 	Outputs []Value
-	// Halted and Crashed report per-process fates.
+	// Halted, Crashed, and Stalled report per-process fates (Stalled is
+	// nil unless the fault plan contained stall faults).
 	Halted  []bool
 	Crashed []bool
+	Stalled []bool
 	// Work is the per-process operation count; TotalWork their sum.
 	Work      []int
 	TotalWork int
@@ -139,8 +142,9 @@ func Simulate(n int, file *Registers, s Scheduler, seed uint64, proc Proc, run .
 	res, err := be.Run(exec.Config{
 		N: n, File: file, Scheduler: s, Seed: seed,
 		Trace: tr, CheapCollect: rc.CheapCollect,
-		CrashAfter: rc.CrashAfter, MaxSteps: rc.MaxSteps,
-		Context: rc.Context,
+		Faults:   fault.Merge(rc.Faults, fault.FromCrashMap(rc.CrashAfter)),
+		MaxSteps: rc.MaxSteps,
+		Context:  rc.Context,
 	}, exec.Program(proc))
 	if err != nil {
 		return nil, err
@@ -149,6 +153,7 @@ func Simulate(n int, file *Registers, s Scheduler, seed uint64, proc Proc, run .
 		Outputs:   res.Outputs,
 		Halted:    res.Halted,
 		Crashed:   res.Crashed,
+		Stalled:   res.Stalled,
 		Work:      res.Work,
 		TotalWork: res.TotalWork,
 		Trace:     tr,

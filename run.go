@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/modular-consensus/modcon/internal/core"
+	"github.com/modular-consensus/modcon/internal/fault"
 	"github.com/modular-consensus/modcon/internal/harness"
 )
 
@@ -54,6 +56,10 @@ type runConfig struct {
 	crashAfter   map[int]int
 	cheapCollect bool
 	progress     func(SweepProgress)
+	faults       *FaultPlan
+	deadline     time.Duration
+	retries      int
+	failFast     bool
 }
 
 // WithN sets the process count (required for Run and RunProtocol).
@@ -119,8 +125,46 @@ func WithMaxSteps(steps int) RunOption {
 }
 
 // WithCrashAfter crashes each listed pid after its given operation count.
+// It is legacy sugar for a plan of plain crash faults; prefer WithFaults,
+// with which it merges (the smaller threshold wins per process).
 func WithCrashAfter(crashes map[int]int) RunOption {
 	return runOptionFunc(func(c *runConfig) { c.crashAfter = crashes })
+}
+
+// WithFaults injects the given faults into the execution (or, for Trials
+// and TrialsRobust, into every trial): crashes, stalls, per-op delay
+// jitter, lost probabilistic-write coins — on either backend. Repeated use
+// accumulates; see also WithFaultPlan for a pre-built or parsed plan.
+func WithFaults(faults ...Fault) RunOption {
+	return runOptionFunc(func(c *runConfig) { c.faults = fault.Merge(c.faults, fault.New(faults...)) })
+}
+
+// WithFaultPlan injects a pre-built fault plan (see Faults, ParseFaults),
+// merging with any faults configured so far. A nil plan is a no-op.
+func WithFaultPlan(p *FaultPlan) RunOption {
+	return runOptionFunc(func(c *runConfig) { c.faults = fault.Merge(c.faults, p) })
+}
+
+// WithTrialDeadline arms TrialsRobust's per-trial watchdog: a trial still
+// running after d — livelocked by stall faults, stuck, or just unlucky —
+// is cancelled (cause ErrTrialDeadline) and classified TrialTimeout while
+// the rest of the sweep continues. Run, RunProtocol, and Trials ignore it.
+func WithTrialDeadline(d time.Duration) RunOption {
+	return runOptionFunc(func(c *runConfig) { c.deadline = d })
+}
+
+// WithRetries lets TrialsRobust re-attempt a trial that failed with an
+// infrastructure error up to n times (exponential backoff). Model-level
+// outcomes — violations, timeouts, panics, step-limit exhaustion — are
+// never retried.
+func WithRetries(n int) RunOption {
+	return runOptionFunc(func(c *runConfig) { c.retries = n })
+}
+
+// WithFailFast makes TrialsRobust stop the sweep at the first safety
+// violation, keeping the partial report.
+func WithFailFast(on bool) RunOption {
+	return runOptionFunc(func(c *runConfig) { c.failFast = on })
 }
 
 // WithCheapCollect enables the O(1)-collect cost model (§6.2, choice 4).
@@ -172,6 +216,7 @@ func (c *runConfig) objectConfig() (harness.ObjectConfig, error) {
 		Traced:       c.traced,
 		CheapCollect: c.cheapCollect,
 		CrashAfter:   c.crashAfter,
+		Faults:       c.faults,
 		MaxSteps:     c.maxSteps,
 		Context:      c.ctx,
 	}, nil
@@ -230,5 +275,32 @@ func Trials[T any](trials int, run func(ctx context.Context, t Trial) (T, error)
 		Seed:     c.seed,
 		Context:  c.ctx,
 		Progress: c.progress,
+	}, run, merge)
+}
+
+// TrialsRobust runs a sweep like Trials but degrades gracefully instead of
+// aborting: every trial is classified (TrialOK, TrialViolated on an online
+// safety violation, TrialTimeout when the WithTrialDeadline watchdog kills
+// a livelocked trial, TrialPanicked with the panic contained to the trial,
+// TrialCrashedShort when nothing decided, TrialFailed after WithRetries
+// infrastructure retries) and the sweep always returns its partial
+// aggregates. merge, which may be nil, additionally receives each trial's
+// report; for non-ok outcomes the result may be partial or zero.
+//
+// Recognized options: WithSeed, WithWorkers, WithContext, WithProgress,
+// WithTrialDeadline, WithRetries, WithFailFast. The error is nil unless
+// the sweep's context was cancelled externally.
+func TrialsRobust[T any](trials int, run func(ctx context.Context, t Trial) (T, error), merge func(t Trial, result T, rep TrialReport), opts ...RunOption) (*SweepReport, error) {
+	c := buildRunConfig(opts)
+	return harness.RunTrialsRobust(harness.Sweep{
+		Trials:   trials,
+		Workers:  c.workers,
+		Seed:     c.seed,
+		Context:  c.ctx,
+		Progress: c.progress,
+	}, harness.Resilience{
+		Deadline: c.deadline,
+		Retries:  c.retries,
+		FailFast: c.failFast,
 	}, run, merge)
 }

@@ -52,6 +52,8 @@ func (c *Consensus) SolveSequence(proposals [][]Value, s Scheduler, seed uint64,
 		Seed:       seed,
 		MaxSteps:   rc.MaxSteps,
 		CrashAfter: rc.CrashAfter,
+		Faults:     rc.Faults,
+		Context:    rc.Context,
 	})
 	if err != nil {
 		return nil, err
