@@ -1,0 +1,98 @@
+// Command linkcheck validates the relative links in the repo's markdown
+// files: every `[text](path)` whose target is not an external URL or a pure
+// anchor must resolve to an existing file or directory, relative to the file
+// containing the link.
+//
+// It exits nonzero listing each broken link, so CI can gate documentation
+// structure the same way it gates code. Run it from the module root:
+//
+//	go run ./cmd/linkcheck
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links; images share the same target syntax.
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	broken, checked, err := run(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "linkcheck:", err)
+		os.Exit(1)
+	}
+	if len(broken) > 0 {
+		for _, b := range broken {
+			fmt.Fprintln(os.Stderr, "linkcheck:", b)
+		}
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s)\n", len(broken))
+		os.Exit(1)
+	}
+	fmt.Printf("linkcheck: ok (%d relative links)\n", checked)
+}
+
+// run scans every .md file under root and returns the broken relative links
+// and the count of links checked.
+func run(root string) (broken []string, checked int, err error) {
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if strings.HasPrefix(d.Name(), ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".md") {
+			return nil
+		}
+		// SNIPPETS.md quotes exemplar code and docs from other repositories
+		// verbatim; its links refer to files in their origin repos.
+		if d.Name() == "SNIPPETS.md" {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if skippable(target) {
+				continue
+			}
+			// Drop any #anchor; section anchors are not validated.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			checked++
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				broken = append(broken, fmt.Sprintf("%s: link target %q does not exist", path, m[1]))
+			}
+		}
+		return nil
+	})
+	return broken, checked, err
+}
+
+// skippable reports link targets outside the checker's scope: absolute URLs
+// and pure in-page anchors.
+func skippable(target string) bool {
+	return strings.Contains(target, "://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/modular-consensus/modcon/internal/obs"
 	"github.com/modular-consensus/modcon/internal/register"
 	"github.com/modular-consensus/modcon/internal/sched"
 	"github.com/modular-consensus/modcon/internal/sim"
@@ -48,14 +49,13 @@ type coreCell struct {
 }
 
 // coreReport is the BENCH_sim.json schema. Consumers (CI schema check,
-// trajectory tooling) rely on bench, goVersion, gomaxprocs, and results
-// with the coreCell fields above.
+// trajectory tooling) rely on bench, manifest.goVersion,
+// manifest.gomaxprocs, and results with the coreCell fields above.
 type coreReport struct {
-	Bench      string     `json:"bench"`
-	GoVersion  string     `json:"goVersion"`
-	GOMAXPROCS int        `json:"gomaxprocs"`
-	Budget     string     `json:"budgetPerCell"`
-	Results    []coreCell `json:"results"`
+	Bench    string       `json:"bench"`
+	Manifest obs.Manifest `json:"manifest"`
+	Budget   string       `json:"budgetPerCell"`
+	Results  []coreCell   `json:"results"`
 }
 
 // runCoreCell executes exactly `steps` scheduled operations of the step-loop
@@ -122,11 +122,18 @@ func measureCoreCell(power sched.Power, n int, budget time.Duration) (coreCell, 
 
 // runBenchCore runs the full (power × n) matrix and writes the JSON report.
 func runBenchCore(out string, budget time.Duration, ns []int) error {
+	manifest := obs.NewManifest("modcon-bench")
+	manifest.Seed = 1 // every cell runs sim.Config{Seed: 1}
+	manifest.Backend = "sim"
+	manifest.Config = map[string]string{
+		"bench-out":    out,
+		"bench-budget": budget.String(),
+		"bench-n":      intsCSV(ns),
+	}
 	report := coreReport{
-		Bench:      "sim-step-loop",
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Budget:     budget.String(),
+		Bench:    "sim-step-loop",
+		Manifest: manifest,
+		Budget:   budget.String(),
 	}
 	powers := []sched.Power{
 		sched.Oblivious, sched.ValueOblivious, sched.LocationOblivious, sched.Adaptive,
@@ -157,6 +164,15 @@ func runBenchCore(out string, budget time.Duration, ns []int) error {
 	}
 	fmt.Fprintf(os.Stderr, "bench-core: wrote %s (%d cells)\n", out, len(report.Results))
 	return nil
+}
+
+// intsCSV renders the -bench-n list back to its csv form for the manifest.
+func intsCSV(ns []int) string {
+	parts := make([]string, len(ns))
+	for i, n := range ns {
+		parts[i] = strconv.Itoa(n)
+	}
+	return strings.Join(parts, ",")
 }
 
 // parseBenchNs parses the -bench-n csv.

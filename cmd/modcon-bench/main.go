@@ -1,6 +1,6 @@
 // Command modcon-bench regenerates the paper's quantitative claims.
 //
-// Each experiment (E1–E17, see DESIGN.md §3 and EXPERIMENTS.md) sweeps the
+// Each experiment (E1–E20, see DESIGN.md §3 and EXPERIMENTS.md) sweeps the
 // relevant parameter, runs many simulated executions per cell on the
 // parallel trial engine, and prints a table comparing measurements against
 // the corresponding theorem.
@@ -17,16 +17,22 @@
 //	modcon-bench -timeout 2m     # wall-clock budget for the whole run
 //	modcon-bench -fail-fast      # stop a fault sweep at its first safety
 //	                             # violation instead of finishing the cell
+//	modcon-bench -progress 2s    # stream progress lines to stderr (trials
+//	                             # done, trials/sec, ETA, violations)
 //	modcon-bench -markdown       # emit EXPERIMENTS.md-ready markdown
-//	modcon-bench -json           # emit tables as a JSON array
+//	modcon-bench -json           # emit a manifest + tables JSON object
 //	modcon-bench -list           # list experiments
+//	modcon-bench -cpuprofile p   # write a CPU profile of the run
+//	modcon-bench -memprofile p   # write a heap profile at exit
+//	modcon-bench -trace p        # write a runtime execution trace
 //	modcon-bench -bench-core     # microbenchmark the step engine itself,
 //	                             # writing BENCH_sim.json (see -bench-out,
 //	                             # -bench-budget, -bench-n)
 //
 // Results are deterministic in (-seed, -trials) and independent of
 // -workers: trial seeds are derived per-trial and results are merged in
-// trial order.
+// trial order. JSON artifacts carry a run manifest (seed, config echo,
+// backend, toolchain) so each is reproducible from the artifact alone.
 //
 // The exit status is nonzero when any experiment reports a safety
 // violation, so CI can gate on it directly.
@@ -38,10 +44,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 	"time"
 
 	"github.com/modular-consensus/modcon/internal/exp"
+	"github.com/modular-consensus/modcon/internal/obs"
 )
 
 func main() {
@@ -61,9 +70,14 @@ func run(args []string) error {
 		workers  = fs.Int("workers", 0, "concurrent trials per cell (0 = GOMAXPROCS; results identical at any value)")
 		timeout  = fs.Duration("timeout", 0, "wall-clock budget; in-flight executions are cancelled when it expires (0 = none)")
 		failFast = fs.Bool("fail-fast", false, "stop fault sweeps (E20) at the first safety violation")
+		progress = fs.Duration("progress", 0, "stream progress snapshots to stderr at this interval (0 = off)")
 		markdown = fs.Bool("markdown", false, "emit markdown instead of aligned text")
-		jsonOut  = fs.Bool("json", false, "emit completed tables as a JSON array")
+		jsonOut  = fs.Bool("json", false, "emit a JSON object with a run manifest and the completed tables")
 		list     = fs.Bool("list", false, "list experiments and exit")
+
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		traceFile  = fs.String("trace", "", "write a runtime execution trace of the run to this file")
 
 		benchCore   = fs.Bool("bench-core", false, "microbenchmark the step engine and write a JSON perf baseline")
 		benchOut    = fs.String("bench-out", "BENCH_sim.json", "output path for -bench-core")
@@ -73,6 +87,15 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	// Profiling wraps whichever mode runs — the experiment loop or the
+	// bench-core matrix — so hot-path investigations use the same flags
+	// either way.
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile, *traceFile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 
 	if *benchCore {
 		ns, err := parseBenchNs(*benchN)
@@ -124,6 +147,25 @@ func run(args []string) error {
 		defer cancel()
 	}
 	cfg := exp.Config{Trials: *trials, Seed: *seed, Workers: *workers, Ctx: ctx, FailFast: *failFast}
+	if *progress > 0 {
+		cfg.Reporter = obs.NewReporter(obs.Text(os.Stderr), *progress)
+		cfg.Meter = &obs.Meter{}
+	}
+
+	// The manifest echoes every effective flag so a JSON artifact is
+	// reproducible (and attributable) from the artifact alone.
+	manifest := obs.NewManifest("modcon-bench")
+	manifest.Seed = *seed
+	manifest.Backend = *backend
+	manifest.Config = map[string]string{
+		"run":       *runList,
+		"backend":   *backend,
+		"trials":    fmt.Sprint(*trials),
+		"seed":      fmt.Sprint(*seed),
+		"workers":   fmt.Sprint(*workers),
+		"timeout":   timeout.String(),
+		"fail-fast": fmt.Sprint(*failFast),
+	}
 
 	var tables []*exp.Table
 	for i, e := range selected {
@@ -132,7 +174,7 @@ func run(args []string) error {
 		if err != nil {
 			// The budget expired: report what completed, then the error.
 			if *jsonOut {
-				if jerr := emitJSON(tables); jerr != nil {
+				if jerr := emitJSON(manifest, tables); jerr != nil {
 					return jerr
 				}
 			}
@@ -153,7 +195,7 @@ func run(args []string) error {
 		}
 	}
 	if *jsonOut {
-		if err := emitJSON(tables); err != nil {
+		if err := emitJSON(manifest, tables); err != nil {
 			return err
 		}
 	}
@@ -185,11 +227,75 @@ func runExperiment(ctx context.Context, e exp.Experiment, cfg exp.Config) (table
 	return e.Run(cfg), nil
 }
 
-func emitJSON(tables []*exp.Table) error {
+// jsonReport is the -json output schema: a run manifest followed by the
+// completed tables.
+type jsonReport struct {
+	Manifest obs.Manifest `json:"manifest"`
+	Tables   []*exp.Table `json:"tables"`
+}
+
+func emitJSON(manifest obs.Manifest, tables []*exp.Table) error {
 	if tables == nil {
 		tables = []*exp.Table{} // always an array, even when nothing completed
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	return enc.Encode(tables)
+	return enc.Encode(jsonReport{Manifest: manifest, Tables: tables})
+}
+
+// startProfiles begins the CPU profile and execution trace (if requested)
+// and returns a stop function that ends them and writes the heap profile.
+// The stop function is safe to call exactly once, including after a partial
+// failure mid-run.
+func startProfiles(cpu, mem, traceOut string) (func(), error) {
+	var stops []func()
+	stop := func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			stop()
+			return nil, err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			stop()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		stops = append(stops, func() {
+			trace.Stop()
+			f.Close()
+		})
+	}
+	if mem != "" {
+		stops = append(stops, func() {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "modcon-bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "modcon-bench: memprofile:", err)
+			}
+		})
+	}
+	return stop, nil
 }

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -55,10 +57,33 @@ func capture(t *testing.T, fn func() error) (string, error) {
 
 func TestRunJSON(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run([]string{"-run", "E9", "-trials", "2", "-json"})
+		return run([]string{"-run", "E9", "-trials", "2", "-seed", "42", "-json"})
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+	var report struct {
+		Manifest struct {
+			Tool       string            `json:"tool"`
+			Seed       uint64            `json:"seed"`
+			Config     map[string]string `json:"config"`
+			GoVersion  string            `json:"goVersion"`
+			GOMAXPROCS int               `json:"gomaxprocs"`
+		} `json:"manifest"`
+		Tables []json.RawMessage `json:"tables"`
+	}
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("json output does not decode: %v\n%s", err, out)
+	}
+	m := report.Manifest
+	if m.Tool != "modcon-bench" || m.Seed != 42 || m.GoVersion == "" || m.GOMAXPROCS < 1 {
+		t.Fatalf("bad manifest: %+v", m)
+	}
+	if m.Config["run"] != "E9" || m.Config["trials"] != "2" {
+		t.Fatalf("manifest config echo missing flags: %+v", m.Config)
+	}
+	if len(report.Tables) != 1 {
+		t.Fatalf("got %d tables, want 1", len(report.Tables))
 	}
 	if !strings.Contains(out, `"ID": "E9"`) || !strings.Contains(out, `"Rows"`) {
 		t.Fatalf("json output missing table fields:\n%s", out)
@@ -66,7 +91,9 @@ func TestRunJSON(t *testing.T) {
 }
 
 func TestRunWorkersDeterministic(t *testing.T) {
-	var outs []string
+	// The manifest legitimately differs across worker counts (it echoes
+	// -workers), so determinism is pinned on the tables alone.
+	var tables []string
 	for _, w := range []string{"1", "4"} {
 		out, err := capture(t, func() error {
 			return run([]string{"-run", "E9", "-trials", "4", "-seed", "3", "-workers", w, "-json"})
@@ -74,10 +101,40 @@ func TestRunWorkersDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		outs = append(outs, out)
+		var report struct {
+			Tables json.RawMessage `json:"tables"`
+		}
+		if err := json.Unmarshal([]byte(out), &report); err != nil {
+			t.Fatalf("json output does not decode: %v\n%s", err, out)
+		}
+		tables = append(tables, string(report.Tables))
 	}
-	if outs[0] != outs[1] {
-		t.Fatalf("-workers changed results:\n%s\n---\n%s", outs[0], outs[1])
+	if tables[0] != tables[1] {
+		t.Fatalf("-workers changed results:\n%s\n---\n%s", tables[0], tables[1])
+	}
+}
+
+func TestRunProgressAndProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	tr := filepath.Join(dir, "trace.out")
+	_, err := capture(t, func() error {
+		return run([]string{"-run", "E9", "-trials", "2",
+			"-progress", "1ms", "-cpuprofile", cpu, "-memprofile", mem, "-trace", tr})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem, tr} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile %s not written: %v", p, err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
 	}
 }
 

@@ -37,6 +37,7 @@ import (
 
 	"github.com/modular-consensus/modcon/internal/core"
 	"github.com/modular-consensus/modcon/internal/fault"
+	"github.com/modular-consensus/modcon/internal/obs"
 	"github.com/modular-consensus/modcon/internal/register"
 	"github.com/modular-consensus/modcon/internal/sched"
 	"github.com/modular-consensus/modcon/internal/trace"
@@ -99,6 +100,12 @@ type Config struct {
 	// boundary. Cancellation is reported as an error wrapping both
 	// ErrCancelled and the context's cause.
 	Context context.Context
+	// Meter, if non-nil, receives a live count of executed operations while
+	// the run is in flight, for progress reporting. Backends must honor the
+	// zero-overhead-when-off contract: a nil Meter costs one predictable
+	// branch per step and zero allocations (pinned by the sim allocation
+	// tests). Metering never affects results.
+	Meter *obs.Meter
 }
 
 // Validate checks the backend-independent requirements of a Config.

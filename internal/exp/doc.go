@@ -1,0 +1,15 @@
+// Package exp implements the repo's experiment suite: E1–E20, each a
+// reproducible measurement of one quantitative claim from the paper (see
+// EXPERIMENTS.md for the theorem↔experiment cross-reference).
+//
+// An Experiment takes a Config — trial scale, root seed, worker count,
+// optional progress reporter and step meter — runs its parameter sweep on
+// the parallel trial engine, and returns a Table: formatted rows, notes
+// with curve fits and verdicts, attached work distributions, and a safety
+// violation count. Tables render as aligned text, markdown, or JSON;
+// cmd/modcon-bench is the CLI driver.
+//
+// Sim-backed experiments are deterministic in (seed, trials) and
+// independent of the worker count; live-backed experiments (E18–E20) are
+// reproducible in their safety verdicts but not their interleavings.
+package exp

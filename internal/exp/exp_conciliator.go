@@ -9,6 +9,7 @@ import (
 	"github.com/modular-consensus/modcon/internal/conciliator"
 	"github.com/modular-consensus/modcon/internal/core"
 	"github.com/modular-consensus/modcon/internal/harness"
+	"github.com/modular-consensus/modcon/internal/obs"
 	"github.com/modular-consensus/modcon/internal/register"
 	"github.com/modular-consensus/modcon/internal/sched"
 	"github.com/modular-consensus/modcon/internal/stats"
@@ -69,29 +70,31 @@ func E1ConciliatorAgreement(cfg Config) *Table {
 	return t
 }
 
-// E2ConciliatorTotalWork measures expected total work against the 6n bound.
+// E2ConciliatorTotalWork measures expected total work against the 6n bound,
+// with per-cell work distributions (the tail, not just the mean).
 func E2ConciliatorTotalWork(cfg Config) *Table {
 	t := &Table{
 		ID:         "E2",
 		Title:      "Impatient conciliator expected total work",
 		PaperClaim: "Theorem 7: termination in expected 6n total work",
-		Columns:    []string{"n", "adversary", "mean total work", "6n", "ratio"},
+		Columns:    []string{"n", "adversary", "mean total work", "p50/p90/p99", "6n", "ratio"},
 	}
 	trials := cfg.trials(300)
 	var ns, ys []float64
 	for _, n := range []int{4, 8, 16, 32, 64, 128} {
 		for _, adv := range adversaryPortfolio() {
-			var works stats.Acc
+			works := &obs.Hist{}
 			conciliatorSweep(cfg.sweep(trials), n, conciliator.GrowthDoubling, false, adv.New,
 				func(_ bool, total, _ int) { works.AddInt(total) })
-			s := works.Summary()
 			t.AddRow(fmt.Sprintf("%d", n), adv.Name,
-				fmt.Sprintf("%.1f ± %.1f", s.Mean, s.StandardErrorOfM),
+				fmt.Sprintf("%.1f ± %.1f", works.Mean(), works.SE()),
+				fmt.Sprintf("%d/%d/%d", works.P50(), works.P90(), works.P99()),
 				fmt.Sprintf("%d", 6*n),
-				fmt.Sprintf("%.2f", s.Mean/float64(6*n)))
+				fmt.Sprintf("%.2f", works.Mean()/float64(6*n)))
 			if adv.Name == "first-mover-attack" {
 				ns = append(ns, float64(n))
-				ys = append(ys, s.Mean)
+				ys = append(ys, works.Mean())
+				t.AddDist(fmt.Sprintf("total work n=%d first-mover-attack", n), works)
 			}
 		}
 	}
@@ -107,29 +110,27 @@ func E3ConciliatorIndividualWork(cfg Config) *Table {
 		ID:         "E3",
 		Title:      "Impatient conciliator individual work",
 		PaperClaim: "Theorem 7: at most 2 lg n + O(1) individual work (deterministic bound)",
-		Columns:    []string{"n", "max observed (all adversaries)", "mean observed", "2⌈lg n⌉+5", "within bound?"},
+		Columns:    []string{"n", "max observed (all adversaries)", "mean observed", "p50/p90/p99", "2⌈lg n⌉+5", "within bound?"},
 	}
 	trials := cfg.trials(150)
 	var ns, ys []float64
 	for _, n := range []int{2, 4, 8, 16, 32, 64, 128, 256} {
-		maxObs := 0
-		var obs stats.Acc
+		ind := &obs.Hist{}
 		for _, adv := range adversaryPortfolio() {
 			conciliatorSweep(cfg.sweep(trials), n, conciliator.GrowthDoubling, false, adv.New,
-				func(_ bool, _, ind int) {
-					if ind > maxObs {
-						maxObs = ind
-					}
-					obs.AddInt(ind)
-				})
+				func(_ bool, _, iw int) { ind.AddInt(iw) })
 		}
+		maxObs := int(ind.Max())
 		bound := 2*int(math.Ceil(math.Log2(float64(n)))) + 5
 		verdict := "yes"
 		if maxObs > bound {
 			verdict = "NO"
 		}
 		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", maxObs),
-			fmt.Sprintf("%.1f", obs.Mean()), fmt.Sprintf("%d", bound), verdict)
+			fmt.Sprintf("%.1f", ind.Mean()),
+			fmt.Sprintf("%d/%d/%d", ind.P50(), ind.P90(), ind.P99()),
+			fmt.Sprintf("%d", bound), verdict)
+		t.AddDist(fmt.Sprintf("individual work n=%d (all adversaries)", n), ind)
 		ns = append(ns, float64(n))
 		ys = append(ys, float64(maxObs))
 	}

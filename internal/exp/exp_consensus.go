@@ -9,6 +9,7 @@ import (
 	"github.com/modular-consensus/modcon/internal/check"
 	"github.com/modular-consensus/modcon/internal/core"
 	"github.com/modular-consensus/modcon/internal/harness"
+	"github.com/modular-consensus/modcon/internal/obs"
 	"github.com/modular-consensus/modcon/internal/sched"
 	"github.com/modular-consensus/modcon/internal/sim"
 	"github.com/modular-consensus/modcon/internal/stats"
@@ -22,14 +23,14 @@ func E6BinaryConsensus(cfg Config) *Table {
 		ID:         "E6",
 		Title:      "Binary consensus expected work vs n",
 		PaperClaim: "Abstract/Thm 5: O(log n) expected individual work and O(n) expected total work; first weak-adversary protocol with optimal total work",
-		Columns:    []string{"n", "adversary", "mean individual", "mean total", "total/n"},
+		Columns:    []string{"n", "adversary", "mean individual", "ind p50/p90/p99", "mean total", "tot p99", "total/n"},
 	}
 	trials := cfg.trials(150)
 	advs := adversaryPortfolio()
 	var ns, indY, totY []float64
 	for _, n := range []int{4, 8, 16, 32, 64, 128, 256} {
 		for _, adv := range advs {
-			var ind, tot stats.Acc
+			ind, tot := &obs.Hist{}, &obs.Hist{}
 			consensusSweep(cfg.sweep(trials), defaultSpec(n, 2), adv.New, 0,
 				func(tr harness.Trial, _ *core.Protocol, run *harness.ProtocolRun) {
 					if err := check.Consensus(mixedInputs(n, 2, tr.Index), run.DecidedOutputs()); err != nil {
@@ -38,15 +39,18 @@ func E6BinaryConsensus(cfg Config) *Table {
 					ind.AddInt(run.Result.MaxIndividualWork())
 					tot.AddInt(run.Result.TotalWork)
 				})
-			si, st := ind.Summary(), tot.Summary()
 			t.AddRow(fmt.Sprintf("%d", n), adv.Name,
-				fmt.Sprintf("%.1f ± %.1f", si.Mean, si.StandardErrorOfM),
-				fmt.Sprintf("%.0f ± %.0f", st.Mean, st.StandardErrorOfM),
-				fmt.Sprintf("%.2f", st.Mean/float64(n)))
+				fmt.Sprintf("%.1f ± %.1f", ind.Mean(), ind.SE()),
+				fmt.Sprintf("%d/%d/%d", ind.P50(), ind.P90(), ind.P99()),
+				fmt.Sprintf("%.0f ± %.0f", tot.Mean(), tot.SE()),
+				fmt.Sprintf("%d", tot.P99()),
+				fmt.Sprintf("%.2f", tot.Mean()/float64(n)))
 			if adv.Name == "first-mover-attack" {
 				ns = append(ns, float64(n))
-				indY = append(indY, si.Mean)
-				totY = append(totY, st.Mean)
+				indY = append(indY, ind.Mean())
+				totY = append(totY, tot.Mean())
+				t.AddDist(fmt.Sprintf("individual work n=%d first-mover-attack", n), ind)
+				t.AddDist(fmt.Sprintf("total work n=%d first-mover-attack", n), tot)
 			}
 		}
 	}
@@ -62,13 +66,13 @@ func E7MValuedConsensus(cfg Config) *Table {
 		ID:         "E7",
 		Title:      "m-valued consensus total work vs m (n fixed)",
 		PaperClaim: "Abstract: consensus with O(log n) individual work and O(n log m) total work",
-		Columns:    []string{"m", "n", "mean individual", "mean total", "total/(n·lg m)"},
+		Columns:    []string{"m", "n", "mean individual", "mean total", "tot p99", "total/(n·lg m)"},
 	}
 	trials := cfg.trials(120)
 	n := 32
 	var ms, totY []float64
 	for _, m := range []int{2, 4, 16, 64, 256, 1024} {
-		var ind, tot stats.Acc
+		ind, tot := &obs.Hist{}, &obs.Hist{}
 		consensusSweep(cfg.sweep(trials), defaultSpec(n, m),
 			func() sched.Scheduler { return sched.NewFirstMoverAttack() }, 0,
 			func(_ harness.Trial, _ *core.Protocol, run *harness.ProtocolRun) {
@@ -78,7 +82,9 @@ func E7MValuedConsensus(cfg Config) *Table {
 		t.AddRow(fmt.Sprintf("%d", m), fmt.Sprintf("%d", n),
 			fmt.Sprintf("%.1f", ind.Mean()),
 			fmt.Sprintf("%.0f", tot.Mean()),
+			fmt.Sprintf("%d", tot.P99()),
 			fmt.Sprintf("%.2f", tot.Mean()/(float64(n)*math.Log2(float64(m)))))
+		t.AddDist(fmt.Sprintf("total work m=%d n=%d first-mover-attack", m, n), tot)
 		ms = append(ms, float64(m))
 		totY = append(totY, tot.Mean())
 	}

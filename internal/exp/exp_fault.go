@@ -8,6 +8,7 @@ import (
 	"github.com/modular-consensus/modcon/internal/fault"
 	"github.com/modular-consensus/modcon/internal/harness"
 	"github.com/modular-consensus/modcon/internal/live"
+	"github.com/modular-consensus/modcon/internal/obs"
 	"github.com/modular-consensus/modcon/internal/sched"
 	"github.com/modular-consensus/modcon/internal/stats"
 )
@@ -65,7 +66,7 @@ func E20FaultIntensity(cfg Config) *Table {
 		Title: "Fault intensity vs termination and work (robust sweeps, both backends)",
 		PaperClaim: "§2: consensus safety is schedule- and crash-independent — failures may " +
 			"only slow termination or suppress decisions, never produce disagreement",
-		Columns: []string{"backend", "faults", "trials", "outcomes", "decided/trial", "mean ok work"},
+		Columns: []string{"backend", "faults", "trials", "outcomes", "decided/trial", "ok work mean/p99"},
 	}
 	trials := cfg.trials(20)
 
@@ -91,7 +92,7 @@ func E20FaultIntensity(cfg Config) *Table {
 			}
 			rz := harness.Resilience{Deadline: deadline, Retries: 1, FailFast: cfg.FailFast}
 			var (
-				okWork  stats.Acc
+				okWork  obs.Hist
 				decided stats.Acc
 			)
 			report, err := harness.RunTrialsRobust(cfg.sweep(ct), rz,
@@ -102,7 +103,7 @@ func E20FaultIntensity(cfg Config) *Table {
 					oc := be.cfg(harness.ObjectConfig{
 						N: e20N, File: file, Inputs: mixedInputs(e20N, e20M, tr.Index),
 						Seed: tr.Seed, MaxSteps: e20MaxSteps,
-						Faults: sc.plan, Context: ctx,
+						Faults: sc.plan, Context: ctx, Meter: cfg.Meter,
 					})
 					return harness.RunProtocol(proto, oc)
 				},
@@ -124,7 +125,7 @@ func E20FaultIntensity(cfg Config) *Table {
 
 			workCell, decidedCell := "-", "-"
 			if okWork.N() > 0 {
-				workCell = fmt.Sprintf("%.0f", okWork.Mean())
+				workCell = fmt.Sprintf("%.0f/%d", okWork.Mean(), okWork.P99())
 				decidedCell = fmt.Sprintf("%.1f", decided.Mean())
 			}
 			t.AddRow(be.name, sc.name, fmt.Sprintf("%d", report.Trials), report.String(), decidedCell, workCell)

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"github.com/modular-consensus/modcon/internal/harness"
+	"github.com/modular-consensus/modcon/internal/obs"
 )
 
 // Table is a rendered experiment result: the rows cmd/modcon-bench prints
@@ -23,10 +24,34 @@ type Table struct {
 	Rows [][]string
 	// Notes carry fit results, verdicts, and caveats.
 	Notes []string
+	// Dists carry the full streaming histograms behind the table's
+	// percentile columns, labeled per cell. They render as summary lines in
+	// text/markdown output and as complete bucketed histograms in JSON, so
+	// distribution-level claims (work tails, not just means) are inspectable
+	// from the artifact.
+	Dists []Dist `json:",omitempty"`
 	// Violations counts safety violations the experiment observed. Any
 	// nonzero value is a bug, never bad luck; cmd/modcon-bench exits
 	// nonzero when the sum over tables is nonzero.
 	Violations int
+}
+
+// Dist is one labeled distribution attached to a table ("total work n=128
+// uniform-random" → its histogram).
+type Dist struct {
+	// Label names the measured quantity and cell.
+	Label string
+	// Hist is the streaming histogram (deterministic across worker counts).
+	Hist *obs.Hist
+}
+
+// AddDist attaches a labeled histogram to the table; empty or nil
+// histograms are skipped.
+func (t *Table) AddDist(label string, h *obs.Hist) {
+	if h == nil || h.N() == 0 {
+		return
+	}
+	t.Dists = append(t.Dists, Dist{Label: label, Hist: h})
 }
 
 // AddRow appends a row of formatted cells.
@@ -80,6 +105,9 @@ func (t *Table) String() string {
 	for _, row := range t.Rows {
 		writeRow(row)
 	}
+	for _, d := range t.Dists {
+		fmt.Fprintf(&b, "dist: %s: %s\n", d.Label, d.Hist)
+	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
@@ -97,6 +125,12 @@ func (t *Table) Markdown() string {
 	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
 	for _, row := range t.Rows {
 		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	if len(t.Dists) > 0 {
+		b.WriteByte('\n')
+		for _, d := range t.Dists {
+			fmt.Fprintf(&b, "- dist `%s`: %s\n", d.Label, d.Hist)
+		}
 	}
 	if len(t.Notes) > 0 {
 		b.WriteByte('\n')
@@ -124,6 +158,13 @@ type Config struct {
 	// FailFast makes experiments that classify safety per trial (E20) stop
 	// their sweep at the first violation instead of finishing the cell.
 	FailFast bool
+	// Reporter, if non-nil, receives throttled progress snapshots from
+	// every sweep an experiment runs (cmd/modcon-bench -progress wires a
+	// stderr text sink here). Reporting never affects results.
+	Reporter *obs.Reporter
+	// Meter, if non-nil, is threaded into every execution so progress
+	// snapshots carry a live step count that moves inside long trials.
+	Meter *obs.Meter
 }
 
 func (c Config) trials(def int) int {
@@ -135,7 +176,10 @@ func (c Config) trials(def int) int {
 
 // sweep builds the trial-engine configuration for one experiment cell.
 func (c Config) sweep(trials int) harness.Sweep {
-	return harness.Sweep{Trials: trials, Workers: c.Workers, Seed: c.Seed, Context: c.Ctx}
+	return harness.Sweep{
+		Trials: trials, Workers: c.Workers, Seed: c.Seed, Context: c.Ctx,
+		Reporter: c.Reporter, Meter: c.Meter,
+	}
 }
 
 // Experiment is one reproducible experiment from DESIGN.md §3.

@@ -390,21 +390,18 @@ func RunTrialsRobust[T any](s Sweep, rz Resilience, run func(ctx context.Context
 				merge(oc.trial, oc.result, oc.report)
 			}
 			prog.Done++
-			if m, ok := any(oc.result).(Metered); ok && oc.report.Outcome == OutcomeOK {
-				steps, work := m.SweepCost()
-				prog.Steps += int64(steps)
-				prog.Work += int64(work)
+			if oc.report.Outcome == OutcomeOK {
+				s.meterCost(&prog, any(oc.result))
 			}
-			if s.Progress != nil {
-				prog.Elapsed = time.Since(start)
-				s.Progress(prog)
-			}
+			prog.Violations = report.Counts[OutcomeViolated]
+			s.observe(&prog, start, false)
 			if rz.FailFast && oc.report.Outcome == OutcomeViolated {
 				report.StoppedEarly = true
 				cancel()
 			}
 		}
 	}
+	s.observe(&prog, start, true)
 	if nextFold < s.Trials {
 		report.StoppedEarly = true
 	}

@@ -11,6 +11,7 @@ import (
 	"github.com/modular-consensus/modcon/internal/core"
 	"github.com/modular-consensus/modcon/internal/exec"
 	"github.com/modular-consensus/modcon/internal/fault"
+	"github.com/modular-consensus/modcon/internal/obs"
 	"github.com/modular-consensus/modcon/internal/register"
 	"github.com/modular-consensus/modcon/internal/sched"
 	"github.com/modular-consensus/modcon/internal/sim"
@@ -74,6 +75,9 @@ type ObjectConfig struct {
 	// Context, if non-nil, cancels the execution at the next operation
 	// boundary (forwarded to the backend).
 	Context context.Context
+	// Meter, if non-nil, receives a live count of executed operations
+	// (forwarded to the backend; nil is free — see obs.Meter).
+	Meter *obs.Meter
 }
 
 // backend resolves cfg.Backend (nil = sim) and checks the requested options
@@ -109,6 +113,7 @@ func (cfg *ObjectConfig) execConfig(log *trace.Log) exec.Config {
 		Faults:       fault.Merge(cfg.Faults, fault.FromCrashMap(cfg.CrashAfter)),
 		MaxSteps:     cfg.MaxSteps,
 		Context:      cfg.Context,
+		Meter:        cfg.Meter,
 	}
 }
 

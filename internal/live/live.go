@@ -40,6 +40,7 @@ import (
 	"github.com/modular-consensus/modcon/internal/core"
 	"github.com/modular-consensus/modcon/internal/exec"
 	"github.com/modular-consensus/modcon/internal/fault"
+	"github.com/modular-consensus/modcon/internal/obs"
 	"github.com/modular-consensus/modcon/internal/register"
 	"github.com/modular-consensus/modcon/internal/value"
 	"github.com/modular-consensus/modcon/internal/xrand"
@@ -121,6 +122,10 @@ type Env struct {
 	// totalOps is the shared global operation counter, allocated only when
 	// the plan contains crash-on-round faults.
 	totalOps *atomic.Int64
+	// meter, if non-nil, receives a live count of executed operations for
+	// progress reporting; nil costs one branch per operation (same
+	// zero-overhead contract as the sim backend).
+	meter *obs.Meter
 	// ctxDone, if non-nil, is polled at every operation boundary.
 	ctxDone <-chan struct{}
 	// budget, if non-nil, is the shared remaining-operation counter
@@ -139,6 +144,9 @@ var _ core.Env = (*Env)(nil)
 // the result and performs no further operations.
 func (e *Env) account() {
 	e.ops++
+	if e.meter != nil {
+		e.meter.AddSteps(1)
+	}
 	var gop int64
 	if e.totalOps != nil {
 		// The Add result is the 1-based global index of the operation that
@@ -328,7 +336,7 @@ func (backend) Run(cfg exec.Config, programs ...exec.Program) (*exec.Result, err
 			coins: exec.ProcCoins(root, pid), prob: exec.ProcProb(root, pid),
 			crashAt: inj.CrashAt(pid), stallAt: inj.StallAt(pid),
 			stepCrashAt: inj.CrashStep(pid), inj: inj, totalOps: totalOps,
-			ctxDone: ctxDone, budget: budget,
+			meter: cfg.Meter, ctxDone: ctxDone, budget: budget,
 		}
 	}
 

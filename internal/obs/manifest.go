@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Manifest is the self-describing header stamped into every JSON artifact
+// (BENCH_*.json, modcon-bench -json output). It records everything needed to
+// reproduce the run from the artifact alone: the seed, a full echo of the
+// effective configuration, the fault plan in its text grammar, the backend,
+// and the toolchain/host facts that affect timing (go version, GOMAXPROCS,
+// git revision).
+//
+// A Manifest deliberately carries no wall-clock timestamp: two runs with the
+// same flags must produce byte-identical artifacts, which is how the
+// determinism tests compare worker counts.
+type Manifest struct {
+	// Tool names the producing command, e.g. "modcon-bench".
+	Tool string `json:"tool"`
+	// Seed is the root seed all per-trial seeds derive from.
+	Seed uint64 `json:"seed"`
+	// Config echoes every effective flag/option as text, keyed by name.
+	Config map[string]string `json:"config,omitempty"`
+	// FaultPlan is the fault plan in the internal/fault text grammar
+	// ("crash:pid=0,after=5;losecoin:p=1/4"), empty when no faults.
+	FaultPlan string `json:"faultPlan,omitempty"`
+	// Backend names the execution backend ("sim", "live", or "" when the
+	// artifact spans both).
+	Backend string `json:"backend,omitempty"`
+	// GoVersion is runtime.Version() of the producing binary.
+	GoVersion string `json:"goVersion"`
+	// GOMAXPROCS is the worker-parallelism ceiling at run time.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// GitRevision is the VCS revision the binary was built from, with a
+	// "+dirty" suffix for modified trees, or "unknown" when the build has
+	// no VCS stamp (e.g. go test binaries).
+	GitRevision string `json:"gitRevision"`
+}
+
+// NewManifest returns a Manifest for tool with the toolchain and host fields
+// (GoVersion, GOMAXPROCS, GitRevision) filled in. Callers set Seed, Config,
+// FaultPlan, and Backend.
+func NewManifest(tool string) Manifest {
+	return Manifest{
+		Tool:        tool,
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GitRevision: gitRevision(),
+	}
+}
+
+// gitRevision extracts the vcs.revision (and vcs.modified) build settings
+// stamped by the go tool, if any.
+func gitRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return rev
+}

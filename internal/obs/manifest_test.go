@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNewManifestFillsToolchain pins that the toolchain fields are populated
+// and the JSON shape carries every promised key.
+func TestNewManifestFillsToolchain(t *testing.T) {
+	m := NewManifest("modcon-bench")
+	if m.Tool != "modcon-bench" {
+		t.Errorf("Tool = %q", m.Tool)
+	}
+	if !strings.HasPrefix(m.GoVersion, "go") {
+		t.Errorf("GoVersion = %q, want go*", m.GoVersion)
+	}
+	if m.GOMAXPROCS < 1 {
+		t.Errorf("GOMAXPROCS = %d", m.GOMAXPROCS)
+	}
+	if m.GitRevision == "" {
+		t.Errorf("GitRevision empty; want revision or \"unknown\"")
+	}
+	m.Seed = 42
+	m.Backend = "sim"
+	m.FaultPlan = "crash:pid=0,after=5"
+	m.Config = map[string]string{"trials": "100"}
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"tool"`, `"seed"`, `"config"`, `"faultPlan"`, `"backend"`, `"goVersion"`, `"gomaxprocs"`, `"gitRevision"`} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("manifest JSON missing %s: %s", key, b)
+		}
+	}
+}
+
+// TestMeter pins the nil-safety and counting contracts of the step meter.
+func TestMeter(t *testing.T) {
+	var nilMeter *Meter
+	nilMeter.AddSteps(5) // must not panic
+	if nilMeter.Steps() != 0 {
+		t.Fatal("nil meter counted")
+	}
+	nilMeter.Reset()
+
+	m := &Meter{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.AddSteps(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Steps(); got != 8000 {
+		t.Fatalf("Steps = %d, want 8000", got)
+	}
+	m.Reset()
+	if m.Steps() != 0 {
+		t.Fatalf("Reset failed")
+	}
+}

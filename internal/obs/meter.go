@@ -1,0 +1,43 @@
+package obs
+
+import "sync/atomic"
+
+// Meter is the live step counter the backends update while an execution is
+// in flight, giving progress sinks visibility inside long trials (merged
+// trial counts only move when a trial finishes; the meter moves every step).
+//
+// The contract with the backends is strict: a nil *Meter must cost exactly
+// one predictable branch per step and zero allocations — that is the
+// "zero overhead when off" guarantee pinned by the sim allocation tests.
+// When non-nil, each step costs one atomic add.
+//
+// A single Meter may be shared across all trials of a sweep and across
+// worker goroutines; all methods are safe for concurrent use.
+type Meter struct {
+	steps atomic.Int64
+}
+
+// AddSteps records n executed steps/ops. Safe on a nil receiver (no-op), so
+// backends can call it unconditionally outside their hot path.
+func (m *Meter) AddSteps(n int64) {
+	if m == nil {
+		return
+	}
+	m.steps.Add(n)
+}
+
+// Steps returns the total steps recorded so far.
+func (m *Meter) Steps() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.steps.Load()
+}
+
+// Reset zeroes the counter (between sweeps that reuse one Meter).
+func (m *Meter) Reset() {
+	if m == nil {
+		return
+	}
+	m.steps.Store(0)
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// captureSink records every snapshot it receives.
+type captureSink struct{ snaps []Snapshot }
+
+func (s *captureSink) Emit(p Snapshot) { s.snaps = append(s.snaps, p) }
+
+// TestReporterThrottles pins the interval contract: a long interval drops
+// intermediate observations but never the first or the final one.
+func TestReporterThrottles(t *testing.T) {
+	sink := &captureSink{}
+	r := NewReporter(sink, time.Hour)
+	for i := 1; i <= 9; i++ {
+		r.Observe(i, 10, 0, int64(i*100), time.Duration(i)*time.Second, false)
+	}
+	r.Observe(10, 10, 0, 1000, 10*time.Second, true)
+	if len(sink.snaps) != 2 {
+		t.Fatalf("got %d emissions, want 2 (first + final): %+v", len(sink.snaps), sink.snaps)
+	}
+	if sink.snaps[0].Done != 1 || sink.snaps[0].Final {
+		t.Errorf("first emission = %+v", sink.snaps[0])
+	}
+	last := sink.snaps[1]
+	if !last.Final || last.Done != 10 || last.Steps != 1000 {
+		t.Errorf("final emission = %+v", last)
+	}
+	if last.Rate != 1.0 {
+		t.Errorf("Rate = %v, want 1.0 trials/sec", last.Rate)
+	}
+	if last.ETA != 0 {
+		t.Errorf("final ETA = %v, want 0", last.ETA)
+	}
+}
+
+// TestReporterZeroIntervalEmitsAll pins that a non-positive interval
+// forwards every observation.
+func TestReporterZeroIntervalEmitsAll(t *testing.T) {
+	sink := &captureSink{}
+	r := NewReporter(sink, 0)
+	for i := 1; i <= 5; i++ {
+		r.Observe(i, 5, 0, 0, time.Second, i == 5)
+	}
+	if len(sink.snaps) != 5 {
+		t.Fatalf("got %d emissions, want 5", len(sink.snaps))
+	}
+}
+
+// TestReporterETA checks the remaining-time estimate.
+func TestReporterETA(t *testing.T) {
+	sink := &captureSink{}
+	r := NewReporter(sink, 0)
+	r.Observe(25, 100, 0, 0, 5*time.Second, false) // 5 trials/sec, 75 left
+	if got, want := sink.snaps[0].ETA, 15*time.Second; got != want {
+		t.Errorf("ETA = %v, want %v", got, want)
+	}
+}
+
+// TestNilReporterAndSink pins nil-safety: a nil Reporter no-ops and a nil
+// sink discards.
+func TestNilReporterAndSink(t *testing.T) {
+	var r *Reporter
+	r.Observe(1, 2, 0, 0, time.Second, true) // must not panic
+	r2 := NewReporter(nil, 0)
+	r2.Observe(1, 2, 0, 0, time.Second, true) // must not panic
+}
+
+// TestTextSink checks the human-readable line format.
+func TestTextSink(t *testing.T) {
+	var buf bytes.Buffer
+	Text(&buf).Emit(Snapshot{Done: 620, Total: 1000, Violations: 2, Rate: 41.3, ETA: 9 * time.Second})
+	line := buf.String()
+	for _, want := range []string{"620/1000", "62.0%", "41.3/s", "eta 9s", "violations 2"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("text line %q missing %q", line, want)
+		}
+	}
+	buf.Reset()
+	Text(&buf).Emit(Snapshot{Done: 10, Total: 10, Final: true})
+	if !strings.Contains(buf.String(), "done") {
+		t.Errorf("final line %q missing done marker", buf.String())
+	}
+}
+
+// TestJSONLinesSink checks one-object-per-line output that round-trips.
+func TestJSONLinesSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := JSONLines(&buf)
+	s.Emit(Snapshot{Done: 1, Total: 4})
+	s.Emit(Snapshot{Done: 4, Total: 4, Final: true})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2: %q", len(lines), buf.String())
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(lines[1]), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Done != 4 || !snap.Final {
+		t.Errorf("decoded snapshot = %+v", snap)
+	}
+}
+
+// TestDiscardSink just exercises the silent sink.
+func TestDiscardSink(t *testing.T) {
+	Discard().Emit(Snapshot{Done: 1})
+}

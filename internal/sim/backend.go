@@ -59,5 +59,6 @@ func (backend) Run(cfg exec.Config, programs ...exec.Program) (*exec.Result, err
 		Faults:       inj,
 		MaxSteps:     cfg.MaxSteps,
 		Context:      cfg.Context,
+		Meter:        cfg.Meter,
 	}, progs...)
 }

@@ -1,0 +1,106 @@
+package modcon
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// obsSweep runs a small consensus sweep with the observability options
+// attached and returns the full JSON encodings of both histograms plus the
+// snapshots the sink collected.
+func obsSweep(t *testing.T, workers int) (stepsJSON, workJSON string, snaps []ProgressSnapshot) {
+	t.Helper()
+	cons, err := NewBinary(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var steps, work Hist
+	sink := &collectSink{}
+	meter := &Meter{}
+	err = Trials(16, func(ctx context.Context, tr Trial) (*ProtocolRun, error) {
+		file, proto, err := cons.Build()
+		if err != nil {
+			return nil, err
+		}
+		inputs := make([]Value, 6)
+		for p := range inputs {
+			inputs[p] = Value((p + tr.Index) % 2)
+		}
+		return RunProtocol(proto,
+			WithRegisters(file), WithN(6), WithInputs(inputs...),
+			WithScheduler(NewUniformRandom()), WithSeed(tr.Seed),
+			WithContext(ctx), WithMeter(meter))
+	}, nil,
+		WithSeed(21), WithWorkers(workers),
+		WithHistograms(&steps, &work),
+		WithProgressSink(sink, 0),
+		WithMeter(meter))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := meter.Steps(), steps.Sum(); got != want {
+		t.Fatalf("meter counted %d steps, histogram sum %d", got, want)
+	}
+	sj, err := json.Marshal(&steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wj, err := json.Marshal(&work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(sj), string(wj), sink.snaps
+}
+
+// collectSink records every snapshot for inspection.
+type collectSink struct{ snaps []ProgressSnapshot }
+
+func (s *collectSink) Emit(p ProgressSnapshot) { s.snaps = append(s.snaps, p) }
+
+// TestTrialsObservability pins the public face of the obs plane: histograms
+// are populated and bit-identical across worker counts, the progress sink
+// sees every merge plus a final snapshot, and an attached meter counts every
+// executed operation.
+func TestTrialsObservability(t *testing.T) {
+	refSteps, refWork, snaps := obsSweep(t, 1)
+	if refSteps == "" || refWork == "" {
+		t.Fatal("empty histograms")
+	}
+	if len(snaps) != 17 { // 16 merges + 1 final
+		t.Fatalf("got %d snapshots, want 17", len(snaps))
+	}
+	last := snaps[len(snaps)-1]
+	if !last.Final || last.Done != 16 || last.Total != 16 {
+		t.Fatalf("final snapshot = %+v", last)
+	}
+	for _, w := range []int{4, 16} {
+		sj, wj, _ := obsSweep(t, w)
+		if sj != refSteps {
+			t.Errorf("workers=%d steps histogram diverged:\n%s\n%s", w, sj, refSteps)
+		}
+		if wj != refWork {
+			t.Errorf("workers=%d work histogram diverged:\n%s\n%s", w, wj, refWork)
+		}
+	}
+}
+
+// TestProgressSinkFormats exercises the built-in text and JSON-lines sinks
+// through the re-exported constructors.
+func TestProgressSinkFormats(t *testing.T) {
+	var text, lines strings.Builder
+	snap := ProgressSnapshot{Done: 3, Total: 8, Steps: 120, Final: false}
+	TextProgress(&text).Emit(snap)
+	if !strings.Contains(text.String(), "trials 3/8") {
+		t.Errorf("text sink output %q", text.String())
+	}
+	JSONProgress(&lines).Emit(snap)
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(lines.String()), &decoded); err != nil {
+		t.Fatalf("json sink output %q: %v", lines.String(), err)
+	}
+	if decoded["done"] != float64(3) || decoded["total"] != float64(8) {
+		t.Errorf("json sink decoded %v", decoded)
+	}
+}

@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"github.com/modular-consensus/modcon/internal/core"
 	"github.com/modular-consensus/modcon/internal/fault"
 	"github.com/modular-consensus/modcon/internal/harness"
+	"github.com/modular-consensus/modcon/internal/obs"
 )
 
 // This file is the package's top-level run API: single executions of objects
@@ -33,6 +35,37 @@ type (
 	SweepProgress = harness.Progress
 )
 
+// Observability types, re-exported from the internal obs plane.
+type (
+	// Hist is a deterministic streaming histogram: exact n/sum/min/max,
+	// dense unit buckets for small values and log2 buckets above, with
+	// nearest-rank quantiles (P50/P90/P99). Merging is commutative and
+	// exact, so aggregates are bit-identical at any worker count; see
+	// WithHistograms.
+	Hist = obs.Hist
+	// ProgressSnapshot is one throttled progress observation of a running
+	// sweep (trials done, trials/sec, ETA, violation count); see
+	// WithProgressSink.
+	ProgressSnapshot = obs.Snapshot
+	// ProgressSink consumes progress snapshots; see TextProgress and
+	// JSONProgress for the built-in sinks.
+	ProgressSink = obs.Sink
+	// Meter is a live atomic step counter an execution increments as it
+	// runs, letting progress snapshots move inside long trials; see
+	// WithMeter. A nil Meter costs nothing on the hot path.
+	Meter = obs.Meter
+)
+
+// TextProgress returns a ProgressSink that writes one human-readable line
+// per snapshot, e.g.
+//
+//	trials 620/1000 (62.0%)  41.3/s  eta 9s  violations 0
+func TextProgress(w io.Writer) ProgressSink { return obs.Text(w) }
+
+// JSONProgress returns a ProgressSink that writes each snapshot as one JSON
+// object per line (JSON Lines), for machine consumption.
+func JSONProgress(w io.Writer) ProgressSink { return obs.JSONLines(w) }
+
 // RunOption configures Run, RunProtocol, and Trials executions.
 type RunOption interface {
 	applyRun(*runConfig)
@@ -56,6 +89,11 @@ type runConfig struct {
 	crashAfter   map[int]int
 	cheapCollect bool
 	progress     func(SweepProgress)
+	sink         ProgressSink
+	sinkInterval time.Duration
+	stepsHist    *Hist
+	workHist     *Hist
+	meter        *Meter
 	faults       *FaultPlan
 	deadline     time.Duration
 	retries      int
@@ -178,6 +216,40 @@ func WithProgress(fn func(SweepProgress)) RunOption {
 	return runOptionFunc(func(c *runConfig) { c.progress = fn })
 }
 
+// WithProgressSink streams throttled progress snapshots (trials done,
+// trials/sec, ETA, violation count) from a Trials or TrialsRobust sweep to
+// sink, at most one per interval plus always the final snapshot; a
+// non-positive interval emits every observation. See TextProgress and
+// JSONProgress. Run and RunProtocol ignore it.
+func WithProgressSink(sink ProgressSink, interval time.Duration) RunOption {
+	return runOptionFunc(func(c *runConfig) {
+		c.sink = sink
+		c.sinkInterval = interval
+	})
+}
+
+// WithHistograms accumulates per-trial step and work distributions from a
+// Trials or TrialsRobust sweep into the given histograms (either may be
+// nil). Trials whose results carry step/work measures (ObjectRun,
+// ProtocolRun) feed both; the aggregates are bit-identical at any worker
+// count and across Trials vs TrialsRobust for the same seed. Run and
+// RunProtocol ignore it.
+func WithHistograms(steps, work *Hist) RunOption {
+	return runOptionFunc(func(c *runConfig) {
+		c.stepsHist = steps
+		c.workHist = work
+	})
+}
+
+// WithMeter attaches a live step counter to executions: Run and RunProtocol
+// increment it once per executed operation, and a Trials sweep configured
+// with the same meter reports its running total in progress snapshots — so
+// progress moves even inside long trials. A nil meter (the default) costs
+// one predictable branch per step and nothing else.
+func WithMeter(m *Meter) RunOption {
+	return runOptionFunc(func(c *runConfig) { c.meter = m })
+}
+
 func buildRunConfig(opts []RunOption) runConfig {
 	var c runConfig
 	for _, o := range opts {
@@ -219,7 +291,28 @@ func (c *runConfig) objectConfig() (harness.ObjectConfig, error) {
 		Faults:       c.faults,
 		MaxSteps:     c.maxSteps,
 		Context:      c.ctx,
+		Meter:        c.meter,
 	}, nil
+}
+
+// sweep builds the trial-engine configuration shared by Trials and
+// TrialsRobust.
+func (c *runConfig) sweep(trials int) harness.Sweep {
+	var reporter *obs.Reporter
+	if c.sink != nil {
+		reporter = obs.NewReporter(c.sink, c.sinkInterval)
+	}
+	return harness.Sweep{
+		Trials:    trials,
+		Workers:   c.workers,
+		Seed:      c.seed,
+		Context:   c.ctx,
+		Progress:  c.progress,
+		Reporter:  reporter,
+		StepsHist: c.stepsHist,
+		WorkHist:  c.workHist,
+		Meter:     c.meter,
+	}
 }
 
 // Run executes a deciding object once: every process invokes it with its
@@ -265,17 +358,12 @@ func RunProtocol(p *Protocol, opts ...RunOption) (*ProtocolRun, error) {
 // completion order — so aggregates accumulated there are bit-identical at
 // any worker count for the same root seed (see WithSeed, WithWorkers).
 //
-// Recognized options: WithSeed, WithWorkers, WithContext, WithProgress.
-// The first trial error (by index) cancels the sweep and is returned.
+// Recognized options: WithSeed, WithWorkers, WithContext, WithProgress,
+// WithProgressSink, WithHistograms, WithMeter. The first trial error (by
+// index) cancels the sweep and is returned.
 func Trials[T any](trials int, run func(ctx context.Context, t Trial) (T, error), merge func(t Trial, result T), opts ...RunOption) error {
 	c := buildRunConfig(opts)
-	return harness.RunTrials(harness.Sweep{
-		Trials:   trials,
-		Workers:  c.workers,
-		Seed:     c.seed,
-		Context:  c.ctx,
-		Progress: c.progress,
-	}, run, merge)
+	return harness.RunTrials(c.sweep(trials), run, merge)
 }
 
 // TrialsRobust runs a sweep like Trials but degrades gracefully instead of
@@ -288,17 +376,12 @@ func Trials[T any](trials int, run func(ctx context.Context, t Trial) (T, error)
 // report; for non-ok outcomes the result may be partial or zero.
 //
 // Recognized options: WithSeed, WithWorkers, WithContext, WithProgress,
-// WithTrialDeadline, WithRetries, WithFailFast. The error is nil unless
-// the sweep's context was cancelled externally.
+// WithProgressSink, WithHistograms, WithMeter, WithTrialDeadline,
+// WithRetries, WithFailFast. The error is nil unless the sweep's context
+// was cancelled externally.
 func TrialsRobust[T any](trials int, run func(ctx context.Context, t Trial) (T, error), merge func(t Trial, result T, rep TrialReport), opts ...RunOption) (*SweepReport, error) {
 	c := buildRunConfig(opts)
-	return harness.RunTrialsRobust(harness.Sweep{
-		Trials:   trials,
-		Workers:  c.workers,
-		Seed:     c.seed,
-		Context:  c.ctx,
-		Progress: c.progress,
-	}, harness.Resilience{
+	return harness.RunTrialsRobust(c.sweep(trials), harness.Resilience{
 		Deadline: c.deadline,
 		Retries:  c.retries,
 		FailFast: c.failFast,
