@@ -59,25 +59,27 @@ func (b Backend) impl() (exec.Backend, error) {
 	case Live:
 		return live.Backend(), nil
 	default:
-		return nil, fmt.Errorf("modcon: unknown backend %d", int(b))
+		return nil, fmt.Errorf("unknown backend %d: %w", int(b), ErrBadOption)
 	}
 }
 
 // validateOptions checks backend-dependent option combinations up front so
 // misconfigurations fail with an actionable message instead of surfacing
-// from deep inside a backend.
+// from deep inside a backend. Every error wraps a typed sentinel:
+// ErrBadOption for a missing requirement, ErrOptionUnsupported for an
+// option the backend cannot honor.
 func (b Backend) validateOptions(scheduler Scheduler, traced bool) error {
 	switch b {
 	case Sim:
 		if scheduler == nil {
-			return fmt.Errorf("modcon: a scheduler is required: the %s backend needs an explicit adversary", b)
+			return fmt.Errorf("a scheduler is required: the %s backend needs an explicit adversary: %w", b, ErrBadOption)
 		}
 	case Live:
 		if scheduler != nil {
-			return fmt.Errorf("modcon: a scheduler is sim-only: the %s backend has no adversary control (the Go scheduler decides the interleaving)", b)
+			return fmt.Errorf("a scheduler is sim-only: the %s backend has no adversary control (the Go scheduler decides the interleaving): %w", b, ErrOptionUnsupported)
 		}
 		if traced {
-			return fmt.Errorf("modcon: tracing is sim-only: the %s backend has no global step sequence to record", b)
+			return fmt.Errorf("tracing is sim-only: the %s backend has no global step sequence to record: %w", b, ErrOptionUnsupported)
 		}
 	}
 	return nil

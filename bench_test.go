@@ -34,7 +34,7 @@ func benchConciliator(b *testing.B, n int, growth conciliator.Growth, mkSched fu
 	b.Helper()
 	totalOps, maxOps, agree := 0, 0, 0
 	err := harness.SweepObject(harness.Sweep{Trials: b.N, Seed: 1},
-		func(harness.Trial) (core.Object, harness.ObjectConfig) {
+		harness.ObjectSweep{Build: func() (core.Object, harness.ObjectConfig) {
 			file := register.NewFile()
 			c := conciliator.NewImpatient(file, n, 1)
 			c.Growth = growth
@@ -45,7 +45,7 @@ func benchConciliator(b *testing.B, n int, growth conciliator.Growth, mkSched fu
 			return c, harness.ObjectConfig{
 				N: n, File: file, Inputs: inputs, Scheduler: mkSched(),
 			}
-		},
+		}},
 		func(_ harness.Trial, run *harness.ObjectRun) {
 			totalOps += run.Result.TotalWork
 			maxOps += run.Result.MaxIndividualWork()
@@ -155,7 +155,7 @@ func BenchmarkE5QuorumGeneration(b *testing.B) {
 func benchConsensus(b *testing.B, cons *Consensus, n, m int, mkSched func() Scheduler) {
 	b.Helper()
 	totalOps, maxOps := 0, 0
-	err := Trials(b.N,
+	report, err := Trials(b.N,
 		func(ctx context.Context, tr Trial) (*Outcome, error) {
 			inputs := make([]Value, n)
 			for p := range inputs {
@@ -163,13 +163,19 @@ func benchConsensus(b *testing.B, cons *Consensus, n, m int, mkSched func() Sche
 			}
 			return cons.Solve(inputs, mkSched(), tr.Seed, RunConfig{Context: ctx})
 		},
-		func(_ Trial, out *Outcome) {
+		func(_ Trial, out *Outcome, rep TrialReport) {
+			if rep.Outcome != TrialOK {
+				b.Fatalf("trial %d classified %s: %v", rep.Trial.Index, rep.Outcome, rep.Err)
+			}
 			totalOps += out.TotalWork
 			maxOps += out.MaxWork()
 		},
 		WithSeed(1))
 	if err != nil {
 		b.Fatal(err)
+	}
+	if got := report.Count(TrialOK); got != b.N {
+		b.Fatalf("report counted %d ok trials, want %d", got, b.N)
 	}
 	b.ReportMetric(float64(totalOps)/float64(b.N), "ops/exec")
 	b.ReportMetric(float64(maxOps)/float64(b.N), "ops/proc")

@@ -50,12 +50,15 @@ type coreCell struct {
 
 // coreReport is the BENCH_sim.json schema. Consumers (CI schema check,
 // trajectory tooling) rely on bench, manifest.goVersion,
-// manifest.gomaxprocs, and results with the coreCell fields above.
+// manifest.gomaxprocs, and results with the coreCell fields above; the
+// scaling section (present when -bench-scaling ran) carries the
+// worker-parallelism curve and its bit-identity digests.
 type coreReport struct {
-	Bench    string       `json:"bench"`
-	Manifest obs.Manifest `json:"manifest"`
-	Budget   string       `json:"budgetPerCell"`
-	Results  []coreCell   `json:"results"`
+	Bench    string         `json:"bench"`
+	Manifest obs.Manifest   `json:"manifest"`
+	Budget   string         `json:"budgetPerCell"`
+	Results  []coreCell     `json:"results"`
+	Scaling  *scalingReport `json:"scaling,omitempty"`
 }
 
 // runCoreCell executes exactly `steps` scheduled operations of the step-loop
@@ -120,36 +123,66 @@ func measureCoreCell(power sched.Power, n int, budget time.Duration) (coreCell, 
 	}
 }
 
-// runBenchCore runs the full (power × n) matrix and writes the JSON report.
-func runBenchCore(out string, budget time.Duration, ns []int) error {
+// benchOpts selects which bench modes contribute to the BENCH_sim.json
+// report and their knobs.
+type benchOpts struct {
+	Out           string
+	Core          bool          // -bench-core: the (power × n) step-loop matrix
+	Scaling       bool          // -bench-scaling: the worker-parallelism curve
+	Budget        time.Duration // per step-loop cell
+	Ns             []int
+	ScalingTrials  int
+	ScalingWorkers []int // nil = auto {1, 2, 4, …, NumCPU}
+	Seed           uint64
+}
+
+// runBench runs the selected microbenchmark modes and writes one combined
+// JSON report: -bench-core fills results, -bench-scaling fills scaling, and
+// running both yields the full baseline artifact.
+func runBench(opts benchOpts) error {
 	manifest := obs.NewManifest("modcon-bench")
-	manifest.Seed = 1 // every cell runs sim.Config{Seed: 1}
+	manifest.Seed = opts.Seed // step-loop cells always run sim.Config{Seed: 1}
 	manifest.Backend = "sim"
 	manifest.Config = map[string]string{
-		"bench-out":    out,
-		"bench-budget": budget.String(),
-		"bench-n":      intsCSV(ns),
+		"bench-out":      opts.Out,
+		"bench-budget":   opts.Budget.String(),
+		"bench-n":        intsCSV(opts.Ns),
+		"bench-core":      fmt.Sprint(opts.Core),
+		"bench-scaling":   fmt.Sprint(opts.Scaling),
+		"scaling-trials":  fmt.Sprint(opts.ScalingTrials),
+		"scaling-workers": intsCSV(opts.ScalingWorkers),
+		"seed":            fmt.Sprint(opts.Seed),
 	}
 	report := coreReport{
 		Bench:    "sim-step-loop",
 		Manifest: manifest,
-		Budget:   budget.String(),
+		Budget:   opts.Budget.String(),
+		Results:  []coreCell{},
 	}
-	powers := []sched.Power{
-		sched.Oblivious, sched.ValueOblivious, sched.LocationOblivious, sched.Adaptive,
-	}
-	for _, power := range powers {
-		for _, n := range ns {
-			cell, err := measureCoreCell(power, n, budget)
-			if err != nil {
-				return err
+	if opts.Core {
+		powers := []sched.Power{
+			sched.Oblivious, sched.ValueOblivious, sched.LocationOblivious, sched.Adaptive,
+		}
+		for _, power := range powers {
+			for _, n := range opts.Ns {
+				cell, err := measureCoreCell(power, n, opts.Budget)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "bench-core: %-19s n=%-4d %10.1f ns/step %12.0f steps/sec %d allocs/step\n",
+					cell.Power, cell.N, cell.NsPerStep, cell.StepsPerSec, cell.AllocsPerStep)
+				report.Results = append(report.Results, cell)
 			}
-			fmt.Fprintf(os.Stderr, "bench-core: %-19s n=%-4d %10.1f ns/step %12.0f steps/sec %d allocs/step\n",
-				cell.Power, cell.N, cell.NsPerStep, cell.StepsPerSec, cell.AllocsPerStep)
-			report.Results = append(report.Results, cell)
 		}
 	}
-	f, err := os.Create(out)
+	if opts.Scaling {
+		scaling, err := runBenchScaling(opts.ScalingWorkers, opts.ScalingTrials, opts.Seed)
+		if err != nil {
+			return err
+		}
+		report.Scaling = scaling
+	}
+	f, err := os.Create(opts.Out)
 	if err != nil {
 		return err
 	}
@@ -162,8 +195,17 @@ func runBenchCore(out string, budget time.Duration, ns []int) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "bench-core: wrote %s (%d cells)\n", out, len(report.Results))
+	fmt.Fprintf(os.Stderr, "bench: wrote %s (%d step-loop cells, %d scaling cells)\n",
+		opts.Out, len(report.Results), scalingCellCount(report.Scaling))
 	return nil
+}
+
+// scalingCellCount is nil-safe len for the log line above.
+func scalingCellCount(s *scalingReport) int {
+	if s == nil {
+		return 0
+	}
+	return len(s.Results)
 }
 
 // intsCSV renders the -bench-n list back to its csv form for the manifest.

@@ -28,6 +28,12 @@
 //	modcon-bench -bench-core     # microbenchmark the step engine itself,
 //	                             # writing BENCH_sim.json (see -bench-out,
 //	                             # -bench-budget, -bench-n)
+//	modcon-bench -bench-scaling  # sweep worker counts 1,2,4,…,NumCPU over a
+//	                             # fixed consensus sweep on pooled sessions,
+//	                             # recording the scaling curve (wall time,
+//	                             # speedup, aggregate digests) into the same
+//	                             # artifact (see -scaling-trials; combinable
+//	                             # with -bench-core)
 //
 // Results are deterministic in (-seed, -trials) and independent of
 // -workers: trial seeds are derived per-trial and results are merged in
@@ -79,10 +85,13 @@ func run(args []string) error {
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 		traceFile  = fs.String("trace", "", "write a runtime execution trace of the run to this file")
 
-		benchCore   = fs.Bool("bench-core", false, "microbenchmark the step engine and write a JSON perf baseline")
-		benchOut    = fs.String("bench-out", "BENCH_sim.json", "output path for -bench-core")
-		benchBudget = fs.Duration("bench-budget", time.Second, "time budget per -bench-core cell")
-		benchN      = fs.String("bench-n", "2,16,256", "comma-separated process counts for -bench-core")
+		benchCore     = fs.Bool("bench-core", false, "microbenchmark the step engine and write a JSON perf baseline")
+		benchScaling  = fs.Bool("bench-scaling", false, "sweep worker counts 1,2,4,…,NumCPU over a fixed consensus sweep and record the scaling curve (combinable with -bench-core; same output file)")
+		benchOut      = fs.String("bench-out", "BENCH_sim.json", "output path for -bench-core / -bench-scaling")
+		benchBudget   = fs.Duration("bench-budget", time.Second, "time budget per -bench-core cell")
+		benchN        = fs.String("bench-n", "2,16,256", "comma-separated process counts for -bench-core")
+		scalingTrials  = fs.Int("scaling-trials", 2000, "trials per worker count for -bench-scaling")
+		scalingWorkers = fs.String("scaling-workers", "", "comma-separated worker counts for -bench-scaling (default: 1,2,4,… up to NumCPU)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,12 +106,27 @@ func run(args []string) error {
 	}
 	defer stopProfiles()
 
-	if *benchCore {
+	if *benchCore || *benchScaling {
 		ns, err := parseBenchNs(*benchN)
 		if err != nil {
 			return err
 		}
-		return runBenchCore(*benchOut, *benchBudget, ns)
+		var sw []int
+		if *scalingWorkers != "" {
+			if sw, err = parseBenchNs(*scalingWorkers); err != nil {
+				return fmt.Errorf("-scaling-workers: %w", err)
+			}
+		}
+		return runBench(benchOpts{
+			Out:            *benchOut,
+			Core:           *benchCore,
+			Scaling:        *benchScaling,
+			Budget:         *benchBudget,
+			Ns:             ns,
+			ScalingTrials:  *scalingTrials,
+			ScalingWorkers: sw,
+			Seed:           *seed,
+		})
 	}
 
 	if *list {

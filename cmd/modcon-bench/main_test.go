@@ -114,6 +114,41 @@ func TestRunWorkersDeterministic(t *testing.T) {
 	}
 }
 
+func TestRunBenchScaling(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "scaling.json")
+	if err := run([]string{"-bench-scaling", "-scaling-trials", "16", "-scaling-workers", "1,2", "-bench-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Scaling struct {
+			Workload            string `json:"workload"`
+			TrialsPerCell       int    `json:"trialsPerCell"`
+			IdenticalAggregates bool   `json:"identicalAggregates"`
+			Results             []struct {
+				Workers int    `json:"workers"`
+				Digest  string `json:"digest"`
+			} `json:"results"`
+		} `json:"scaling"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("scaling artifact does not decode: %v\n%s", err, data)
+	}
+	s := report.Scaling
+	if s.Workload != "consensus-sweep" || s.TrialsPerCell != 16 || len(s.Results) != 2 {
+		t.Fatalf("bad scaling section: %+v", s)
+	}
+	if !s.IdenticalAggregates || s.Results[0].Digest != s.Results[1].Digest {
+		t.Fatalf("aggregates diverged across worker counts: %+v", s)
+	}
+	if s.Results[0].Workers != 1 || s.Results[1].Workers != 2 {
+		t.Fatalf("worker counts not honored: %+v", s)
+	}
+}
+
 func TestRunProgressAndProfiles(t *testing.T) {
 	dir := t.TempDir()
 	cpu := filepath.Join(dir, "cpu.pprof")

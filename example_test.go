@@ -107,13 +107,13 @@ func ExampleTrials() {
 		log.Fatal(err)
 	}
 	agreedAll := 0
-	err = modcon.Trials(8,
+	_, err = modcon.Trials(8,
 		func(ctx context.Context, t modcon.Trial) (*modcon.Outcome, error) {
 			return cons.Solve([]modcon.Value{0, 1, 0, 1}, modcon.NewUniformRandom(),
 				t.Seed, modcon.RunConfig{Context: ctx})
 		},
-		func(t modcon.Trial, out *modcon.Outcome) {
-			if len(out.Outputs) == 4 {
+		func(t modcon.Trial, out *modcon.Outcome, rep modcon.TrialReport) {
+			if rep.Outcome == modcon.TrialOK && len(out.Outputs) == 4 {
 				agreedAll++
 			}
 		},

@@ -54,12 +54,15 @@ func main() {
 		var totTotal, totInd, totStage float64
 		var hist [4]int
 		decisions := 0
-		err := modcon.Trials(trials,
+		_, err := modcon.Trials(trials,
 			func(ctx context.Context, t modcon.Trial) (*modcon.Outcome, error) {
 				// Schedulers are stateful: build a fresh one per trial.
 				return cons.Solve(inputs, adv.mk(), t.Seed, modcon.RunConfig{Context: ctx})
 			},
-			func(_ modcon.Trial, out *modcon.Outcome) {
+			func(_ modcon.Trial, out *modcon.Outcome, rep modcon.TrialReport) {
+				if rep.Outcome != modcon.TrialOK {
+					return
+				}
 				totTotal += float64(out.TotalWork)
 				totInd += float64(out.MaxWork())
 				for pid := range out.Stage {

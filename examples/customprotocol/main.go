@@ -56,7 +56,7 @@ func buildChain(file *modcon.Registers, impatient, withFallback bool) (modcon.Ob
 
 func race(name string, impatient, withFallback bool) error {
 	totalWork, maxWork, undecided := 0, 0, 0
-	err := modcon.Trials(trials,
+	report, err := modcon.Trials(trials,
 		func(ctx context.Context, t modcon.Trial) (*modcon.ObjectRun, error) {
 			// Objects are one-shot: fresh registers and a fresh chain per
 			// trial, seeded from the engine's derived per-trial seed.
@@ -90,7 +90,10 @@ func race(name string, impatient, withFallback bool) error {
 			}
 			return run, nil
 		},
-		func(_ modcon.Trial, run *modcon.ObjectRun) {
+		func(_ modcon.Trial, run *modcon.ObjectRun, rep modcon.TrialReport) {
+			if rep.Outcome != modcon.TrialOK {
+				return
+			}
 			totalWork += run.Result.TotalWork
 			for _, d := range run.Decisions {
 				if !d.Decided {
@@ -105,6 +108,13 @@ func race(name string, impatient, withFallback bool) error {
 		})
 	if err != nil {
 		return err
+	}
+	// The unified engine classifies trial errors instead of aborting; surface
+	// the first one (e.g. a CheckConsensus violation) as this race's error.
+	for _, rep := range report.Reports {
+		if rep.Err != nil {
+			return rep.Err
+		}
 	}
 	fmt.Printf("%-34s  mean total %6.1f ops   worst individual %3d ops   undecided %d/%d\n",
 		name, float64(totalWork)/trials, maxWork, undecided, trials*n)

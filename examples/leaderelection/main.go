@@ -64,13 +64,15 @@ func main() {
 	// for any worker count.
 	wins := make([]int, n)
 	const rounds = 200
-	err = modcon.Trials(rounds,
+	_, err = modcon.Trials(rounds,
 		func(ctx context.Context, t modcon.Trial) (*modcon.Outcome, error) {
 			return cons.Solve(proposals, modcon.NewUniformRandom(), t.Seed,
 				modcon.RunConfig{Context: ctx})
 		},
-		func(_ modcon.Trial, out *modcon.Outcome) {
-			wins[int64(out.Value)]++
+		func(_ modcon.Trial, out *modcon.Outcome, rep modcon.TrialReport) {
+			if rep.Outcome == modcon.TrialOK {
+				wins[int64(out.Value)]++
+			}
 		},
 		modcon.WithSeed(0))
 	if err != nil {

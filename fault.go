@@ -71,7 +71,7 @@ func ParseFaults(s string) (*FaultPlan, error) { return fault.Parse(s) }
 
 // Resilient trial engine types, re-exported from the harness.
 type (
-	// TrialOutcome classifies one trial of a TrialsRobust sweep:
+	// TrialOutcome classifies one trial of a Trials sweep:
 	// ok | violated | timeout | panicked | crashed-short | failed.
 	TrialOutcome = harness.TrialOutcome
 	// TrialReport is the per-trial record of a robust sweep.

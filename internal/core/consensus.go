@@ -119,14 +119,32 @@ func NewProtocol(opts Options) (*Protocol, error) {
 // without deciding — impossible with a fallback, and an event of probability
 // ≤ (1-δ)^Stages otherwise; callers must treat it as non-termination, never
 // as a decision.
+//
+// Run records where the process decided in protocol-owned state readable
+// through DecidedIndex/DecidedStage, which is convenient for one-shot runs
+// but racy for pooled sweeps, where a merge goroutine may still be reading
+// trial k's indices while a worker runs trial k+1. Such callers use
+// RunIndexed and keep per-trial indices themselves.
 func (p *Protocol) Run(e Env, input value.Value) (out value.Value, ok bool) {
-	d, idx := p.chain.InvokeIndexed(e, input)
+	out, idx, ok := p.RunIndexed(e, input)
+	if ok {
+		p.decidedAt[e.PID()] = int32(idx)
+	}
+	return out, ok
+}
+
+// RunIndexed executes the protocol for the calling process and additionally
+// returns the chain index at which it decided (-1 when ok is false). Unlike
+// Run it leaves the protocol's own decided-at instrumentation untouched, so
+// concurrent readers of a previous trial's indices are safe; translate idx
+// with StageOfIndex.
+func (p *Protocol) RunIndexed(e Env, input value.Value) (out value.Value, idx int, ok bool) {
+	d, i := p.chain.InvokeIndexed(e, input)
 	if !d.Decided {
 		p.exhaustedToll.Add(1)
-		return d.V, false
+		return d.V, -1, false
 	}
-	p.decidedAt[e.PID()] = int32(idx)
-	return d.V, true
+	return d.V, i, true
 }
 
 // Object exposes the underlying composition (itself a deciding object), so
@@ -143,7 +161,16 @@ func (p *Protocol) DecidedIndex(pid int) int { return int(p.decidedAt[pid]) }
 // numbering: 0 for the fast path, i ≥ 1 for stage (Cᵢ; Rᵢ), -1 if pid has
 // not decided. ok distinguishes the fallback object.
 func (p *Protocol) DecidedStage(pid int) (stage int, fallback bool) {
-	idx := p.DecidedIndex(pid)
+	return p.StageOfIndex(p.DecidedIndex(pid))
+}
+
+// StageOfIndex translates a deciding chain index (as returned by
+// RunIndexed) into the paper's stage numbering: 0 for the fast path, i ≥ 1
+// for stage (Cᵢ; Rᵢ), -1 for an undecided index (< 0). fallback
+// distinguishes a decision by the fallback object. The translation depends
+// only on the protocol's shape, so it is safe to call concurrently with
+// runs.
+func (p *Protocol) StageOfIndex(idx int) (stage int, fallback bool) {
 	if idx < 0 {
 		return -1, false
 	}

@@ -55,6 +55,13 @@ var ErrStepLimit = errors.New("exec: step limit exceeded")
 // Backend.Run when Config.Context is cancelled before every process halts.
 var ErrCancelled = errors.New("exec: execution cancelled")
 
+// ErrSessionPoisoned is returned by Session.Run when a previous trial on the
+// same session panicked or aborted in a way that may have left the engine's
+// reusable state (register image, coroutines, buffers) inconsistent. A
+// poisoned session must be Closed and replaced; pools discard it rather than
+// reuse it.
+var ErrSessionPoisoned = errors.New("exec: session poisoned by a previous trial")
+
 // Program is the code of one process, written against the backend-neutral
 // Env. It receives its environment and returns the process's final value.
 // Programs must perform all shared-memory access through the Env.
@@ -143,6 +150,39 @@ type Capabilities struct {
 	// meaningful performance measurement (real hardware concurrency) as
 	// opposed to simulated model cost.
 	WallClock bool
+	// Reusable reports whether NewSession returns a genuinely resettable
+	// engine that amortizes construction across trials (0 allocs/trial on
+	// sim after warmup). Backends without one still implement NewSession —
+	// via the NewOneShotSession fallback, which rebuilds per Run — so
+	// callers can always program against the Session seam; Reusable only
+	// tells them whether pooling actually buys throughput.
+	Reusable bool
+}
+
+// Session is one reusable execution context: the per-trial analogue of the
+// per-step zero-allocation contract. A session is created once per (config,
+// programs) cell and then Run once per trial with that trial's seed.
+//
+// Contract:
+//
+//   - Run replays the execution Backend.Run(cfg with Seed: seed, Context:
+//     ctx) would produce, bit for bit on deterministic backends.
+//   - The returned Result and everything it references (slices, trace) are
+//     owned by the session and are invalidated by the next Run; callers
+//     that retain anything across trials must deep-copy first.
+//   - ctx is per-Run (the robust trial engine arms a fresh watchdog context
+//     per attempt); configs whose fault plans contain stalls must pass a
+//     non-nil ctx to every Run.
+//   - A session is not safe for concurrent use; pools hand each worker its
+//     own.
+//   - After a Run panics, the session is poisoned: subsequent Runs return
+//     ErrSessionPoisoned and the only valid call is Close.
+type Session interface {
+	// Run executes one trial with the given seed.
+	Run(ctx context.Context, seed uint64) (*Result, error)
+	// Close releases the session's resources (coroutines, buffers). A
+	// session must be closed exactly once; Run after Close is invalid.
+	Close() error
 }
 
 // Backend runs process programs against shared registers under one
@@ -158,6 +198,53 @@ type Backend interface {
 	// (possibly partial) result together with any execution error, and
 	// panics if a process program panics (with the original panic value).
 	Run(cfg Config, programs ...Program) (*Result, error)
+	// NewSession prepares a reusable execution context for many trials of
+	// the same (cfg, programs) cell; cfg.Seed and cfg.Context are ignored
+	// in favor of the per-Run arguments. Backends whose Capabilities lack
+	// Reusable return a one-shot session that rebuilds per Run (see
+	// NewOneShotSession), so the seam is uniform.
+	NewSession(cfg Config, programs ...Program) (Session, error)
+}
+
+// oneShotSession adapts Backend.Run to the Session interface for backends
+// without a resettable engine: every Run pays full construction, exactly as
+// a direct Backend.Run call would.
+type oneShotSession struct {
+	backend  Backend
+	cfg      Config
+	programs []Program
+	closed   bool
+}
+
+// NewOneShotSession returns a Session that delegates each Run to
+// b.Run(cfg with that run's seed and context). It is the fallback
+// implementation of Backend.NewSession for backends that rebuild per trial
+// (live); it is correct there because such backends mirror cfg.File into
+// their own memory per Run and never mutate shared state across runs.
+func NewOneShotSession(b Backend, cfg Config, programs ...Program) (Session, error) {
+	if len(programs) == 0 {
+		return nil, errors.New("exec: NewOneShotSession with no programs")
+	}
+	ps := make([]Program, len(programs))
+	copy(ps, programs)
+	return &oneShotSession{backend: b, cfg: cfg, programs: ps}, nil
+}
+
+// Run implements Session.
+func (s *oneShotSession) Run(ctx context.Context, seed uint64) (*Result, error) {
+	if s.closed {
+		return nil, fmt.Errorf("exec: Run on closed session (backend %s)", s.backend.Name())
+	}
+	cfg := s.cfg
+	cfg.Seed = seed
+	cfg.Context = ctx
+	return s.backend.Run(cfg, s.programs...)
+}
+
+// Close implements Session.
+func (s *oneShotSession) Close() error {
+	s.closed = true
+	return nil
 }
 
 // Result summarizes an execution in backend-neutral terms.
@@ -291,4 +378,17 @@ func ProcCoins(root *xrand.Source, pid int) *xrand.Source {
 // root source.
 func ProcProb(root *xrand.Source, pid int) *xrand.Source {
 	return root.Split(uint64(procProbStream + pid))
+}
+
+// ProcCoinsInto reseeds dst in place with process pid's local-coin stream —
+// the allocation-free form of ProcCoins used by reusable engines on every
+// Reset. The two must agree bit for bit (both go through Source.SplitInto).
+func ProcCoinsInto(dst *xrand.Source, root *xrand.Source, pid int) {
+	root.SplitInto(dst, uint64(procCoinStream+pid))
+}
+
+// ProcProbInto reseeds dst in place with process pid's probabilistic-write
+// coin stream, the allocation-free form of ProcProb.
+func ProcProbInto(dst *xrand.Source, root *xrand.Source, pid int) {
+	root.SplitInto(dst, uint64(procProbStream+pid))
 }

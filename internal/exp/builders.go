@@ -106,20 +106,27 @@ func mustSweep(err error) {
 	}
 }
 
-// consensusSweep runs fresh protocol executions of spec on the parallel
-// trial engine, one per trial of s, under schedulers built by mk. fold runs
-// in trial order on a single goroutine and also receives the protocol
-// instance so it can query per-process deciding stages. Any trial error
-// (including step-limit exhaustion) aborts the experiment; sweeps that must
-// tolerate sim.ErrStepLimit call harness.RunTrials directly.
+// consensusSweep runs protocol executions of spec on the parallel trial
+// engine, one per trial of s, under schedulers built by mk. Sessions are
+// pooled: the protocol, file, and scheduler are built once per worker and
+// replayed per trial; only the inputs vary with the trial index. fold runs
+// in trial order on a single goroutine; per-process deciding stages come
+// from run.DecidedStage. Any trial error (including step-limit exhaustion)
+// aborts the experiment; sweeps that must tolerate sim.ErrStepLimit call
+// harness.RunTrials directly.
 func consensusSweep(s harness.Sweep, spec protoSpec, mk func() sched.Scheduler, maxSteps int,
-	fold func(t harness.Trial, proto *core.Protocol, run *harness.ProtocolRun)) {
+	fold func(t harness.Trial, run *harness.ProtocolRun)) {
 	mustSweep(harness.SweepProtocol(s,
-		func(t harness.Trial) (*core.Protocol, harness.ObjectConfig) {
-			file, proto := spec.build()
-			return proto, harness.ObjectConfig{
-				N: spec.n, File: file, Inputs: mixedInputs(spec.n, spec.m, t.Index),
-				Scheduler: mk(), MaxSteps: maxSteps,
-			}
+		harness.ProtocolSweep{
+			Build: func() (*core.Protocol, harness.ObjectConfig) {
+				file, proto := spec.build()
+				return proto, harness.ObjectConfig{
+					N: spec.n, File: file, Inputs: mixedInputs(spec.n, spec.m, 0),
+					Scheduler: mk(), MaxSteps: maxSteps,
+				}
+			},
+			Inputs: func(t harness.Trial) []value.Value {
+				return mixedInputs(spec.n, spec.m, t.Index)
+			},
 		}, fold))
 }

@@ -10,6 +10,7 @@ import (
 	"github.com/modular-consensus/modcon/internal/register"
 	"github.com/modular-consensus/modcon/internal/sched"
 	"github.com/modular-consensus/modcon/internal/stats"
+	"github.com/modular-consensus/modcon/internal/value"
 )
 
 // E15Ablations isolates the paper's individual design choices: write-success
@@ -63,14 +64,16 @@ func E15Ablations(cfg Config) *Table {
 		spec := defaultSpec(n, 2)
 		spec.fastPath = fp
 		mustSweep(harness.SweepProtocol(cfg.sweep(trials/2),
-			func(harness.Trial) (*core.Protocol, harness.ObjectConfig) {
-				file, proto := spec.build()
-				return proto, harness.ObjectConfig{
-					N: n, File: file, Inputs: mixedInputs(n, 1, 0),
-					Scheduler: sched.NewUniformRandom(),
-				}
+			harness.ProtocolSweep{
+				Build: func() (*core.Protocol, harness.ObjectConfig) {
+					file, proto := spec.build()
+					return proto, harness.ObjectConfig{
+						N: n, File: file, Inputs: mixedInputs(n, 1, 0),
+						Scheduler: sched.NewUniformRandom(),
+					}
+				},
 			},
-			func(_ harness.Trial, _ *core.Protocol, run *harness.ProtocolRun) {
+			func(_ harness.Trial, run *harness.ProtocolRun) {
 				if err := check.Consensus(mixedInputs(n, 1, 0), run.DecidedOutputs()); err != nil {
 					panic(err)
 				}
@@ -93,18 +96,21 @@ func E15Ablations(cfg Config) *Table {
 		var agree stats.Tally
 		var tot stats.Acc
 		mustSweep(harness.SweepObject(cfg.sweep(trials),
-			func(tr harness.Trial) (core.Object, harness.ObjectConfig) {
-				file := register.NewFile()
-				var obj core.Object
-				if naive {
-					obj = conciliator.NewNaiveFirstMover(file, 1)
-				} else {
-					obj = conciliator.NewImpatient(file, n, 1)
-				}
-				return obj, harness.ObjectConfig{
-					N: 8, File: file, Inputs: mixedInputs(8, 8, tr.Index),
-					Scheduler: sched.NewAdaptiveSpoiler(),
-				}
+			harness.ObjectSweep{
+				Build: func() (core.Object, harness.ObjectConfig) {
+					file := register.NewFile()
+					var obj core.Object
+					if naive {
+						obj = conciliator.NewNaiveFirstMover(file, 1)
+					} else {
+						obj = conciliator.NewImpatient(file, n, 1)
+					}
+					return obj, harness.ObjectConfig{
+						N: 8, File: file, Inputs: mixedInputs(8, 8, 0),
+						Scheduler: sched.NewAdaptiveSpoiler(),
+					}
+				},
+				Inputs: func(tr harness.Trial) []value.Value { return mixedInputs(8, 8, tr.Index) },
 			},
 			func(_ harness.Trial, run *harness.ObjectRun) {
 				agree.Add(check.Unanimous(run.Outputs()))
@@ -128,7 +134,7 @@ func E15Ablations(cfg Config) *Table {
 		spec.bitVector = bv
 		consensusSweep(cfg.sweep(trials/2), spec,
 			func() sched.Scheduler { return sched.NewUniformRandom() }, 0,
-			func(_ harness.Trial, _ *core.Protocol, run *harness.ProtocolRun) {
+			func(_ harness.Trial, run *harness.ProtocolRun) {
 				ind.AddInt(run.Result.MaxIndividualWork())
 				tot.AddInt(run.Result.TotalWork)
 			})

@@ -13,6 +13,7 @@ import (
 	"github.com/modular-consensus/modcon/internal/register"
 	"github.com/modular-consensus/modcon/internal/sched"
 	"github.com/modular-consensus/modcon/internal/stats"
+	"github.com/modular-consensus/modcon/internal/value"
 )
 
 // thm7Delta is the paper's lower bound on the impatient conciliator's
@@ -25,14 +26,17 @@ var thm7Delta = (1 - math.Exp(-0.25)) / 4
 func conciliatorSweep(s harness.Sweep, n int, growth conciliator.Growth, detect bool,
 	mk func() sched.Scheduler, fold func(agreed bool, total, individual int)) {
 	mustSweep(harness.SweepObject(s,
-		func(t harness.Trial) (core.Object, harness.ObjectConfig) {
-			file := register.NewFile()
-			c := conciliator.NewImpatient(file, n, 1)
-			c.Growth = growth
-			c.DetectSuccess = detect
-			return c, harness.ObjectConfig{
-				N: n, File: file, Inputs: mixedInputs(n, n, t.Index), Scheduler: mk(),
-			}
+		harness.ObjectSweep{
+			Build: func() (core.Object, harness.ObjectConfig) {
+				file := register.NewFile()
+				c := conciliator.NewImpatient(file, n, 1)
+				c.Growth = growth
+				c.DetectSuccess = detect
+				return c, harness.ObjectConfig{
+					N: n, File: file, Inputs: mixedInputs(n, n, 0), Scheduler: mk(),
+				}
+			},
+			Inputs: func(t harness.Trial) []value.Value { return mixedInputs(n, n, t.Index) },
 		},
 		func(_ harness.Trial, run *harness.ObjectRun) {
 			fold(check.Unanimous(run.Outputs()), run.Result.TotalWork, run.Result.MaxIndividualWork())

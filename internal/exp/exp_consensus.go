@@ -32,7 +32,7 @@ func E6BinaryConsensus(cfg Config) *Table {
 		for _, adv := range advs {
 			ind, tot := &obs.Hist{}, &obs.Hist{}
 			consensusSweep(cfg.sweep(trials), defaultSpec(n, 2), adv.New, 0,
-				func(tr harness.Trial, _ *core.Protocol, run *harness.ProtocolRun) {
+				func(tr harness.Trial, run *harness.ProtocolRun) {
 					if err := check.Consensus(mixedInputs(n, 2, tr.Index), run.DecidedOutputs()); err != nil {
 						panic(err)
 					}
@@ -75,7 +75,7 @@ func E7MValuedConsensus(cfg Config) *Table {
 		ind, tot := &obs.Hist{}, &obs.Hist{}
 		consensusSweep(cfg.sweep(trials), defaultSpec(n, m),
 			func() sched.Scheduler { return sched.NewFirstMoverAttack() }, 0,
-			func(_ harness.Trial, _ *core.Protocol, run *harness.ProtocolRun) {
+			func(_ harness.Trial, run *harness.ProtocolRun) {
 				ind.AddInt(run.Result.MaxIndividualWork())
 				tot.AddInt(run.Result.TotalWork)
 			})
@@ -108,21 +108,23 @@ func E9FastPath(cfg Config) *Table {
 		fastDecisions, total := 0, 0
 		spec := defaultSpec(n, 2)
 		mustSweep(harness.SweepProtocol(cfg.sweep(trials),
-			func(harness.Trial) (*core.Protocol, harness.ObjectConfig) {
-				file, proto := spec.build()
-				return proto, harness.ObjectConfig{
-					N: n, File: file, Inputs: mixedInputs(n, 1, 0), // all zeros
-					Scheduler: sched.NewUniformRandom(),
-				}
+			harness.ProtocolSweep{
+				Build: func() (*core.Protocol, harness.ObjectConfig) {
+					file, proto := spec.build()
+					return proto, harness.ObjectConfig{
+						N: n, File: file, Inputs: mixedInputs(n, 1, 0), // all zeros
+						Scheduler: sched.NewUniformRandom(),
+					}
+				},
 			},
-			func(_ harness.Trial, proto *core.Protocol, run *harness.ProtocolRun) {
+			func(_ harness.Trial, run *harness.ProtocolRun) {
 				ind.AddInt(run.Result.MaxIndividualWork())
 				if w := run.Result.MaxIndividualWork(); w > maxInd {
 					maxInd = w
 				}
 				for pid := 0; pid < n; pid++ {
 					total++
-					if st, _ := proto.DecidedStage(pid); st == 0 {
+					if st, _ := run.DecidedStage(pid); st == 0 {
 						fastDecisions++
 					}
 				}
@@ -163,10 +165,10 @@ func E13BoundedConstruction(cfg Config) *Table {
 		deepSpec.fallbackK = true
 		var deepMax []int
 		consensusSweep(cfg.sweep(trials), deepSpec, adv.New, 0,
-			func(_ harness.Trial, proto *core.Protocol, _ *harness.ProtocolRun) {
+			func(_ harness.Trial, run *harness.ProtocolRun) {
 				maxStage := 0
 				for pid := 0; pid < n; pid++ {
-					st, fb := proto.DecidedStage(pid)
+					st, fb := run.DecidedStage(pid)
 					if fb {
 						st = 13
 					}
@@ -198,10 +200,10 @@ func E13BoundedConstruction(cfg Config) *Table {
 			s := cfg.sweep(trials)
 			s.Seed = cfg.Seed + 1
 			consensusSweep(s, spec, adv.New, 0,
-				func(_ harness.Trial, proto *core.Protocol, _ *harness.ProtocolRun) {
+				func(_ harness.Trial, run *harness.ProtocolRun) {
 					usedFallback := false
 					for pid := 0; pid < n; pid++ {
-						st, fb := proto.DecidedStage(pid)
+						st, fb := run.DecidedStage(pid)
 						if fb {
 							usedFallback = true
 						} else if st >= 1 {

@@ -1,16 +1,17 @@
 package exp
 
 import (
-	"context"
 	"fmt"
 	"time"
 
+	"github.com/modular-consensus/modcon/internal/core"
 	"github.com/modular-consensus/modcon/internal/fault"
 	"github.com/modular-consensus/modcon/internal/harness"
 	"github.com/modular-consensus/modcon/internal/live"
 	"github.com/modular-consensus/modcon/internal/obs"
 	"github.com/modular-consensus/modcon/internal/sched"
 	"github.com/modular-consensus/modcon/internal/stats"
+	"github.com/modular-consensus/modcon/internal/value"
 )
 
 // E20 fault-intensity sweep parameters. The stall row livelocks every
@@ -95,17 +96,20 @@ func E20FaultIntensity(cfg Config) *Table {
 				okWork  obs.Hist
 				decided stats.Acc
 			)
-			report, err := harness.RunTrialsRobust(cfg.sweep(ct), rz,
-				func(ctx context.Context, tr harness.Trial) (*harness.ProtocolRun, error) {
-					spec := defaultSpec(e20N, e20M)
-					spec.fallbackK = true
-					file, proto := spec.build()
-					oc := be.cfg(harness.ObjectConfig{
-						N: e20N, File: file, Inputs: mixedInputs(e20N, e20M, tr.Index),
-						Seed: tr.Seed, MaxSteps: e20MaxSteps,
-						Faults: sc.plan, Context: ctx, Meter: cfg.Meter,
-					})
-					return harness.RunProtocol(proto, oc)
+			report, err := harness.SweepProtocolRobust(cfg.sweep(ct), rz,
+				harness.ProtocolSweep{
+					Build: func() (*core.Protocol, harness.ObjectConfig) {
+						spec := defaultSpec(e20N, e20M)
+						spec.fallbackK = true
+						file, proto := spec.build()
+						return proto, be.cfg(harness.ObjectConfig{
+							N: e20N, File: file, Inputs: mixedInputs(e20N, e20M, 0),
+							MaxSteps: e20MaxSteps, Faults: sc.plan, Meter: cfg.Meter,
+						})
+					},
+					Inputs: func(tr harness.Trial) []value.Value {
+						return mixedInputs(e20N, e20M, tr.Index)
+					},
 				},
 				func(tr harness.Trial, run *harness.ProtocolRun, rep harness.TrialReport) {
 					if run == nil || rep.Outcome != harness.OutcomeOK {

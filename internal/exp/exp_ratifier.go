@@ -11,6 +11,7 @@ import (
 	"github.com/modular-consensus/modcon/internal/ratifier"
 	"github.com/modular-consensus/modcon/internal/register"
 	"github.com/modular-consensus/modcon/internal/sched"
+	"github.com/modular-consensus/modcon/internal/value"
 )
 
 // E4RatifierSpaceWork tabulates ratifier space/work per scheme against the
@@ -68,12 +69,15 @@ func E4RatifierSpaceWork(cfg Config) *Table {
 			n := 5
 			if props == "ok" {
 				mustSweep(harness.SweepObject(cfg.sweep(trials),
-					func(tr harness.Trial) (core.Object, harness.ObjectConfig) {
-						f2 := register.NewFile()
-						return e.build(f2), harness.ObjectConfig{
-							N: n, File: f2, Inputs: mixedInputs(n, m, tr.Index),
-							Scheduler: sched.NewUniformRandom(), Traced: true,
-						}
+					harness.ObjectSweep{
+						Build: func() (core.Object, harness.ObjectConfig) {
+							f2 := register.NewFile()
+							return e.build(f2), harness.ObjectConfig{
+								N: n, File: f2, Inputs: mixedInputs(n, m, 0),
+								Scheduler: sched.NewUniformRandom(), Traced: true,
+							}
+						},
+						Inputs: func(tr harness.Trial) []value.Value { return mixedInputs(n, m, tr.Index) },
 					},
 					func(_ harness.Trial, run *harness.ObjectRun) {
 						if w := run.Result.MaxIndividualWork(); w > maxOps {

@@ -41,12 +41,14 @@ func E10CoinConciliator(cfg Config) *Table {
 	for _, n := range []int{2, 4, 8} {
 		all0, all1 := 0, 0
 		mustSweep(harness.SweepObject(cfg.sweep(trials),
-			func(harness.Trial) (core.Object, harness.ObjectConfig) {
-				file := register.NewFile()
-				return coinObject{sharedcoin.NewVoting(file, n, 1)}, harness.ObjectConfig{
-					N: n, File: file, Inputs: mixedInputs(n, 1, 0),
-					Scheduler: sched.NewUniformRandom(),
-				}
+			harness.ObjectSweep{
+				Build: func() (core.Object, harness.ObjectConfig) {
+					file := register.NewFile()
+					return coinObject{sharedcoin.NewVoting(file, n, 1)}, harness.ObjectConfig{
+						N: n, File: file, Inputs: mixedInputs(n, 1, 0),
+						Scheduler: sched.NewUniformRandom(),
+					}
+				},
 			},
 			func(_ harness.Trial, run *harness.ObjectRun) {
 				outs := run.Outputs()
@@ -65,13 +67,16 @@ func E10CoinConciliator(cfg Config) *Table {
 
 		var wrapped stats.Tally
 		mustSweep(harness.SweepObject(cfg.sweep(trials),
-			func(tr harness.Trial) (core.Object, harness.ObjectConfig) {
-				file := register.NewFile()
-				coin := sharedcoin.NewVoting(file, n, 1)
-				return conciliator.NewFromCoin(file, coin, 1), harness.ObjectConfig{
-					N: n, File: file, Inputs: mixedInputs(n, 2, tr.Index),
-					Scheduler: sched.NewUniformRandom(),
-				}
+			harness.ObjectSweep{
+				Build: func() (core.Object, harness.ObjectConfig) {
+					file := register.NewFile()
+					coin := sharedcoin.NewVoting(file, n, 1)
+					return conciliator.NewFromCoin(file, coin, 1), harness.ObjectConfig{
+						N: n, File: file, Inputs: mixedInputs(n, 2, 0),
+						Scheduler: sched.NewUniformRandom(),
+					}
+				},
+				Inputs: func(tr harness.Trial) []value.Value { return mixedInputs(n, 2, tr.Index) },
 			},
 			func(_ harness.Trial, run *harness.ObjectRun) {
 				wrapped.Add(check.Unanimous(run.Outputs()))
@@ -204,7 +209,7 @@ func E12PriorityRatifierOnly(cfg Config) *Table {
 		spec.stages = 64
 		consensusSweep(cfg.sweep(trials), spec,
 			func() sched.Scheduler { return sched.NewPriority(nil) }, 0,
-			func(_ harness.Trial, _ *core.Protocol, run *harness.ProtocolRun) {
+			func(_ harness.Trial, run *harness.ProtocolRun) {
 				all := true
 				for pid := 0; pid < n; pid++ {
 					if !run.Decided[pid] {

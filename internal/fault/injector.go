@@ -128,6 +128,26 @@ func Compile(p *Plan, n int, seed uint64) (*Injector, error) {
 // N returns the process count the injector was compiled for.
 func (in *Injector) N() int { return in.n }
 
+// Reseed rewinds the injector's per-process fault streams to the state
+// Compile(plan, n, seed) would have produced, in place and without
+// allocating. Thresholds and probabilities are seed-independent, so after a
+// Reseed the injector behaves bit-identically to one freshly compiled with
+// the same plan and the new seed — which is what lets a pooled session
+// compile its plan once and replay a different trial seed every run. Safe on
+// a nil injector.
+func (in *Injector) Reseed(seed uint64) {
+	if in == nil || in.src == nil {
+		return
+	}
+	var root xrand.Source
+	root.Reseed(seed)
+	for pid, src := range in.src {
+		if src != nil {
+			root.SplitInto(src, uint64(faultStream+pid))
+		}
+	}
+}
+
 // CrashAt returns pid's own-operation crash threshold (Never if none). A
 // nil injector reports Never.
 func (in *Injector) CrashAt(pid int) int {

@@ -185,6 +185,12 @@ type ProtocolRun struct {
 	// Decided reports, per process, whether the protocol chain produced a
 	// decision (false for crashed processes and chain exhaustion).
 	Decided []bool
+	// DecidedIdx holds, per process, the chain index at which it decided
+	// (-1 if it did not). Unlike the protocol's own DecidedIndex
+	// instrumentation this is a per-run snapshot, safe to read while the
+	// protocol instance is already executing a later pooled trial;
+	// DecidedStage translates it to the paper's stage numbering.
+	DecidedIdx []int32
 	// Violation is the first safety violation (agreement or validity) the
 	// run's online monitor observed as decisions landed; nil if the run was
 	// safe. Unlike a post-hoc check, it is meaningful even when the
@@ -192,6 +198,23 @@ type ProtocolRun struct {
 	Violation error
 	// Trace is non-nil if tracing was requested.
 	Trace *trace.Log
+	// stageOf translates a deciding chain index into the paper's stage
+	// numbering (core.Protocol.StageOfIndex, captured from the protocol that
+	// produced this run — the translation depends only on the protocol's
+	// shape, so sharing it across pooled trials is safe).
+	stageOf func(idx int) (stage int, fallback bool)
+}
+
+// DecidedStage translates pid's deciding chain index into the paper's stage
+// numbering: 0 for the fast path, i ≥ 1 for stage (Cᵢ; Rᵢ), -1 if pid did
+// not decide; fallback distinguishes a decision by the fallback object. It
+// is nil-receiver-safe (returning -1, false) so robust sweeps can call it on
+// failed trials.
+func (r *ProtocolRun) DecidedStage(pid int) (stage int, fallback bool) {
+	if r == nil || r.stageOf == nil || pid < 0 || pid >= len(r.DecidedIdx) {
+		return -1, false
+	}
+	return r.stageOf(int(r.DecidedIdx[pid]))
 }
 
 // SafetyViolation returns the first online agreement/validity violation, or
@@ -241,7 +264,14 @@ func RunProtocol(p *core.Protocol, cfg ObjectConfig) (*ProtocolRun, error) {
 	if err != nil {
 		return nil, err
 	}
-	run := &ProtocolRun{Decided: make([]bool, cfg.N)}
+	run := &ProtocolRun{
+		Decided:    make([]bool, cfg.N),
+		DecidedIdx: make([]int32, cfg.N),
+		stageOf:    p.StageOfIndex,
+	}
+	for i := range run.DecidedIdx {
+		run.DecidedIdx[i] = -1
+	}
 	if cfg.Traced {
 		run.Trace = trace.New()
 	}
@@ -253,6 +283,7 @@ func RunProtocol(p *core.Protocol, cfg ObjectConfig) (*ProtocolRun, error) {
 		out, ok := p.Run(e, inputs[e.PID()])
 		run.Decided[e.PID()] = ok
 		if ok {
+			run.DecidedIdx[e.PID()] = int32(p.DecidedIndex(e.PID()))
 			mon.Observe(e.PID(), out)
 		}
 		return out

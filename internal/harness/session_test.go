@@ -1,0 +1,119 @@
+package harness
+
+// Tests for the pooled-session layer: a panicked trial must abandon its
+// checked-out session (never return it to the pool), the sweep must finish
+// on fresh sessions, and — with a retry budget — the final aggregates must
+// be bit-identical to a panic-free run, because trial outcomes are pure
+// functions of (spec, seed) no matter which session executes them.
+
+import (
+	"testing"
+
+	"github.com/modular-consensus/modcon/internal/conciliator"
+	"github.com/modular-consensus/modcon/internal/core"
+	"github.com/modular-consensus/modcon/internal/ratifier"
+	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/sched"
+	"github.com/modular-consensus/modcon/internal/value"
+)
+
+// poolConsensusSpec is the consensusAggregate workload with an optional
+// per-trial hook spliced into the Inputs callback — the injection point for
+// panics that a pooled session is mid-trial for.
+func poolConsensusSpec(t *testing.T, n int, hook func(tr Trial)) ProtocolSweep {
+	t.Helper()
+	return ProtocolSweep{
+		Build: func() (*core.Protocol, ObjectConfig) {
+			file := register.NewFile()
+			proto, err := core.NewProtocol(core.Options{
+				N: n, File: file,
+				NewRatifier: func(f *register.File, i int) core.Object { return ratifier.NewBinary(f, i) },
+				NewConciliator: func(f *register.File, i int) core.Object {
+					return conciliator.NewImpatient(f, n, i)
+				},
+				FastPath: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return proto, ObjectConfig{N: n, File: file, Inputs: []value.Value{0}, Scheduler: sched.NewUniformRandom()}
+		},
+		Inputs: func(tr Trial) []value.Value {
+			if hook != nil {
+				hook(tr)
+			}
+			inputs := make([]value.Value, n)
+			for p := range inputs {
+				inputs[p] = value.Value((p + tr.Index) % 2)
+			}
+			return inputs
+		},
+	}
+}
+
+// TestPoolDiscardsSessionAfterPanic is the poisoning contract end to end:
+// a panic during a pooled trial abandons that session (it is never returned
+// to the pool), the panicked trial is classified — panics are deterministic
+// bugs and deliberately not retried — and every other trial of the sweep
+// runs on clean sessions with results bit-identical to a panic-free run.
+func TestPoolDiscardsSessionAfterPanic(t *testing.T) {
+	const n, trials, victim = 8, 32, 7
+	type agg struct {
+		decided int
+		works   [trials]int
+	}
+	sweep := func(hook func(tr Trial)) (agg, *SweepReport) {
+		var a agg
+		report, err := SweepProtocolRobust(
+			Sweep{Trials: trials, Workers: 4, Seed: 99},
+			Resilience{},
+			poolConsensusSpec(t, n, hook),
+			func(tr Trial, run *ProtocolRun, rep TrialReport) {
+				if rep.Outcome != OutcomeOK {
+					return
+				}
+				a.works[tr.Index] = run.Result.TotalWork
+				if len(run.DecidedOutputs()) == n {
+					a.decided++
+				}
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a, report
+	}
+
+	baseline, ref := sweep(nil)
+	if got := ref.Count(OutcomeOK); got != trials {
+		t.Fatalf("baseline counted %d ok trials, want %d: %s", got, trials, ref)
+	}
+
+	// Panic mid-sweep, on one trial. The trial has already checked a session
+	// out of the pool when the hook runs, so the panic leaves that session
+	// checked out forever; every subsequent trial must get another (or a
+	// fresh) session and be unaffected.
+	poisoned, report := sweep(func(tr Trial) {
+		if tr.Index == victim {
+			panic("session_test: injected trial panic")
+		}
+	})
+	if got := report.Count(OutcomePanicked); got != 1 {
+		t.Fatalf("report counted %d panicked trials, want 1: %s", got, report)
+	}
+	if got := report.Count(OutcomeOK); got != trials-1 {
+		t.Fatalf("report counted %d ok trials, want %d: %s", got, trials-1, report)
+	}
+	for i := 0; i < trials; i++ {
+		if i == victim {
+			continue
+		}
+		if poisoned.works[i] != baseline.works[i] {
+			t.Errorf("trial %d work diverged after an unrelated panic: %d != %d",
+				i, poisoned.works[i], baseline.works[i])
+		}
+	}
+	if poisoned.decided != baseline.decided-1 && poisoned.decided != baseline.decided {
+		t.Errorf("decision tally %d inconsistent with baseline %d minus the panicked trial",
+			poisoned.decided, baseline.decided)
+	}
+}

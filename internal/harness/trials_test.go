@@ -43,26 +43,31 @@ func consensusAggregate(t *testing.T, workers int) (stats.Summary, stats.Summary
 	var decided stats.Tally
 	err := SweepProtocol(
 		Sweep{Trials: trials, Workers: workers, Seed: 99},
-		func(tr Trial) (*core.Protocol, ObjectConfig) {
-			file := register.NewFile()
-			proto, err := core.NewProtocol(core.Options{
-				N: n, File: file,
-				NewRatifier: func(f *register.File, i int) core.Object { return ratifier.NewBinary(f, i) },
-				NewConciliator: func(f *register.File, i int) core.Object {
-					return conciliator.NewImpatient(f, n, i)
-				},
-				FastPath: true,
-			})
-			if err != nil {
-				t.Fatal(err)
-			}
-			inputs := make([]value.Value, n)
-			for p := range inputs {
-				inputs[p] = value.Value((p + tr.Index) % 2)
-			}
-			return proto, ObjectConfig{N: n, File: file, Inputs: inputs, Scheduler: sched.NewUniformRandom()}
+		ProtocolSweep{
+			Build: func() (*core.Protocol, ObjectConfig) {
+				file := register.NewFile()
+				proto, err := core.NewProtocol(core.Options{
+					N: n, File: file,
+					NewRatifier: func(f *register.File, i int) core.Object { return ratifier.NewBinary(f, i) },
+					NewConciliator: func(f *register.File, i int) core.Object {
+						return conciliator.NewImpatient(f, n, i)
+					},
+					FastPath: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return proto, ObjectConfig{N: n, File: file, Inputs: []value.Value{0}, Scheduler: sched.NewUniformRandom()}
+			},
+			Inputs: func(tr Trial) []value.Value {
+				inputs := make([]value.Value, n)
+				for p := range inputs {
+					inputs[p] = value.Value((p + tr.Index) % 2)
+				}
+				return inputs
+			},
 		},
-		func(tr Trial, _ *core.Protocol, run *ProtocolRun) {
+		func(tr Trial, run *ProtocolRun) {
 			total.AddInt(run.Result.TotalWork)
 			individual.AddInt(run.Result.MaxIndividualWork())
 			decided.Add(len(run.DecidedOutputs()) == n)
@@ -121,11 +126,11 @@ func TestSweepProgressHook(t *testing.T) {
 	calls := 0
 	err := SweepObject(
 		Sweep{Trials: 10, Workers: 4, Seed: 3, Progress: func(p Progress) { last = p; calls++ }},
-		func(tr Trial) (core.Object, ObjectConfig) {
+		ObjectSweep{Build: func() (core.Object, ObjectConfig) {
 			file := register.NewFile()
 			r := ratifier.NewBinary(file, 1)
 			return r, ObjectConfig{N: 2, File: file, Inputs: []value.Value{1}, Scheduler: sched.NewRoundRobin()}
-		},
+		}},
 		nil)
 	if err != nil {
 		t.Fatal(err)
@@ -160,11 +165,11 @@ func TestSweepStopsOnContextTimeout(t *testing.T) {
 	// grind through the simulator's 10M-step default limit.
 	err := SweepObject(
 		Sweep{Trials: 1 << 20, Workers: 2, Seed: 1, Context: ctx},
-		func(tr Trial) (core.Object, ObjectConfig) {
+		ObjectSweep{Build: func() (core.Object, ObjectConfig) {
 			file := register.NewFile()
 			return spinObject(file),
 				ObjectConfig{N: 2, File: file, Inputs: []value.Value{0, 1}, Scheduler: sched.NewRoundRobin()}
-		},
+		}},
 		nil)
 	elapsed := time.Since(start)
 	if err == nil {

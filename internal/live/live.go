@@ -285,6 +285,14 @@ func (backend) Capabilities() exec.Capabilities {
 	return exec.Capabilities{WallClock: true}
 }
 
+// NewSession implements exec.Backend via the one-shot fallback: the live
+// backend mirrors cfg.File into fresh atomic memory on every Run and keeps
+// no cross-run state, so there is nothing to reuse — each session Run pays
+// full construction, and Capabilities deliberately omits Reusable.
+func (b backend) NewSession(cfg exec.Config, programs ...exec.Program) (exec.Session, error) {
+	return exec.NewOneShotSession(b, cfg, programs...)
+}
+
 // Run implements exec.Backend: it executes one free-running goroutine per
 // process over atomic memory mirroring cfg.File and blocks until every
 // process halts, crashes, is cancelled, or exhausts the operation budget.

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"os"
 	"runtime"
 	"runtime/debug"
 )
@@ -33,8 +34,10 @@ type Manifest struct {
 	// GOMAXPROCS is the worker-parallelism ceiling at run time.
 	GOMAXPROCS int `json:"gomaxprocs"`
 	// GitRevision is the VCS revision the binary was built from, with a
-	// "+dirty" suffix for modified trees, or "unknown" when the build has
-	// no VCS stamp (e.g. go test binaries).
+	// "+dirty" suffix for modified trees. Builds without a VCS stamp (go
+	// test binaries, `go run` from an exported tree, CI checkouts without
+	// .git metadata visible to the go tool) fall back to the
+	// MODCON_GIT_REVISION environment variable, and only then to "unknown".
 	GitRevision string `json:"gitRevision"`
 }
 
@@ -51,11 +54,25 @@ func NewManifest(tool string) Manifest {
 }
 
 // gitRevision extracts the vcs.revision (and vcs.modified) build settings
-// stamped by the go tool, if any.
+// stamped by the go tool. When the build carries no stamp it falls back to
+// the MODCON_GIT_REVISION environment variable — the injection point for CI
+// and scripts that know the revision even though the binary does not — and
+// reports "unknown" only when both sources are empty.
 func gitRevision() string {
+	if rev := stampedRevision(); rev != "" {
+		return rev
+	}
+	if rev := os.Getenv("MODCON_GIT_REVISION"); rev != "" {
+		return rev
+	}
+	return "unknown"
+}
+
+// stampedRevision returns the go tool's VCS stamp, or "" without one.
+func stampedRevision() string {
 	info, ok := debug.ReadBuildInfo()
 	if !ok {
-		return "unknown"
+		return ""
 	}
 	rev, dirty := "", false
 	for _, s := range info.Settings {
@@ -66,10 +83,7 @@ func gitRevision() string {
 			dirty = s.Value == "true"
 		}
 	}
-	if rev == "" {
-		return "unknown"
-	}
-	if dirty {
+	if rev != "" && dirty {
 		rev += "+dirty"
 	}
 	return rev

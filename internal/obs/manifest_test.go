@@ -38,6 +38,23 @@ func TestNewManifestFillsToolchain(t *testing.T) {
 	}
 }
 
+// TestGitRevisionEnvFallback pins the injection seam: test binaries carry
+// no VCS stamp, so MODCON_GIT_REVISION must win over "unknown" — exactly
+// the path CI uses to attribute BENCH artifacts to a commit.
+func TestGitRevisionEnvFallback(t *testing.T) {
+	if stampedRevision() != "" {
+		t.Skip("binary carries a VCS stamp; the env fallback is unreachable")
+	}
+	t.Setenv("MODCON_GIT_REVISION", "abc123def")
+	if m := NewManifest("t"); m.GitRevision != "abc123def" {
+		t.Errorf("GitRevision = %q, want env fallback abc123def", m.GitRevision)
+	}
+	t.Setenv("MODCON_GIT_REVISION", "")
+	if m := NewManifest("t"); m.GitRevision != "unknown" {
+		t.Errorf("GitRevision = %q, want unknown without stamp or env", m.GitRevision)
+	}
+}
+
 // TestMeter pins the nil-safety and counting contracts of the step meter.
 func TestMeter(t *testing.T) {
 	var nilMeter *Meter

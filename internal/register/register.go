@@ -163,12 +163,25 @@ func (f *File) AppendContents(dst []value.Value) []value.Value {
 }
 
 // Reset restores every register to ⊥. Inits must be re-applied by the owner;
-// the harness instead reconstructs protocols per trial, so Reset exists
-// mainly for tests.
+// engines that reuse a file across executions snapshot the post-Init image
+// with Contents and put it back with Restore instead.
 func (f *File) Reset() {
 	for i := range f.cells {
 		f.cells[i] = value.None
 	}
+}
+
+// Restore overwrites the file's contents with a previously captured image
+// (see Contents), without allocating. It returns an error if the file has
+// grown since the image was taken — a protocol that allocates registers
+// mid-execution cannot be pooled, and silently restoring a prefix would
+// corrupt the next run.
+func (f *File) Restore(img []value.Value) error {
+	if len(img) != len(f.cells) {
+		return fmt.Errorf("register: restore image has %d cells, file has %d (the file grew after the image was taken)", len(img), len(f.cells))
+	}
+	copy(f.cells, img)
+	return nil
 }
 
 func (f *File) check(r Reg) int {

@@ -54,6 +54,13 @@ func (c *concTracker) observe(v *View) (phase int, cur value.Value) {
 	return phasePool, value.None
 }
 
+// reset clears the tracker for a fresh execution, keeping the baseline
+// buffer's capacity.
+func (c *concTracker) reset() {
+	c.armed = false
+	c.baseline = c.baseline[:0]
+}
+
 const (
 	phaseNeutral = iota + 1
 	phasePool
@@ -80,6 +87,16 @@ type firstMoverEndgame struct {
 	locked    bool
 	lockedVal value.Value
 	attempts  []int
+}
+
+// reset clears the endgame for a fresh execution, keeping the attempts
+// array.
+func (g *firstMoverEndgame) reset() {
+	g.locked = false
+	g.lockedVal = value.None
+	for i := range g.attempts {
+		g.attempts[i] = 0
+	}
 }
 
 // play chooses the next pid given the current conciliator-register value.
@@ -237,8 +254,16 @@ func (s *FirstMoverAttack) roundRobin(v *View) int {
 	return v.Runnable[0]
 }
 
-// Seed implements Scheduler (deterministic strategy).
-func (s *FirstMoverAttack) Seed(*xrand.Source) {}
+// Seed implements Scheduler (deterministic strategy; resets the attack
+// state accumulated over the previous execution).
+func (s *FirstMoverAttack) Seed(*xrand.Source) {
+	s.tracker.reset()
+	s.endgame.reset()
+	for i := range s.attempts {
+		s.attempts[i] = 0
+	}
+	s.next = 0
+}
 
 // Name implements Scheduler.
 func (s *FirstMoverAttack) Name() string { return "first-mover-attack" }
@@ -281,8 +306,13 @@ func (s *EagerWriteAttack) Next(v *View) int {
 	return v.Runnable[0]
 }
 
-// Seed implements Scheduler (deterministic strategy).
-func (s *EagerWriteAttack) Seed(*xrand.Source) {}
+// Seed implements Scheduler (deterministic strategy; resets the attack
+// state accumulated over the previous execution).
+func (s *EagerWriteAttack) Seed(*xrand.Source) {
+	s.tracker.reset()
+	s.endgame.reset()
+	s.next = 0
+}
 
 // Name implements Scheduler.
 func (s *EagerWriteAttack) Name() string { return "eager-write-attack" }
@@ -381,8 +411,9 @@ func (s *AdaptiveSpoiler) Next(v *View) int {
 	return v.Runnable[0]
 }
 
-// Seed implements Scheduler (deterministic strategy).
-func (s *AdaptiveSpoiler) Seed(*xrand.Source) {}
+// Seed implements Scheduler (deterministic strategy; resets the
+// commit/spoil alternation).
+func (s *AdaptiveSpoiler) Seed(*xrand.Source) { s.wantWrite = false }
 
 // Name implements Scheduler.
 func (s *AdaptiveSpoiler) Name() string { return "adaptive-spoiler" }

@@ -42,11 +42,15 @@ func NewNoisy(sigma float64) *Noisy {
 
 // Next implements Scheduler.
 func (s *Noisy) Next(v *View) int {
-	if s.next == nil {
+	if len(s.next) == 0 {
 		if s.src == nil {
 			panic("sched: Noisy used before Seed")
 		}
-		s.next = make([]float64, v.N)
+		if cap(s.next) < v.N {
+			s.next = make([]float64, v.N)
+		} else {
+			s.next = s.next[:v.N]
+		}
 		for i := range s.next {
 			s.next[i] = s.interval(i) + s.jitter()
 		}
@@ -81,8 +85,13 @@ func (s *Noisy) jitter() float64 {
 	return e
 }
 
-// Seed implements Scheduler.
-func (s *Noisy) Seed(src *xrand.Source) { s.src = src }
+// Seed implements Scheduler. Beyond installing the stream it discards the
+// fire-time table (keeping its backing array), so the next execution redraws
+// its initial jitter from the fresh stream.
+func (s *Noisy) Seed(src *xrand.Source) {
+	s.src = src
+	s.next = s.next[:0]
+}
 
 // Name implements Scheduler.
 func (s *Noisy) Name() string { return fmt.Sprintf("noisy(σ=%g)", s.Sigma) }

@@ -27,8 +27,8 @@ func (s *RoundRobin) Next(v *View) int {
 	panic("sched: RoundRobin.Next with no runnable process")
 }
 
-// Seed implements Scheduler (no randomness used).
-func (s *RoundRobin) Seed(*xrand.Source) {}
+// Seed implements Scheduler (no randomness used; resets the cursor).
+func (s *RoundRobin) Seed(*xrand.Source) { s.next = 0 }
 
 // Name implements Scheduler.
 func (s *RoundRobin) Name() string { return "round-robin" }
@@ -69,8 +69,8 @@ func (s *FixedOrder) Next(v *View) int {
 	panic("sched: FixedOrder.Next with no runnable process")
 }
 
-// Seed implements Scheduler (no randomness used).
-func (s *FixedOrder) Seed(*xrand.Source) {}
+// Seed implements Scheduler (no randomness used; resets the position).
+func (s *FixedOrder) Seed(*xrand.Source) { s.pos = 0 }
 
 // Name implements Scheduler.
 func (s *FixedOrder) Name() string { return "fixed-order" }
@@ -132,8 +132,13 @@ func (s *Laggard) Next(v *View) int {
 	return best
 }
 
-// Seed implements Scheduler (no randomness used).
-func (s *Laggard) Seed(*xrand.Source) {}
+// Seed implements Scheduler (no randomness used; resets the step counters,
+// keeping their backing array for pooled reuse).
+func (s *Laggard) Seed(*xrand.Source) {
+	for i := range s.steps {
+		s.steps[i] = 0
+	}
+}
 
 // Name implements Scheduler.
 func (s *Laggard) Name() string { return "laggard-lockstep" }
@@ -166,8 +171,13 @@ func (s *Frontrunner) Next(v *View) int {
 	return best
 }
 
-// Seed implements Scheduler (no randomness used).
-func (s *Frontrunner) Seed(*xrand.Source) {}
+// Seed implements Scheduler (no randomness used; resets the step counters,
+// keeping their backing array for pooled reuse).
+func (s *Frontrunner) Seed(*xrand.Source) {
+	for i := range s.steps {
+		s.steps[i] = 0
+	}
+}
 
 // Name implements Scheduler.
 func (s *Frontrunner) Name() string { return "frontrunner" }

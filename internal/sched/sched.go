@@ -168,8 +168,12 @@ type Scheduler interface {
 	// Next picks the pid whose pending operation executes next.
 	Next(view *View) int
 	// Seed hands the scheduler its private randomness stream for this
-	// execution. The runtime calls it exactly once before the first Next.
-	// Deterministic schedulers ignore it.
+	// execution and resets all per-execution mutable state. The runtime
+	// calls it exactly once before the first Next of every execution — a
+	// pooled engine reuses one Scheduler across many trials, so any history
+	// a strategy accumulates (positions, step counters, attack phase) must
+	// be cleared here, not in a constructor. Deterministic schedulers
+	// ignore the source but still reset.
 	Seed(src *xrand.Source)
 	// Name identifies the strategy in reports.
 	Name() string

@@ -139,11 +139,16 @@ func (e *Env) MarkReturn(label string, d value.Decision) {
 
 // do publishes a pending operation, suspends the coroutine until the
 // runtime executes the operation, and returns the runtime's response. A
-// false yield means the runtime is unwinding this process (teardown after
-// halt-of-run, crash, cancellation, or another process's panic).
+// false yield means the runtime is unwinding this process for good
+// (Engine.Close); an abort response means Engine.Reset is unwinding just
+// the current trial, recovered at the trial boundary so the coroutine can
+// park and serve the next one.
 func (e *Env) do(req request) response {
 	if !e.yield(req) {
 		panic(errKilled)
+	}
+	if e.resp.abort {
+		panic(errTrialAbort)
 	}
 	return *e.resp
 }

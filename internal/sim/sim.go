@@ -19,6 +19,12 @@
 // sched.View and Env.Collect), and trace events are not even constructed
 // when tracing is off.
 //
+// The same contract extends from steps to whole trials: Engine is a
+// reusable runtime for one (programs, scheduler, config) cell whose
+// Reset(seed, faults) rewinds registers, coroutines, views, and RNG streams
+// in place, so a warmed-up engine runs entire executions without
+// allocating. Run is the one-shot convenience built on it.
+//
 // Executions are deterministic functions of (programs, scheduler, seed):
 // each process's local coins and probabilistic-write coins come from private
 // split streams, and the scheduler gets its own stream. Because processes
@@ -29,9 +35,6 @@ package sim
 import (
 	"context"
 	"errors"
-	"fmt"
-	"iter"
-	"time"
 
 	"github.com/modular-consensus/modcon/internal/exec"
 	"github.com/modular-consensus/modcon/internal/fault"
@@ -40,7 +43,6 @@ import (
 	"github.com/modular-consensus/modcon/internal/sched"
 	"github.com/modular-consensus/modcon/internal/trace"
 	"github.com/modular-consensus/modcon/internal/value"
-	"github.com/modular-consensus/modcon/internal/xrand"
 )
 
 // ErrStepLimit is returned by Run when the execution exceeds Config.MaxSteps
@@ -73,7 +75,8 @@ type Config struct {
 	// Scheduler is the adversary. Views are built at exactly
 	// Scheduler.MinPower().
 	Scheduler sched.Scheduler
-	// Seed determines every random choice in the execution.
+	// Seed determines every random choice in the execution. (NewEngine
+	// ignores it: a reusable engine takes each trial's seed through Reset.)
 	Seed uint64
 	// Trace, if non-nil, records the execution.
 	Trace *trace.Log
@@ -93,7 +96,9 @@ type Config struct {
 	// suppress probabilistic writes after the process's own coin stream is
 	// consumed as usual. Stall faults require a non-nil Context: a stalled
 	// process never halts, so only cancellation can end the execution. nil
-	// means no faults and costs nothing on the step path.
+	// means no faults and costs nothing on the step path. (NewEngine
+	// ignores it: a reusable engine takes each trial's injector through
+	// Reset.)
 	Faults *fault.Injector
 	// MaxSteps bounds total work; 0 means DefaultMaxSteps.
 	MaxSteps int
@@ -101,6 +106,8 @@ type Config struct {
 	// operations: a hung adversary schedule stops at the next step instead
 	// of running to MaxSteps. Cancellation is reported as an error wrapping
 	// both ErrCancelled and the context's cause, so callers can test either.
+	// (NewEngine ignores it: a reusable engine takes each trial's context
+	// through Engine.Run.)
 	Context context.Context
 	// Meter, if non-nil, receives a live count of executed operations for
 	// progress reporting. nil costs one predictable branch per step and zero
@@ -121,23 +128,31 @@ type request struct {
 	val  value.Value
 	num  uint64
 	den  uint64
+	// park marks the between-trials parking yield of a persistent process
+	// coroutine; it is never a schedulable operation.
+	park bool
 }
 
 type response struct {
 	val  value.Value
 	vals []value.Value
 	ok   bool
+	// abort tells the resumed process to unwind its current trial: its
+	// pending Env call panics with errTrialAbort, recovered at the trial
+	// boundary (Engine.Reset aborting a mid-trial coroutine).
+	abort bool
 }
 
 // proc is the engine-side state of one process coroutine. The resume
 // protocol replaces the old four-channel handoff: the engine writes resp,
 // calls next() to transfer control into the coroutine, and the coroutine
-// either yields its next request (suspending itself) or returns (halting).
-// Control transfer is a same-thread coroutine switch (runtime coro under
-// iter.Pull), so resp/pending need no synchronization.
+// either yields its next request (suspending itself) or parks between
+// trials. Control transfer is a same-thread coroutine switch (runtime coro
+// under iter.Pull), so resp/pending need no synchronization.
 type proc struct {
 	// next resumes the coroutine; it returns the process's next pending
-	// operation, or ok=false once the program has returned.
+	// operation (or the parking sentinel), or ok=false once the coroutine
+	// body has returned at teardown.
 	next func() (request, bool)
 	// stop unwinds a suspended coroutine (its pending Env call panics with
 	// errKilled, which the coroutine wrapper swallows).
@@ -147,6 +162,10 @@ type proc struct {
 	resp    response
 	pending request
 	hasOp   bool
+	// parked reports that the coroutine is idling at a trial boundary: a
+	// fresh coroutine whose body has not started, or one waiting on its
+	// parking yield after finishing (or aborting) a trial.
+	parked  bool
 	halted  bool
 	crashed bool
 	stalled bool
@@ -154,434 +173,33 @@ type proc struct {
 }
 
 // errKilled is the sentinel panic used to unwind process coroutines at
-// teardown.
+// teardown (Engine.Close).
 var errKilled = errors.New("sim: process killed")
+
+// errTrialAbort is the sentinel panic used by Engine.Reset to unwind a
+// coroutine out of an unfinished trial without killing it: the coroutine
+// recovers it at the trial boundary and parks for the next trial.
+var errTrialAbort = errors.New("sim: trial aborted by engine reset")
 
 // Run executes programs[pid] for each pid under cfg and returns the result.
 // If len(programs) == 1 the single program is used for every process.
 // Run panics if a process program panics (with the original panic value).
+//
+// Run is the one-shot form of the reusable Engine — construct, run one
+// trial with cfg.Seed/cfg.Faults/cfg.Context, tear down — and is
+// bit-identical to it by construction. Sweeps that run many trials of one
+// cell should hold an Engine (or an exec.Session) instead and amortize the
+// construction.
 func Run(cfg Config, programs ...Program) (*Result, error) {
-	if cfg.N <= 0 {
-		return nil, fmt.Errorf("sim: N=%d must be positive", cfg.N)
+	eng, err := NewEngine(cfg, programs...)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.File == nil {
-		return nil, errors.New("sim: nil register file")
+	// Close unwinds every coroutine even when a program panic propagates
+	// out of eng.Run, preserving the original panic value.
+	defer eng.Close()
+	if err := eng.Reset(cfg.Seed, cfg.Faults); err != nil {
+		return nil, err
 	}
-	if cfg.Scheduler == nil {
-		return nil, errors.New("sim: nil scheduler")
-	}
-	switch len(programs) {
-	case cfg.N:
-	case 1:
-		one := programs[0]
-		programs = make([]Program, cfg.N)
-		for i := range programs {
-			programs[i] = one
-		}
-	default:
-		return nil, fmt.Errorf("sim: got %d programs for %d processes", len(programs), cfg.N)
-	}
-	maxSteps := cfg.MaxSteps
-	if maxSteps <= 0 {
-		maxSteps = DefaultMaxSteps
-	}
-
-	var ctxDone <-chan struct{}
-	if cfg.Context != nil {
-		ctxDone = cfg.Context.Done()
-	}
-
-	rt := &engine{
-		cfg:      cfg,
-		power:    cfg.Scheduler.MinPower(),
-		maxSteps: maxSteps,
-		ctxDone:  ctxDone,
-		procs:    make([]proc, cfg.N),
-		probSrc:  make([]*xrand.Source, cfg.N),
-		result:   exec.NewResult(cfg.N),
-		meter:    cfg.Meter,
-	}
-	rt.result.Trace = cfg.Trace
-
-	// CrashAfter is consulted on every step; flatten the map into a dense
-	// per-pid limit (MaxInt = never) so the hot path does one compare
-	// instead of a map lookup.
-	rt.crashAt = make([]int, cfg.N)
-	for pid := range rt.crashAt {
-		rt.crashAt[pid] = int(^uint(0) >> 1)
-	}
-	for pid, limit := range cfg.CrashAfter {
-		if pid >= 0 && pid < cfg.N {
-			rt.crashAt[pid] = limit
-		}
-	}
-
-	// Fault thresholds are dense per-pid slices too; a nil injector leaves
-	// rt.faulty false and the step path untouched.
-	if in := cfg.Faults; in != nil {
-		rt.inj = in
-		rt.faulty = true
-		rt.stallAt = make([]int, cfg.N)
-		rt.stepCrashAt = make([]int, cfg.N)
-		for pid := 0; pid < cfg.N; pid++ {
-			rt.crashAt[pid] = min(rt.crashAt[pid], in.CrashAt(pid))
-			rt.stallAt[pid] = in.StallAt(pid)
-			rt.stepCrashAt[pid] = in.CrashStep(pid)
-		}
-		if in.HasStall() {
-			if cfg.Context == nil {
-				return nil, errors.New("sim: stall faults require a Context (a stalled process never halts; only cancellation ends the execution)")
-			}
-			rt.result.Stalled = make([]bool, cfg.N)
-		}
-	}
-
-	// Per-process streams come from the shared exec derivation so that
-	// adversary-free executions are bit-equivalent on every backend (the
-	// scheduler's stream is sim-only and never consumed by processes).
-	root := xrand.New(cfg.Seed)
-	cfg.Scheduler.Seed(root.Split(0))
-	for pid := 0; pid < cfg.N; pid++ {
-		rt.probSrc[pid] = exec.ProcProb(root, pid)
-	}
-	for pid := 0; pid < cfg.N; pid++ {
-		rt.spawn(pid, programs[pid], exec.ProcCoins(root, pid))
-	}
-
-	// teardown runs even when a program panic propagates out of a resume,
-	// so every suspended coroutine is unwound before Run re-panics.
-	defer rt.teardown()
-	err := rt.loop()
-	rt.result.Steps = rt.steps
-	return rt.result, err
-}
-
-// spawn creates pid's coroutine. The coroutine body runs the program and
-// records its decision; a panic other than the errKilled teardown sentinel
-// propagates to whichever engine call resumed the coroutine — and from
-// there out of Run, preserving the original panic value.
-func (rt *engine) spawn(pid int, prog Program, coins *xrand.Source) {
-	p := &rt.procs[pid]
-	env := &Env{
-		pid:   pid,
-		n:     rt.cfg.N,
-		cheap: rt.cfg.CheapCollect,
-		coins: coins,
-		log:   rt.cfg.Trace,
-		resp:  &p.resp,
-	}
-	p.next, p.stop = iter.Pull(func(yield func(request) bool) {
-		defer func() {
-			if r := recover(); r != nil {
-				if err, ok := r.(error); ok && errors.Is(err, errKilled) {
-					return
-				}
-				panic(r)
-			}
-		}()
-		env.yield = yield
-		out := prog(env)
-		p.halted = true
-		p.output = out
-	})
-}
-
-type engine struct {
-	cfg      Config
-	power    sched.Power
-	maxSteps int
-	ctxDone  <-chan struct{}
-	procs    []proc
-	probSrc  []*xrand.Source
-	crashAt  []int
-	result   *Result
-	steps    int
-
-	// Fault plane (nil/false when Config.Faults is nil): dense thresholds
-	// mirroring crashAt, plus the injector for delay and lost-coin draws.
-	// stalledN counts processes frozen by a stall fault — they are neither
-	// halted nor crashed, so the loop must not report completion while any
-	// remain.
-	inj         *fault.Injector
-	stallAt     []int
-	stepCrashAt []int
-	faulty      bool
-	stalledN    int
-
-	// meter, when non-nil, is ticked once per executed operation. The nil
-	// check is the whole disabled cost — same pattern as rt.faulty.
-	meter *obs.Meter
-
-	// The scheduler view is maintained incrementally: exactly one process
-	// changes state per step, so runnable (ascending pids) and view.Pending
-	// are patched in O(1) amortized instead of rebuilt in O(n). The slices
-	// are engine-owned and reused every step; schedulers may read them only
-	// for the duration of one Next call (see the contract on sched.View).
-	view     sched.View
-	runnable []int
-	// memBuf backs View.Memory (location-oblivious/adaptive powers),
-	// collectBuf backs cheap-collect responses; both reused every step.
-	memBuf     []value.Value
-	collectBuf []value.Value
-}
-
-// loop drives the execution to completion or to the step limit.
-func (rt *engine) loop() error {
-	// Gather the initial pending operation (or immediate halt) of each
-	// process, in pid order, then build the initial view state.
-	rt.view = sched.View{Power: rt.power, N: rt.cfg.N, Pending: make([]sched.Op, rt.cfg.N)}
-	rt.runnable = make([]int, 0, rt.cfg.N)
-	for pid := range rt.procs {
-		// Threshold 0 fires before the first operation: the process crashes
-		// or stalls having done nothing at all, and its coroutine is never
-		// started (teardown unwinds it).
-		if rt.crashAt[pid] <= 0 {
-			rt.crash(pid)
-			continue
-		}
-		if rt.faulty && rt.stallAt[pid] <= 0 {
-			rt.stall(pid)
-			continue
-		}
-		rt.resume(pid)
-	}
-	for pid := range rt.procs {
-		p := &rt.procs[pid]
-		if p.hasOp && !p.crashed && !p.halted {
-			rt.runnable = append(rt.runnable, pid)
-			rt.view.Pending[pid] = rt.restrictOp(p.pending)
-		}
-	}
-	for {
-		if len(rt.runnable) == 0 {
-			if rt.stalledN == 0 {
-				return nil // every process halted or crashed
-			}
-			// Only stalled processes remain: the execution can never finish
-			// on its own (the livelock a deadline watchdog exists to catch).
-			// Block until cancellation; Run validated that a Context exists
-			// whenever stall faults do.
-			if rt.ctxDone == nil {
-				return fmt.Errorf("sim: %d process(es) stalled with no context to interrupt the execution", rt.stalledN)
-			}
-			<-rt.ctxDone
-			return fmt.Errorf("%w after %d steps (%d process(es) stalled): %w", ErrCancelled, rt.steps, rt.stalledN, context.Cause(rt.cfg.Context))
-		}
-		if rt.steps >= rt.maxSteps {
-			return fmt.Errorf("%w (limit %d, scheduler %q)", ErrStepLimit, rt.maxSteps, rt.cfg.Scheduler.Name())
-		}
-		if rt.ctxDone != nil {
-			select {
-			case <-rt.ctxDone:
-				return fmt.Errorf("%w after %d steps: %w", ErrCancelled, rt.steps, context.Cause(rt.cfg.Context))
-			default:
-			}
-		}
-		rt.view.Step = rt.steps
-		rt.view.Runnable = rt.runnable
-		switch rt.power {
-		case sched.LocationOblivious, sched.Adaptive:
-			rt.memBuf = rt.cfg.File.AppendContents(rt.memBuf[:0])
-			rt.view.Memory = rt.memBuf
-		}
-		pid := rt.cfg.Scheduler.Next(&rt.view)
-		if pid < 0 || pid >= rt.cfg.N || !rt.procs[pid].hasOp || rt.procs[pid].crashed {
-			panic(fmt.Sprintf("sim: scheduler %q chose non-runnable pid %d", rt.cfg.Scheduler.Name(), pid))
-		}
-		rt.execute(pid)
-		// Patch the view entry of the one process that moved.
-		p := &rt.procs[pid]
-		if p.hasOp && !p.crashed && !p.halted {
-			rt.view.Pending[pid] = rt.restrictOp(p.pending)
-		} else {
-			rt.view.Pending[pid] = sched.Op{}
-			rt.dropRunnable(pid)
-		}
-	}
-}
-
-// dropRunnable removes pid from the ascending runnable list (called only
-// when a process halts or crashes, so the O(n) shift is off the per-step
-// path).
-func (rt *engine) dropRunnable(pid int) {
-	for i, p := range rt.runnable {
-		if p == pid {
-			rt.runnable = append(rt.runnable[:i], rt.runnable[i+1:]...)
-			return
-		}
-	}
-}
-
-// execute applies pid's pending operation, then resumes pid's coroutine to
-// obtain its next request (unless pid crashes at this step).
-func (rt *engine) execute(pid int) {
-	p := &rt.procs[pid]
-	req := p.pending
-	p.hasOp = false
-	file := rt.cfg.File
-	traced := rt.cfg.Trace != nil
-
-	var resp response
-	switch req.kind {
-	case sched.OpRead:
-		resp.val = file.Load(req.reg)
-	case sched.OpWrite:
-		file.Store(req.reg, req.val)
-	case sched.OpProbWrite:
-		resp.ok = rt.probSrc[pid].Bernoulli(req.num, req.den)
-		if rt.faulty && rt.inj.LoseCoin(pid) {
-			// The coin is lost in flight: the process's own coin stream was
-			// consumed exactly as in a fault-free run (so no-loss draws stay
-			// bit-identical), but the write is suppressed and reported
-			// failed. Safe degradation — it can only slow termination.
-			resp.ok = false
-		}
-		if resp.ok {
-			file.Store(req.reg, req.val)
-		}
-	case sched.OpCollect:
-		rt.collectBuf = file.SnapshotAppend(rt.collectBuf[:0], req.arr)
-		resp.vals = rt.collectBuf
-	default:
-		panic(fmt.Sprintf("sim: unknown op kind %v", req.kind))
-	}
-	if traced {
-		ev := trace.Event{Step: rt.steps, PID: pid, Reg: int(req.reg), Val: req.val}
-		switch req.kind {
-		case sched.OpRead:
-			ev.Kind = trace.Read
-			ev.Val = resp.val
-		case sched.OpWrite:
-			ev.Kind = trace.Write
-		case sched.OpProbWrite:
-			ev.Kind = trace.ProbWrite
-			ev.Succeeded = resp.ok
-			ev.ProbNum, ev.ProbDen = req.num, req.den
-		case sched.OpCollect:
-			ev.Kind = trace.Collect
-			ev.Reg = int(req.arr.Base)
-		}
-		rt.cfg.Trace.Append(ev)
-	}
-	rt.result.Work[pid]++
-	rt.result.TotalWork++
-	rt.steps++
-	if rt.meter != nil {
-		rt.meter.AddSteps(1)
-	}
-
-	if rt.faulty {
-		if d := rt.inj.OpDelay(pid); d > 0 {
-			// Per-op jitter: the engine is single-threaded, so sleeping here
-			// slows the whole (simulated) execution — meaningful for wall
-			// clock stress, invisible to the step-count cost model.
-			time.Sleep(d)
-		}
-	}
-
-	// Crash checks run after the operation lands: the last operation takes
-	// effect, but the process never observes the result and is never
-	// scheduled again; its coroutine stays suspended until teardown unwinds
-	// it. rt.steps is now the 1-based global index of this operation, which
-	// is what the crash-on-round thresholds are compiled against.
-	if rt.result.Work[pid] >= rt.crashAt[pid] || (rt.faulty && rt.steps >= rt.stepCrashAt[pid]) {
-		rt.crash(pid)
-		return
-	}
-	if rt.faulty && rt.result.Work[pid] >= rt.stallAt[pid] {
-		rt.stall(pid)
-		return
-	}
-
-	p.resp = resp
-	rt.resume(pid)
-}
-
-// crash marks pid crashed. Called either after its last operation landed or
-// before its first (threshold 0).
-func (rt *engine) crash(pid int) {
-	rt.procs[pid].crashed = true
-	rt.result.Crashed[pid] = true
-	if rt.cfg.Trace != nil {
-		rt.cfg.Trace.Append(trace.Event{Step: -1, PID: pid, Kind: trace.Crash})
-	}
-}
-
-// stall freezes pid: unlike a crash it is not reported as failed — the
-// process holds its state forever and simply never takes another step, the
-// classic livelock a deadline watchdog has to catch. Its coroutine stays
-// suspended until teardown.
-func (rt *engine) stall(pid int) {
-	rt.procs[pid].stalled = true
-	rt.result.Stalled[pid] = true
-	rt.stalledN++
-}
-
-// resume transfers control into pid's coroutine and records what comes
-// back: either the next pending operation or the program's return. A
-// program panic propagates out of p.next (and out of Run) with its original
-// value; the deferred teardown in Run unwinds the other coroutines first.
-func (rt *engine) resume(pid int) {
-	p := &rt.procs[pid]
-	req, ok := p.next()
-	if ok {
-		p.pending = req
-		p.hasOp = true
-		return
-	}
-	// The program returned: p.halted and p.output were set by the coroutine
-	// wrapper before it finished.
-	rt.result.Halted[pid] = true
-	rt.result.Outputs[pid] = p.output
-	if rt.cfg.Trace != nil {
-		rt.cfg.Trace.Append(trace.Event{Step: -1, PID: pid, Kind: trace.Halt, Val: p.output})
-	}
-}
-
-// restrictOp projects a pending request down to what rt.power permits the
-// adversary to observe (§2.1).
-func (rt *engine) restrictOp(req request) sched.Op {
-	op := sched.Op{Valid: true, Reg: -1, Val: value.None}
-	switch rt.power {
-	case sched.Oblivious:
-		// Liveness only.
-	case sched.ValueOblivious:
-		op.Kind = req.kind
-		op.Reg = req.reg
-		if req.kind == sched.OpCollect {
-			op.Reg = req.arr.Base
-		}
-	case sched.LocationOblivious:
-		op.Kind = req.kind
-		if req.kind == sched.OpWrite || req.kind == sched.OpProbWrite {
-			op.Val = req.val
-		}
-		op.ProbNum, op.ProbDen = req.num, req.den
-	case sched.Adaptive:
-		op.Kind = req.kind
-		op.Reg = req.reg
-		if req.kind == sched.OpCollect {
-			op.Reg = req.arr.Base
-		}
-		if req.kind == sched.OpWrite || req.kind == sched.OpProbWrite {
-			op.Val = req.val
-		}
-		op.ProbNum, op.ProbDen = req.num, req.den
-	default:
-		panic(fmt.Sprintf("sim: unknown power %v", rt.power))
-	}
-	return op
-}
-
-// teardown unwinds every coroutine that has not already returned: suspended
-// processes (crashed, step-limited, cancelled, or stranded by another
-// process's panic) see their pending Env call fail and exit through the
-// errKilled sentinel.
-func (rt *engine) teardown() {
-	for pid := range rt.procs {
-		p := &rt.procs[pid]
-		if p.stop != nil {
-			p.stop()
-		}
-	}
+	return eng.Run(cfg.Context)
 }

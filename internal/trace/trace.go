@@ -153,6 +153,32 @@ func (l *Log) Append(e Event) {
 	l.mu.Unlock()
 }
 
+// Reset discards the recorded events, keeping the backing capacity, so one
+// log can serve many executions of a pooled session without reallocating.
+// Reset on a nil log is a no-op. Call it only between executions.
+func (l *Log) Reset() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.events = l.events[:0]
+	l.mu.Unlock()
+}
+
+// Clone returns an independent copy of the log. Pooled sweeps hand the copy
+// to the merge step so the session can Reset its own log for the next trial.
+// A nil log clones to nil.
+func (l *Log) Clone() *Log {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cp := &Log{events: make([]Event, len(l.events))}
+	copy(cp.events, l.events)
+	return cp
+}
+
 // Events returns the recorded events. The slice is owned by the log and
 // must not be mutated; read it only after the execution has completed.
 // A nil log returns nil.

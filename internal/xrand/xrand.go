@@ -69,12 +69,23 @@ func (s *Source) Uint64() uint64 {
 // the stream index i. Splitting the same Source state with distinct indices
 // yields distinct streams; the parent stream is not advanced.
 func (s *Source) Split(i uint64) *Source {
+	var child Source
+	s.SplitInto(&child, i)
+	return &child
+}
+
+// SplitInto reinitializes dst in place with the child stream Split(i) would
+// return, without allocating. It is the reset-path form of Split: a reusable
+// engine re-derives its per-process streams into preallocated Sources on
+// every trial, and the two must agree bit for bit, so both go through this
+// one derivation.
+func (s *Source) SplitInto(dst *Source, i uint64) {
 	// Mix the full parent state with the index through splitmix64 so that
 	// children of different parents, and different children of one parent,
 	// all diverge.
 	seed := s.s0 ^ bits.RotateLeft64(s.s1, 13) ^ bits.RotateLeft64(s.s2, 29) ^ bits.RotateLeft64(s.s3, 43)
 	seed ^= 0xd1b54a32d192ed03 * (i + 1)
-	return New(seed)
+	dst.Reseed(seed)
 }
 
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.

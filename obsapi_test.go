@@ -19,7 +19,7 @@ func obsSweep(t *testing.T, workers int) (stepsJSON, workJSON string, snaps []Pr
 	var steps, work Hist
 	sink := &collectSink{}
 	meter := &Meter{}
-	err = Trials(16, func(ctx context.Context, tr Trial) (*ProtocolRun, error) {
+	_, err = Trials(16, func(ctx context.Context, tr Trial) (*ProtocolRun, error) {
 		file, proto, err := cons.Build()
 		if err != nil {
 			return nil, err

@@ -66,6 +66,20 @@ func TextProgress(w io.Writer) ProgressSink { return obs.Text(w) }
 // object per line (JSON Lines), for machine consumption.
 func JSONProgress(w io.Writer) ProgressSink { return obs.JSONLines(w) }
 
+// Typed option-validation sentinels. Every configuration error the run API
+// reports wraps one of these, so callers can branch with errors.Is instead
+// of matching message strings (which remain precise and actionable).
+var (
+	// ErrOptionUnsupported marks an option the selected backend cannot
+	// honor — e.g. WithScheduler or WithTrace on the Live backend, which has
+	// no adversary control and no global step sequence.
+	ErrOptionUnsupported = errors.New("modcon: option unsupported by backend")
+	// ErrBadOption marks a missing or invalid option value — e.g. a
+	// non-positive WithN, a missing WithRegisters or WithInputs, or an
+	// unknown backend.
+	ErrBadOption = errors.New("modcon: missing or invalid option")
+)
+
 // RunOption configures Run, RunProtocol, and Trials executions.
 type RunOption interface {
 	applyRun(*runConfig)
@@ -163,8 +177,11 @@ func WithMaxSteps(steps int) RunOption {
 }
 
 // WithCrashAfter crashes each listed pid after its given operation count.
-// It is legacy sugar for a plan of plain crash faults; prefer WithFaults,
-// with which it merges (the smaller threshold wins per process).
+//
+// Deprecated: it is exactly WithFaults with one CrashFault(pid, after) per
+// map entry — the typed fault plane subsumes it. It keeps working as an
+// alias and merges with WithFaults (the smaller threshold wins per
+// process), but new code should state crash faults through WithFaults.
 func WithCrashAfter(crashes map[int]int) RunOption {
 	return runOptionFunc(func(c *runConfig) { c.crashAfter = crashes })
 }
@@ -260,19 +277,19 @@ func buildRunConfig(opts []RunOption) runConfig {
 
 func (c *runConfig) objectConfig() (harness.ObjectConfig, error) {
 	if c.n <= 0 {
-		return harness.ObjectConfig{}, fmt.Errorf("modcon: WithN(%d) must be positive", c.n)
+		return harness.ObjectConfig{}, fmt.Errorf("WithN(%d) must be positive: %w", c.n, ErrBadOption)
 	}
 	if c.file == nil {
-		return harness.ObjectConfig{}, errors.New("modcon: WithRegisters is required (objects run in the file they were built against)")
+		return harness.ObjectConfig{}, fmt.Errorf("WithRegisters is required (objects run in the file they were built against): %w", ErrBadOption)
 	}
 	if c.backend == Sim && c.scheduler == nil {
-		return harness.ObjectConfig{}, errors.New("modcon: WithScheduler is required (the sim backend needs an explicit adversary; use WithBackend(Live) to run without one)")
+		return harness.ObjectConfig{}, fmt.Errorf("WithScheduler is required (the sim backend needs an explicit adversary; use WithBackend(Live) to run without one): %w", ErrBadOption)
 	}
 	if err := c.backend.validateOptions(c.scheduler, c.traced); err != nil {
 		return harness.ObjectConfig{}, err
 	}
 	if len(c.inputs) == 0 {
-		return harness.ObjectConfig{}, errors.New("modcon: WithInputs is required")
+		return harness.ObjectConfig{}, fmt.Errorf("WithInputs is required: %w", ErrBadOption)
 	}
 	be, err := c.backend.impl()
 	if err != nil {
@@ -347,43 +364,55 @@ func RunProtocol(p *Protocol, opts ...RunOption) (*ProtocolRun, error) {
 	return harness.RunProtocol(p, cfg)
 }
 
-// Trials runs trials independent executions on a worker pool and folds
-// their results in trial order.
+// Trials runs trials independent executions on a worker pool, folds their
+// results in trial order, and returns a SweepReport classifying every trial.
 //
 // run is called concurrently, once per trial; it must create all per-trial
-// state (register files, objects, schedulers) fresh, seed the execution with
-// t.Seed, and thread ctx into it (WithContext, or RunConfig.Context) so
-// cancellation reaches in-flight executions. merge, which may be nil, is
-// called from a single goroutine in trial-index order regardless of
-// completion order — so aggregates accumulated there are bit-identical at
-// any worker count for the same root seed (see WithSeed, WithWorkers).
+// state (register files, objects, schedulers) fresh — or replay a reusable
+// session — seed the execution with t.Seed, and thread ctx into it
+// (WithContext) so cancellation reaches in-flight executions. merge, which
+// may be nil, is called from a single goroutine in trial-index order
+// regardless of completion order — so aggregates accumulated there are
+// bit-identical at any worker count for the same root seed (see WithSeed,
+// WithWorkers). It also receives each trial's TrialReport; for non-ok
+// outcomes the result may be partial or zero.
 //
-// Recognized options: WithSeed, WithWorkers, WithContext, WithProgress,
-// WithProgressSink, WithHistograms, WithMeter. The first trial error (by
-// index) cancels the sweep and is returned.
-func Trials[T any](trials int, run func(ctx context.Context, t Trial) (T, error), merge func(t Trial, result T), opts ...RunOption) error {
-	c := buildRunConfig(opts)
-	return harness.RunTrials(c.sweep(trials), run, merge)
-}
-
-// TrialsRobust runs a sweep like Trials but degrades gracefully instead of
-// aborting: every trial is classified (TrialOK, TrialViolated on an online
-// safety violation, TrialTimeout when the WithTrialDeadline watchdog kills
-// a livelocked trial, TrialPanicked with the panic contained to the trial,
-// TrialCrashedShort when nothing decided, TrialFailed after WithRetries
-// infrastructure retries) and the sweep always returns its partial
-// aggregates. merge, which may be nil, additionally receives each trial's
-// report; for non-ok outcomes the result may be partial or zero.
+// Trials degrades gracefully instead of aborting: every trial is classified
+// (TrialOK, TrialViolated on an online safety violation, TrialTimeout when
+// the WithTrialDeadline watchdog kills a livelocked trial, TrialPanicked
+// with the panic contained to the trial, TrialCrashedShort when nothing
+// decided, TrialFailed after WithRetries infrastructure retries) and the
+// sweep always returns its partial aggregates in the SweepReport.
 //
 // Recognized options: WithSeed, WithWorkers, WithContext, WithProgress,
 // WithProgressSink, WithHistograms, WithMeter, WithTrialDeadline,
 // WithRetries, WithFailFast. The error is nil unless the sweep's context
 // was cancelled externally.
-func TrialsRobust[T any](trials int, run func(ctx context.Context, t Trial) (T, error), merge func(t Trial, result T, rep TrialReport), opts ...RunOption) (*SweepReport, error) {
+func Trials[T any](trials int, run func(ctx context.Context, t Trial) (T, error), merge func(t Trial, result T, rep TrialReport), opts ...RunOption) (*SweepReport, error) {
 	c := buildRunConfig(opts)
 	return harness.RunTrialsRobust(c.sweep(trials), harness.Resilience{
 		Deadline: c.deadline,
 		Retries:  c.retries,
 		FailFast: c.failFast,
 	}, run, merge)
+}
+
+// TrialsRobust is the former name of the classified sweep engine.
+//
+// Deprecated: Trials itself now runs every sweep on the resilient engine
+// with this exact signature; call Trials.
+func TrialsRobust[T any](trials int, run func(ctx context.Context, t Trial) (T, error), merge func(t Trial, result T, rep TrialReport), opts ...RunOption) (*SweepReport, error) {
+	return Trials(trials, run, merge, opts...)
+}
+
+// TrialsStrict preserves the pre-unification Trials shape: no per-trial
+// classification, and the first trial error (by index) cancels the sweep
+// and is returned.
+//
+// Deprecated: call Trials, which classifies failing trials instead of
+// aborting the sweep and returns the aggregate SweepReport; pass
+// WithFailFast(true) if a violation should still stop the sweep early.
+func TrialsStrict[T any](trials int, run func(ctx context.Context, t Trial) (T, error), merge func(t Trial, result T), opts ...RunOption) error {
+	c := buildRunConfig(opts)
+	return harness.RunTrials(c.sweep(trials), run, merge)
 }

@@ -47,8 +47,49 @@ func TestRunValidatesOptions(t *testing.T) {
 		{"missing inputs", []RunOption{WithN(2), WithRegisters(file), WithScheduler(NewRoundRobin())}, "WithInputs"},
 	}
 	for _, tc := range cases {
-		if _, err := Run(r, tc.opts...); err == nil || !strings.Contains(err.Error(), tc.want) {
+		_, err := Run(r, tc.opts...)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: err = %v, want mention of %s", tc.name, err, tc.want)
+		}
+		if !errors.Is(err, ErrBadOption) {
+			t.Errorf("%s: err = %v, want errors.Is(err, ErrBadOption)", tc.name, err)
+		}
+	}
+}
+
+// TestOptionErrorSentinels pins the typed classification of configuration
+// errors: missing requirements match ErrBadOption, capabilities a backend
+// cannot honor match ErrOptionUnsupported, and the two never overlap.
+func TestOptionErrorSentinels(t *testing.T) {
+	file := NewRegisters()
+	r, err := NewRatifier(file, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sim without a scheduler: a missing requirement.
+	_, err = Run(r, WithRegisters(file), WithN(2), WithInputs(1))
+	if !errors.Is(err, ErrBadOption) {
+		t.Errorf("sim without scheduler: err = %v, want ErrBadOption", err)
+	}
+	if errors.Is(err, ErrOptionUnsupported) {
+		t.Errorf("sim without scheduler: err = %v, must not match ErrOptionUnsupported", err)
+	}
+
+	// Live with a scheduler / with tracing: unsupported capabilities.
+	for _, tc := range []struct {
+		name string
+		opts []RunOption
+	}{
+		{"live with scheduler", []RunOption{WithBackend(Live), WithRegisters(file), WithN(2), WithInputs(1), WithScheduler(NewRoundRobin())}},
+		{"live with trace", []RunOption{WithBackend(Live), WithRegisters(file), WithN(2), WithInputs(1), WithTrace(true)}},
+	} {
+		_, err := Run(r, tc.opts...)
+		if !errors.Is(err, ErrOptionUnsupported) {
+			t.Errorf("%s: err = %v, want ErrOptionUnsupported", tc.name, err)
+		}
+		if errors.Is(err, ErrBadOption) {
+			t.Errorf("%s: err = %v, must not match ErrBadOption", tc.name, err)
 		}
 	}
 }
@@ -90,18 +131,24 @@ func TestTrialsDeterministicAcrossWorkers(t *testing.T) {
 	sweep := func(workers int) ([]int, int64) {
 		var works []int
 		var sum int64
-		err := Trials(24, func(ctx context.Context, tr Trial) (*Outcome, error) {
+		report, err := Trials(24, func(ctx context.Context, tr Trial) (*Outcome, error) {
 			inputs := make([]Value, 6)
 			for p := range inputs {
 				inputs[p] = Value((p + tr.Index) % 2)
 			}
 			return cons.Solve(inputs, NewUniformRandom(), tr.Seed, RunConfig{Context: ctx})
-		}, func(tr Trial, out *Outcome) {
+		}, func(tr Trial, out *Outcome, rep TrialReport) {
+			if rep.Outcome != TrialOK {
+				t.Fatalf("trial %d classified %s: %v", tr.Index, rep.Outcome, rep.Err)
+			}
 			works = append(works, out.TotalWork)
 			sum += int64(out.TotalWork)
 		}, WithSeed(7), WithWorkers(workers))
 		if err != nil {
 			t.Fatal(err)
+		}
+		if got := report.Count(TrialOK); got != 24 {
+			t.Fatalf("report counted %d ok trials, want 24", got)
 		}
 		return works, sum
 	}
@@ -119,9 +166,30 @@ func TestTrialsDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
-func TestTrialsPropagatesError(t *testing.T) {
+func TestTrialsClassifiesError(t *testing.T) {
 	boom := errors.New("boom")
-	err := Trials(10, func(ctx context.Context, tr Trial) (int, error) {
+	report, err := Trials(10, func(ctx context.Context, tr Trial) (int, error) {
+		if tr.Index == 4 {
+			return 0, boom
+		}
+		return 1, nil
+	}, nil, WithSeed(1))
+	if err != nil {
+		t.Fatalf("unified sweep aborted instead of classifying: %v", err)
+	}
+	if got := report.Count(TrialFailed); got != 1 {
+		t.Fatalf("report counted %d failed trials, want 1: %s", got, report)
+	}
+	for _, rep := range report.Reports {
+		if rep.Trial.Index == 4 && !errors.Is(rep.Err, boom) {
+			t.Fatalf("trial 4 err = %v, want boom", rep.Err)
+		}
+	}
+}
+
+func TestTrialsStrictPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	err := TrialsStrict(10, func(ctx context.Context, tr Trial) (int, error) {
 		if tr.Index == 4 {
 			return 0, boom
 		}
