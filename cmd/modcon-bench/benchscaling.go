@@ -34,10 +34,15 @@ const scalingN = 8
 
 // scalingCell is one point on the scaling curve.
 type scalingCell struct {
-	Workers      int     `json:"workers"`
-	Gomaxprocs   int     `json:"gomaxprocs"`
-	Seconds      float64 `json:"seconds"`
-	TrialsPerSec float64 `json:"trialsPerSec"`
+	Workers int `json:"workers"`
+	// Gomaxprocs is runtime.GOMAXPROCS(0) read inside the pinned region the
+	// cell actually ran under (the per-cell pin, not the launch value the
+	// manifest records).
+	Gomaxprocs     int     `json:"gomaxprocs"`
+	Seconds        float64 `json:"seconds"`
+	NsPerTrial     float64 `json:"nsPerTrial"`
+	TrialsPerSec   float64 `json:"trialsPerSec"`
+	AllocsPerTrial int64   `json:"allocsPerTrial"`
 	// Speedup is throughput relative to the workers=1 cell.
 	Speedup float64 `json:"speedup"`
 	// Digest is a sha256 over the aggregate step/work histograms and the
@@ -112,9 +117,15 @@ func scalingSweep() harness.ProtocolSweep {
 func runScalingCell(workers, trials int, seed uint64) (scalingCell, error) {
 	prev := runtime.GOMAXPROCS(workers)
 	defer runtime.GOMAXPROCS(prev)
+	// Read the pin back inside the region so the cell records the setting it
+	// measurably ran under, not the value this function intended to set.
+	gomaxprocs := runtime.GOMAXPROCS(0)
 
 	var steps, work obs.Hist
 	decided := 0
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	err := harness.SweepProtocol(
 		harness.Sweep{Trials: trials, Workers: workers, Seed: seed},
@@ -130,6 +141,7 @@ func runScalingCell(workers, trials int, seed uint64) (scalingCell, error) {
 		return scalingCell{}, err
 	}
 	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
 
 	digest, err := scalingDigest(&steps, &work, decided)
 	if err != nil {
@@ -137,11 +149,13 @@ func runScalingCell(workers, trials int, seed uint64) (scalingCell, error) {
 	}
 	secs := elapsed.Seconds()
 	return scalingCell{
-		Workers:      workers,
-		Gomaxprocs:   workers,
-		Seconds:      secs,
-		TrialsPerSec: float64(trials) / secs,
-		Digest:       digest,
+		Workers:        workers,
+		Gomaxprocs:     gomaxprocs,
+		Seconds:        secs,
+		NsPerTrial:     float64(elapsed.Nanoseconds()) / float64(trials),
+		TrialsPerSec:   float64(trials) / secs,
+		AllocsPerTrial: int64(m1.Mallocs-m0.Mallocs) / int64(trials),
+		Digest:         digest,
 	}, nil
 }
 

@@ -34,6 +34,14 @@
 //	                             # speedup, aggregate digests) into the same
 //	                             # artifact (see -scaling-trials; combinable
 //	                             # with -bench-core)
+//	modcon-bench -shards 4       # split the consensus sweep's seed space over
+//	                             # 4 shard subprocesses and print the merged
+//	                             # artifact — byte-identical outside the
+//	                             # manifest to -shards 1 at any shard count
+//	modcon-bench -shard-run 2/4  # run shard 2 of 4 by hand (artifact on
+//	                             # stdout; spread shards across machines and
+//	                             # reassemble with -merge-shards)
+//	modcon-bench -merge-shards a.json,b.json  # merge saved shard artifacts
 //
 // Results are deterministic in (-seed, -trials) and independent of
 // -workers: trial seeds are derived per-trial and results are merged in
@@ -92,6 +100,10 @@ func run(args []string) error {
 		benchN        = fs.String("bench-n", "2,16,256", "comma-separated process counts for -bench-core")
 		scalingTrials  = fs.Int("scaling-trials", 2000, "trials per worker count for -bench-scaling")
 		scalingWorkers = fs.String("scaling-workers", "", "comma-separated worker counts for -bench-scaling (default: 1,2,4,… up to NumCPU)")
+
+		shards      = fs.Int("shards", 0, "fan the consensus sweep out over this many shard subprocesses and print the merged artifact (-trials is the full seed space; 0 = off)")
+		shardRun    = fs.String("shard-run", "", "run one shard i/M of the consensus sweep and print its artifact (used by -shards; usable by hand across machines)")
+		mergeShards = fs.String("merge-shards", "", "comma-separated shard artifact files to merge into one normalized report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,6 +117,24 @@ func run(args []string) error {
 		return err
 	}
 	defer stopProfiles()
+
+	if *shardRun != "" || *shards > 0 || *mergeShards != "" {
+		// Shard modes share the sweep knobs: -trials is the FULL seed space
+		// (0 picks the -scaling-trials default so a bare `-shards 4` works),
+		// -seed the shared root, -workers each shard's concurrency cap.
+		total := *trials
+		if total == 0 {
+			total = *scalingTrials
+		}
+		switch {
+		case *shardRun != "":
+			return runShardRun(*shardRun, total, *seed, *workers)
+		case *mergeShards != "":
+			return runMergeShards(*mergeShards)
+		default:
+			return runShardFanout(*shards, total, *seed, *workers)
+		}
+	}
 
 	if *benchCore || *benchScaling {
 		ns, err := parseBenchNs(*benchN)

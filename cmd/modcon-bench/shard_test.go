@@ -1,0 +1,187 @@
+package main
+
+// Shard-merge correctness: a merged partition of the seed space must equal
+// the single-shard run exactly — same histograms, tally, and digest — for
+// any shard count, and the merge must reject partitions that do not tile the
+// space. The fuzz target drives the merge over random partitions and input
+// orders of synthetic aggregates, plus associativity of the underlying
+// histogram merge.
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/modular-consensus/modcon/internal/harness"
+	"github.com/modular-consensus/modcon/internal/obs"
+)
+
+// reportKey flattens the determinism-relevant fields of a report — the
+// digest plus the exact JSON of both histograms and the tally — so tests
+// compare whole aggregates at once.
+func reportKey(t testing.TB, r *shardReport) string {
+	t.Helper()
+	b, err := json.Marshal(struct {
+		Steps   *obs.Hist
+		Work    *obs.Hist
+		Decided int
+		Digest  string
+		Shard   shardSlice
+	}{r.Steps, r.Work, r.Decided, r.Digest, r.Shard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestShardSpanTiles(t *testing.T) {
+	for _, tc := range []struct{ of, trials int }{{1, 7}, {3, 7}, {4, 4}, {5, 17}, {8, 1000}} {
+		at := 0
+		for i := 0; i < tc.of; i++ {
+			lo, hi := shardSpan(i, tc.of, tc.trials)
+			if lo != at || hi < lo {
+				t.Fatalf("shardSpan(%d,%d,%d) = [%d,%d), want a tile starting at %d",
+					i, tc.of, tc.trials, lo, hi, at)
+			}
+			at = hi
+		}
+		if at != tc.trials {
+			t.Fatalf("of=%d trials=%d: spans cover [0,%d)", tc.of, tc.trials, at)
+		}
+	}
+}
+
+// TestShardMergeMatchesSingleRun is the end-to-end contract on the real
+// workload: run the consensus sweep sharded M ways in-process, merge, and
+// compare against the unsharded run — every M must agree exactly.
+func TestShardMergeMatchesSingleRun(t *testing.T) {
+	const trials = 48
+	const seed = 9
+	full, err := runShardSlice(0, 1, trials, seed, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalize the single shard through the same merge the fan-out uses.
+	base, err := mergeShardReports([]*shardReport{full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportKey(t, base)
+	for _, m := range []int{2, 3, 5} {
+		reports := make([]*shardReport, m)
+		for i := 0; i < m; i++ {
+			if reports[i], err = runShardSlice(i, m, trials, seed, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Feed the merge out of order; it must not care.
+		reports[0], reports[m-1] = reports[m-1], reports[0]
+		merged, err := mergeShardReports(reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := reportKey(t, merged); got != want {
+			t.Errorf("shards=%d: merged aggregates diverged from the single-shard run\n got %s\nwant %s", m, got, want)
+		}
+	}
+}
+
+func TestShardMergeRejectsBadTilings(t *testing.T) {
+	mk := func(lo, hi, trials int, seed uint64) *shardReport {
+		return &shardReport{
+			Workload: "consensus-sweep", N: scalingN, Trials: trials, Seed: seed,
+			Shard: shardSlice{Lo: lo, Hi: hi},
+			Steps: &obs.Hist{}, Work: &obs.Hist{},
+		}
+	}
+	cases := []struct {
+		name    string
+		reports []*shardReport
+	}{
+		{"empty", nil},
+		{"gap", []*shardReport{mk(0, 4, 10, 1), mk(6, 10, 10, 1)}},
+		{"overlap", []*shardReport{mk(0, 6, 10, 1), mk(4, 10, 10, 1)}},
+		{"short", []*shardReport{mk(0, 8, 10, 1)}},
+		{"mixed-seed", []*shardReport{mk(0, 5, 10, 1), mk(5, 10, 10, 2)}},
+		{"mixed-trials", []*shardReport{mk(0, 5, 10, 1), mk(5, 12, 12, 1)}},
+	}
+	for _, tc := range cases {
+		if _, err := mergeShardReports(tc.reports); err == nil {
+			t.Errorf("%s: merge accepted a bad partition", tc.name)
+		}
+	}
+}
+
+// synthShard builds a shard artifact over [lo, hi) from synthetic per-trial
+// observations derived purely from (seed, index) — the same shape the real
+// sweep produces, cheap enough to fuzz.
+func synthShard(t testing.TB, lo, hi, trials int, seed uint64) *shardReport {
+	t.Helper()
+	var steps, work obs.Hist
+	decided := 0
+	for i := lo; i < hi; i++ {
+		v := harness.TrialSeed(seed, i)
+		steps.AddInt(int(v % 10_000))
+		work.AddInt(int(v >> 32 % 1_000))
+		if v&1 == 0 {
+			decided++
+		}
+	}
+	digest, err := scalingDigest(&steps, &work, decided)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &shardReport{
+		Workload: "consensus-sweep", N: scalingN, Trials: trials, Seed: seed,
+		Shard: shardSlice{Lo: lo, Hi: hi},
+		Steps: &steps, Work: &work, Decided: decided, Digest: digest,
+	}
+}
+
+// FuzzShardMerge fuzzes the merge over random partitions of a fixed seed
+// space, fed in random rotations: the merged aggregates must always equal
+// the whole-space artifact (commutativity over any tiling), and merging the
+// histograms pairwise left-to-right must equal merging right-to-left
+// (associativity of obs.Hist.Merge).
+func FuzzShardMerge(f *testing.F) {
+	f.Add(uint16(64), uint8(4), uint64(1), uint8(1))
+	f.Add(uint16(1), uint8(1), uint64(42), uint8(0))
+	f.Add(uint16(500), uint8(7), uint64(99), uint8(5))
+	f.Fuzz(func(t *testing.T, trials16 uint16, shards8 uint8, seed uint64, rot8 uint8) {
+		trials := int(trials16)%512 + 1
+		m := int(shards8)%8 + 1
+		base, err := mergeShardReports([]*shardReport{synthShard(t, 0, trials, trials, seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := reportKey(t, base)
+
+		reports := make([]*shardReport, 0, m)
+		for i := 0; i < m; i++ {
+			lo, hi := shardSpan(i, m, trials)
+			reports = append(reports, synthShard(t, lo, hi, trials, seed))
+		}
+		rot := int(rot8) % m
+		rotated := append(append([]*shardReport(nil), reports[rot:]...), reports[:rot]...)
+		merged, err := mergeShardReports(rotated)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := reportKey(t, merged); got != want {
+			t.Fatalf("trials=%d shards=%d rot=%d: merged aggregates diverged from the whole-space artifact",
+				trials, m, rot)
+		}
+
+		// Associativity: fold the shard step-histograms left-to-right and
+		// right-to-left; obs.Hist.Merge must not care about grouping.
+		var ltr, rtl obs.Hist
+		for i := 0; i < m; i++ {
+			ltr.Merge(reports[i].Steps)
+			rtl.Merge(reports[m-1-i].Steps)
+		}
+		lb, _ := json.Marshal(&ltr)
+		rb, _ := json.Marshal(&rtl)
+		if string(lb) != string(rb) {
+			t.Fatalf("hist merge is grouping-sensitive:\n ltr %s\n rtl %s", lb, rb)
+		}
+	})
+}

@@ -389,6 +389,111 @@ func (c *Consensus) Solve(inputs []Value, s Scheduler, seed uint64, run ...RunCo
 	return out, nil
 }
 
+// Sweep runs trials independent executions of this consensus spec on the
+// parallel trial engine and folds the outcomes, in trial order, through
+// merge. Each trial's seed derives from WithSeed's root via TrialSeed, so
+// aggregates are bit-identical at any worker count — and at any lane width:
+// lane-eligible sweeps (Sim backend, no trace/meter/faults) route whole
+// batches of trials through one reusable engine, the throughput path
+// WithBatching tunes, while ineligible ones replay per-trial pooled
+// sessions.
+//
+// newSched builds the adversary; it is called once per pooled session (not
+// per trial) because schedulers are stateful, which is why Sweep takes a
+// factory where Solve takes an instance (WithScheduler is rejected here).
+// inputs, if non-nil, supplies each trial's per-process inputs (one per
+// process or a single broadcast value), overriding WithInputs; inputs and
+// WithInputs must not both be absent.
+//
+// Like Solve, Sweep verifies agreement and validity: the first trial (by
+// index) whose execution violates safety turns into an error after the
+// sweep completes, since a violation is a bug, never bad luck.
+func (c *Consensus) Sweep(trials int, newSched func() Scheduler, inputs func(t Trial) []Value, merge func(t Trial, o *Outcome), opts ...RunOption) error {
+	rc := buildRunConfig(opts)
+	if rc.scheduler != nil {
+		return fmt.Errorf("modcon: Sweep takes a scheduler factory, not WithScheduler (each pooled session needs its own stateful adversary): %w", ErrBadOption)
+	}
+	if rc.backend == Sim && newSched == nil {
+		return fmt.Errorf("modcon: a scheduler factory is required (the sim backend needs an explicit adversary): %w", ErrBadOption)
+	}
+	if inputs == nil && len(rc.inputs) == 0 {
+		return fmt.Errorf("modcon: WithInputs or a per-trial inputs func is required: %w", ErrBadOption)
+	}
+	var probe Scheduler
+	if newSched != nil {
+		probe = newSched()
+	}
+	if err := rc.backend.validateOptions(probe, rc.traced); err != nil {
+		return err
+	}
+	be, err := rc.backend.impl()
+	if err != nil {
+		return err
+	}
+	// Surface construction errors here, once, so the per-session Build
+	// closure below cannot fail.
+	if _, _, err := c.Build(); err != nil {
+		return err
+	}
+	base := rc.inputs
+	if len(base) == 0 {
+		base = []Value{0} // placeholder; the per-trial hook overrides it
+	}
+	spec := harness.ProtocolSweep{
+		Build: func() (*core.Protocol, harness.ObjectConfig) {
+			file, proto, err := c.Build()
+			if err != nil {
+				panic(err) // unreachable: the pre-flight Build above succeeded
+			}
+			var sched Scheduler
+			if newSched != nil {
+				sched = newSched()
+			}
+			return proto, harness.ObjectConfig{
+				N: c.n, File: file, Inputs: base, Backend: be, Scheduler: sched,
+				Traced: rc.traced, CheapCollect: rc.cheapCollect,
+				CrashAfter: rc.crashAfter, Faults: rc.faults,
+				MaxSteps: rc.maxSteps, Context: rc.ctx, Meter: rc.meter,
+			}
+		},
+		Inputs: inputs,
+	}
+	var violation error
+	violationAt := trials
+	err = harness.SweepProtocol(rc.sweep(trials), spec, func(t Trial, run *harness.ProtocolRun) {
+		out := &Outcome{
+			Outputs:   run.Result.Outputs,
+			Decided:   run.Decided,
+			Stage:     make([]int, c.n),
+			FellBack:  make([]bool, c.n),
+			TotalWork: run.Result.TotalWork,
+			Work:      run.Result.Work,
+			Violation: run.Violation,
+			Trace:     run.Trace,
+			Value:     None,
+		}
+		for pid := range out.Stage {
+			out.Stage[pid], out.FellBack[pid] = run.DecidedStage(pid)
+		}
+		if decided := run.DecidedOutputs(); len(decided) > 0 {
+			out.Value = decided[0]
+		}
+		if run.Violation != nil && t.Index < violationAt {
+			violation, violationAt = run.Violation, t.Index
+		}
+		if merge != nil {
+			merge(t, out)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if violation != nil {
+		return fmt.Errorf("modcon: SAFETY VIOLATION (bug) in trial %d: %w", violationAt, violation)
+	}
+	return nil
+}
+
 // Verify re-checks an outcome against inputs (exported so examples and
 // external harnesses can assert safety themselves).
 func Verify(inputs []Value, o *Outcome) error {

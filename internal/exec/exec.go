@@ -157,6 +157,14 @@ type Capabilities struct {
 	// callers can always program against the Session seam; Reusable only
 	// tells them whether pooling actually buys throughput.
 	Reusable bool
+	// Batched reports whether NewSession's sessions also implement
+	// BatchSession natively, i.e. running a lane of K trials through
+	// RunBatch amortizes real work (dispatch, staging, per-trial setup)
+	// instead of just looping Run. The harness routes eligible sweep cells
+	// through lanes only on backends that report it; everyone else falls
+	// back to per-trial Run (or the RunSeeds loop, which is semantically a
+	// batch but buys nothing).
+	Batched bool
 }
 
 // Session is one reusable execution context: the per-trial analogue of the
@@ -183,6 +191,53 @@ type Session interface {
 	// Close releases the session's resources (coroutines, buffers). A
 	// session must be closed exactly once; Run after Close is invalid.
 	Close() error
+}
+
+// BatchSession is a Session that can run a whole lane of trials in one
+// call, amortizing per-trial dispatch across the batch. Sessions of backends
+// whose Capabilities report Batched implement it natively (sim); any Session
+// can be driven batch-wise through RunSeeds, which loops Run with the same
+// begin/emit protocol.
+//
+// Contract, on top of Session's:
+//
+//   - RunBatch runs one trial per seed, in order, exactly as consecutive
+//     Run(ctx, seeds[k]) calls would — bit-identical results on
+//     deterministic backends, which is what lets the harness route a sweep
+//     through lanes without changing its aggregates.
+//   - begin, if non-nil, is invoked before trial k starts; it is the
+//     caller's hook for staging per-trial state (the harness sets trial
+//     inputs there). A begin error is trial k's error: it arrives through
+//     emit and the batch moves on.
+//   - emit receives each trial's session-owned result, invalidated when the
+//     next trial starts (deep-copy to retain); returning false stops the
+//     batch early with no error.
+//   - RunBatch returns an error only when the session itself can no longer
+//     run trials (closed, poisoned); per-trial errors arrive through emit.
+type BatchSession interface {
+	Session
+	RunBatch(ctx context.Context, seeds []uint64, begin func(k int) error, emit func(k int, res *Result, err error) bool) error
+}
+
+// RunSeeds drives any Session through the BatchSession begin/emit protocol
+// by looping Run — the uniform fallback for sessions without a native
+// RunBatch, and the reference semantics native implementations must match.
+func RunSeeds(s Session, ctx context.Context, seeds []uint64, begin func(k int) error, emit func(k int, res *Result, err error) bool) error {
+	for k, seed := range seeds {
+		if begin != nil {
+			if err := begin(k); err != nil {
+				if !emit(k, nil, err) {
+					return nil
+				}
+				continue
+			}
+		}
+		res, err := s.Run(ctx, seed)
+		if !emit(k, res, err) {
+			return nil
+		}
+	}
+	return nil
 }
 
 // Backend runs process programs against shared registers under one
@@ -239,6 +294,13 @@ func (s *oneShotSession) Run(ctx context.Context, seed uint64) (*Result, error) 
 	cfg.Seed = seed
 	cfg.Context = ctx
 	return s.backend.Run(cfg, s.programs...)
+}
+
+// RunBatch implements BatchSession by looping Run: no amortization, just
+// the uniform seam (see RunSeeds). Backends served by one-shot sessions
+// report Batched: false, so the harness never routes lanes here.
+func (s *oneShotSession) RunBatch(ctx context.Context, seeds []uint64, begin func(k int) error, emit func(k int, res *Result, err error) bool) error {
+	return RunSeeds(s, ctx, seeds, begin, emit)
 }
 
 // Close implements Session.

@@ -1,0 +1,276 @@
+package harness
+
+// Tests for lane (batched) sweep routing: a lane-eligible cell routed
+// through batch sessions must produce aggregates bit-identical to the
+// per-trial pooled path at every lane width and worker count; ineligible
+// cells (traced, metered, faulted) must fall back to pooled sessions and
+// keep their semantics; and Sweep.Offset must partition a seed space so
+// shard aggregates reassemble the unsharded sweep's exactly.
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/modular-consensus/modcon/internal/conciliator"
+	"github.com/modular-consensus/modcon/internal/core"
+	"github.com/modular-consensus/modcon/internal/fault"
+	"github.com/modular-consensus/modcon/internal/obs"
+	"github.com/modular-consensus/modcon/internal/ratifier"
+	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/sched"
+	"github.com/modular-consensus/modcon/internal/value"
+)
+
+// laneProtocolSpec is a consensus cell with coin flips on both stages
+// (impatient conciliator + binary ratifier), mixed per-trial inputs.
+func laneProtocolSpec(t *testing.T, n int, mut func(cfg *ObjectConfig)) ProtocolSweep {
+	t.Helper()
+	return ProtocolSweep{
+		Build: func() (*core.Protocol, ObjectConfig) {
+			file := register.NewFile()
+			proto, err := core.NewProtocol(core.Options{
+				N: n, File: file,
+				NewRatifier: func(f *register.File, i int) core.Object { return ratifier.NewBinary(f, i) },
+				NewConciliator: func(f *register.File, i int) core.Object {
+					return conciliator.NewImpatient(f, n, i)
+				},
+				FastPath: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := ObjectConfig{N: n, File: file, Inputs: []value.Value{0}, Scheduler: sched.NewUniformRandom()}
+			if mut != nil {
+				mut(&cfg)
+			}
+			return proto, cfg
+		},
+		Inputs: func(tr Trial) []value.Value {
+			inputs := make([]value.Value, n)
+			for p := range inputs {
+				inputs[p] = value.Value((p + tr.Index) % 2)
+			}
+			return inputs
+		},
+	}
+}
+
+// laneObjectSpec is a single impatient-conciliator cell, mirroring the E1
+// sweep's shape.
+func laneObjectSpec(n int, mut func(cfg *ObjectConfig)) ObjectSweep {
+	return ObjectSweep{
+		Build: func() (core.Object, ObjectConfig) {
+			file := register.NewFile()
+			c := conciliator.NewImpatient(file, n, 1)
+			cfg := ObjectConfig{N: n, File: file, Inputs: []value.Value{0}, Scheduler: sched.NewUniformRandom()}
+			if mut != nil {
+				mut(&cfg)
+			}
+			return c, cfg
+		},
+		Inputs: func(tr Trial) []value.Value {
+			inputs := make([]value.Value, n)
+			for p := range inputs {
+				inputs[p] = value.Value((p + tr.Index) % 2)
+			}
+			return inputs
+		},
+	}
+}
+
+// protocolDigest is everything a protocol sweep folds, keyed by trial index.
+type protocolDigest struct {
+	Work    []int
+	Steps   []int
+	Decided []int
+	Outputs [][]value.Value
+}
+
+func runProtocolDigest(t *testing.T, s Sweep, spec ProtocolSweep) protocolDigest {
+	t.Helper()
+	d := protocolDigest{
+		Work:    make([]int, s.Trials),
+		Steps:   make([]int, s.Trials),
+		Decided: make([]int, s.Trials),
+		Outputs: make([][]value.Value, s.Trials),
+	}
+	err := SweepProtocol(s, spec, func(tr Trial, run *ProtocolRun) {
+		i := tr.Index - s.Offset
+		d.Work[i] = run.Result.MaxIndividualWork()
+		d.Steps[i] = run.Result.TotalWork
+		d.Decided[i] = len(run.DecidedOutputs())
+		d.Outputs[i] = run.DecidedOutputs()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestSweepProtocolLaneMatchesUnbatched pins the tentpole determinism claim
+// at the harness layer: routing a lane-eligible protocol sweep through batch
+// sessions — at any lane width and worker count — produces per-trial results
+// bit-identical to the per-trial pooled path.
+func TestSweepProtocolLaneMatchesUnbatched(t *testing.T) {
+	const n, trials = 8, 33
+	spec := laneProtocolSpec(t, n, nil)
+	base := runProtocolDigest(t, Sweep{Trials: trials, Workers: 1, Seed: 42, LaneWidth: -1}, spec)
+	for _, tc := range []struct{ width, workers int }{
+		{0, 1}, {4, 3}, {7, 2}, {64, 4}, {1, 2},
+	} {
+		got := runProtocolDigest(t, Sweep{Trials: trials, Workers: tc.workers, Seed: 42, LaneWidth: tc.width}, spec)
+		if !reflect.DeepEqual(got, base) {
+			t.Errorf("width=%d workers=%d: lane sweep diverged from unbatched baseline", tc.width, tc.workers)
+		}
+	}
+}
+
+// TestSweepObjectLaneMatchesUnbatched is the object-sweep counterpart.
+func TestSweepObjectLaneMatchesUnbatched(t *testing.T) {
+	const n, trials = 4, 25
+	spec := laneObjectSpec(n, nil)
+	digest := func(s Sweep) ([]int, [][]value.Value) {
+		works := make([]int, s.Trials)
+		outs := make([][]value.Value, s.Trials)
+		err := SweepObject(s, spec, func(tr Trial, run *ObjectRun) {
+			works[tr.Index] = run.Result.TotalWork
+			outs[tr.Index] = run.Outputs()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return works, outs
+	}
+	baseWorks, baseOuts := digest(Sweep{Trials: trials, Workers: 1, Seed: 7, LaneWidth: -1})
+	for _, tc := range []struct{ width, workers int }{{0, 1}, {6, 2}, {32, 3}} {
+		works, outs := digest(Sweep{Trials: trials, Workers: tc.workers, Seed: 7, LaneWidth: tc.width})
+		if !reflect.DeepEqual(works, baseWorks) || !reflect.DeepEqual(outs, baseOuts) {
+			t.Errorf("width=%d workers=%d: lane object sweep diverged from unbatched baseline", tc.width, tc.workers)
+		}
+	}
+}
+
+// TestLaneEligibility pins which cells may batch: an unencumbered sim cell
+// is eligible; trace, meter, or a fault plan (crash map or typed) each
+// disqualify it, as does disabling lanes on the sweep.
+func TestLaneEligibility(t *testing.T) {
+	const n = 4
+	cases := []struct {
+		name string
+		s    Sweep
+		mut  func(cfg *ObjectConfig)
+		want bool
+	}{
+		{"eligible", Sweep{LaneWidth: 0}, nil, true},
+		{"lanes-disabled", Sweep{LaneWidth: -1}, nil, false},
+		{"traced", Sweep{}, func(cfg *ObjectConfig) { cfg.Traced = true }, false},
+		{"metered", Sweep{Meter: new(obs.Meter)}, nil, false},
+		{"crash-map", Sweep{}, func(cfg *ObjectConfig) { cfg.CrashAfter = map[int]int{0: 5} }, false},
+		{"fault-plan", Sweep{}, func(cfg *ObjectConfig) { cfg.Faults = fault.New(fault.LoseCoin(1, 1, 3)) }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			os, err := newObjectSession(tc.s, laneObjectSpec(n, tc.mut))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer os.close()
+			if got := os.batch != nil; got != tc.want {
+				t.Errorf("object cell batch-eligible = %v, want %v", got, tc.want)
+			}
+			ps, err := newProtocolSession(tc.s, laneProtocolSpec(t, n, tc.mut))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ps.close()
+			if got := ps.batch != nil; got != tc.want {
+				t.Errorf("protocol cell batch-eligible = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSweepLaneFallback runs ineligible cells through a sweep that asks for
+// lanes: a faulted cell must match its unbatched baseline (same fold, pooled
+// path), and a traced cell must still deliver per-trial traces — proof it
+// fell back, since lane engines are traceless.
+func TestSweepLaneFallback(t *testing.T) {
+	const n, trials = 4, 10
+	faulted := func(cfg *ObjectConfig) { cfg.Faults = fault.New(fault.Crash(0, 30), fault.LoseCoin(1, 1, 2)) }
+	spec := laneProtocolSpec(t, n, faulted)
+	base := runProtocolDigest(t, Sweep{Trials: trials, Workers: 1, Seed: 5, LaneWidth: -1}, spec)
+	got := runProtocolDigest(t, Sweep{Trials: trials, Workers: 2, Seed: 5, LaneWidth: 8}, spec)
+	if !reflect.DeepEqual(got, base) {
+		t.Errorf("faulted cell with LaneWidth=8 diverged from unbatched baseline")
+	}
+
+	traces := 0
+	err := SweepProtocol(Sweep{Trials: trials, Workers: 1, Seed: 5, LaneWidth: 8},
+		laneProtocolSpec(t, n, func(cfg *ObjectConfig) { cfg.Traced = true }),
+		func(tr Trial, run *ProtocolRun) {
+			if run.Trace != nil && run.Trace.Len() > 0 {
+				traces++
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traces != trials {
+		t.Errorf("traced cell under LaneWidth=8 yielded %d non-empty traces, want %d", traces, trials)
+	}
+}
+
+// TestSweepOffsetPartitions pins the shard contract: contiguous Offset
+// slices of a seed space compute exactly the trials the unsharded sweep
+// would, so reassembling shard results by global index reproduces the
+// unsharded sweep bit for bit — on both the lane and the pooled path.
+func TestSweepOffsetPartitions(t *testing.T) {
+	const n, trials = 8, 21
+	spec := laneProtocolSpec(t, n, nil)
+	for _, width := range []int{-1, 8} {
+		base := runProtocolDigest(t, Sweep{Trials: trials, Workers: 1, Seed: 11, LaneWidth: width}, spec)
+		merged := protocolDigest{
+			Work:    make([]int, trials),
+			Steps:   make([]int, trials),
+			Decided: make([]int, trials),
+			Outputs: make([][]value.Value, trials),
+		}
+		for _, shard := range []struct{ lo, hi int }{{0, 8}, {8, 16}, {16, trials}} {
+			d := runProtocolDigest(t, Sweep{
+				Trials: shard.hi - shard.lo, Offset: shard.lo,
+				Workers: 2, Seed: 11, LaneWidth: width,
+			}, spec)
+			copy(merged.Work[shard.lo:shard.hi], d.Work)
+			copy(merged.Steps[shard.lo:shard.hi], d.Steps)
+			copy(merged.Decided[shard.lo:shard.hi], d.Decided)
+			copy(merged.Outputs[shard.lo:shard.hi], d.Outputs)
+		}
+		if !reflect.DeepEqual(merged, base) {
+			t.Errorf("width=%d: merged shard digests diverged from the unsharded sweep", width)
+		}
+	}
+}
+
+// TestSweepLaneErrorIndexMatchesPooled pins deterministic failure
+// attribution across routing: a per-trial error (bad input arity) surfaces
+// as the same "harness: trial N" error whether the trial ran in a lane or a
+// pooled session.
+func TestSweepLaneErrorIndexMatchesPooled(t *testing.T) {
+	const n, trials, victim = 4, 12, 9
+	spec := laneObjectSpec(n, nil)
+	spec.Inputs = func(tr Trial) []value.Value {
+		if tr.Index == victim {
+			return make([]value.Value, n+1) // wrong arity: in.set must reject
+		}
+		return []value.Value{value.Value(tr.Index % 2)}
+	}
+	want := fmt.Sprintf("harness: trial %d:", victim)
+	for _, width := range []int{-1, 5} {
+		err := SweepObject(Sweep{Trials: trials, Workers: 2, Seed: 3, LaneWidth: width}, spec, nil)
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("width=%d: error %v, want one containing %q", width, err, want)
+		}
+	}
+}

@@ -331,7 +331,7 @@ func RunTrialsRobust[T any](s Sweep, rz Resilience, run func(ctx context.Context
 		if next >= s.Trials {
 			return Trial{}, false
 		}
-		t := Trial{Index: next, Seed: TrialSeed(s.Seed, next)}
+		t := s.trial(next)
 		next++
 		return t, true
 	}

@@ -31,7 +31,10 @@ type Manifest struct {
 	Backend string `json:"backend,omitempty"`
 	// GoVersion is runtime.Version() of the producing binary.
 	GoVersion string `json:"goVersion"`
-	// GOMAXPROCS is the worker-parallelism ceiling at run time.
+	// GOMAXPROCS is the worker-parallelism ceiling at process launch. Runs
+	// that re-pin GOMAXPROCS per cell (modcon-bench -bench-scaling) record
+	// the per-cell value in each cell, not here: a manifest built mid-run
+	// would otherwise capture whichever pin happened to be active.
 	GOMAXPROCS int `json:"gomaxprocs"`
 	// GitRevision is the VCS revision the binary was built from, with a
 	// "+dirty" suffix for modified trees. Builds without a VCS stamp (go
@@ -41,6 +44,12 @@ type Manifest struct {
 	GitRevision string `json:"gitRevision"`
 }
 
+// launchGOMAXPROCS is GOMAXPROCS captured at package init — i.e. the
+// process's launch value — so manifests built after a caller temporarily
+// re-pins GOMAXPROCS (the scaling benchmark pins it per cell) still record
+// the setting the process started with.
+var launchGOMAXPROCS = runtime.GOMAXPROCS(0)
+
 // NewManifest returns a Manifest for tool with the toolchain and host fields
 // (GoVersion, GOMAXPROCS, GitRevision) filled in. Callers set Seed, Config,
 // FaultPlan, and Backend.
@@ -48,7 +57,7 @@ func NewManifest(tool string) Manifest {
 	return Manifest{
 		Tool:        tool,
 		GoVersion:   runtime.Version(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GOMAXPROCS:  launchGOMAXPROCS,
 		GitRevision: gitRevision(),
 	}
 }

@@ -112,6 +112,7 @@ type runConfig struct {
 	deadline     time.Duration
 	retries      int
 	failFast     bool
+	laneWidth    int
 }
 
 // WithN sets the process count (required for Run and RunProtocol).
@@ -258,6 +259,20 @@ func WithHistograms(steps, work *Hist) RunOption {
 	})
 }
 
+// WithBatching controls lane (batched) execution for Trials sweeps whose
+// configuration is lane-eligible: the Sim backend with no trace, meter, or
+// fault plan in play. Eligible sweeps run whole lanes of trials per engine
+// checkout instead of one trial each, which removes most per-trial dispatch
+// cost; results and aggregates are bit-identical either way, so the option
+// only moves wall-clock. width > 1 sets the trials-per-lane, 0 (the
+// default) picks the harness default width, and a negative width disables
+// batching. Ineligible sweeps, TrialsRobust (whose per-trial deadline and
+// retry containment need one checkout per trial), Run, and RunProtocol
+// ignore it.
+func WithBatching(width int) RunOption {
+	return runOptionFunc(func(c *runConfig) { c.laneWidth = width })
+}
+
 // WithMeter attaches a live step counter to executions: Run and RunProtocol
 // increment it once per executed operation, and a Trials sweep configured
 // with the same meter reports its running total in progress snapshots — so
@@ -323,6 +338,7 @@ func (c *runConfig) sweep(trials int) harness.Sweep {
 		Trials:    trials,
 		Workers:   c.workers,
 		Seed:      c.seed,
+		LaneWidth: c.laneWidth,
 		Context:   c.ctx,
 		Progress:  c.progress,
 		Reporter:  reporter,

@@ -1,0 +1,93 @@
+package modcon
+
+// Public-API tests for Consensus.Sweep and the WithBatching lane knob: the
+// sweep's per-trial outcomes must be bit-identical whether trials route
+// through lanes or pooled sessions, at any width and worker count, and the
+// option-validation errors must be actionable.
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func sweepDigest(t *testing.T, c *Consensus, trials int, opts ...RunOption) ([]int, []Value) {
+	t.Helper()
+	works := make([]int, trials)
+	values := make([]Value, trials)
+	opts = append(opts, WithSeed(21))
+	err := c.Sweep(trials, func() Scheduler { return NewUniformRandom() },
+		func(tr Trial) []Value { return mixedInputs(c.N(), 2, tr.Index) },
+		func(tr Trial, o *Outcome) {
+			works[tr.Index] = o.TotalWork
+			values[tr.Index] = o.Value
+		}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return works, values
+}
+
+func TestConsensusSweepBatchingDeterminism(t *testing.T) {
+	c, err := NewBinary(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 30
+	baseWorks, baseValues := sweepDigest(t, c, trials, WithBatching(-1), WithWorkers(1))
+	for _, tc := range []struct{ width, workers int }{{0, 1}, {8, 3}, {64, 2}} {
+		works, values := sweepDigest(t, c, trials, WithBatching(tc.width), WithWorkers(tc.workers))
+		if !reflect.DeepEqual(works, baseWorks) || !reflect.DeepEqual(values, baseValues) {
+			t.Errorf("WithBatching(%d)+WithWorkers(%d) diverged from the unbatched single-worker sweep",
+				tc.width, tc.workers)
+		}
+	}
+}
+
+func TestConsensusSweepStages(t *testing.T) {
+	c, err := NewBinary(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decided := 0
+	err = c.Sweep(10, func() Scheduler { return NewRoundRobin() }, nil,
+		func(tr Trial, o *Outcome) {
+			for pid, d := range o.Decided {
+				if !d {
+					continue
+				}
+				decided++
+				if stage := o.Stage[pid]; stage < 0 && !o.FellBack[pid] {
+					t.Errorf("trial %d pid %d decided but reports stage %d without fallback", tr.Index, pid, stage)
+				}
+			}
+		}, WithInputs(1), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decided == 0 {
+		t.Fatal("no process decided in any trial")
+	}
+}
+
+func TestConsensusSweepOptionValidation(t *testing.T) {
+	c, err := NewBinary(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nop := func(Trial, *Outcome) {}
+	mk := func() Scheduler { return NewRoundRobin() }
+
+	err = c.Sweep(2, mk, nil, nop, WithInputs(1), WithScheduler(NewRoundRobin()))
+	if !errors.Is(err, ErrBadOption) {
+		t.Errorf("WithScheduler on Sweep: got %v, want ErrBadOption (factory required)", err)
+	}
+	err = c.Sweep(2, nil, nil, nop, WithInputs(1))
+	if !errors.Is(err, ErrBadOption) {
+		t.Errorf("nil scheduler factory on Sim: got %v, want ErrBadOption", err)
+	}
+	err = c.Sweep(2, mk, nil, nop)
+	if !errors.Is(err, ErrBadOption) {
+		t.Errorf("no inputs: got %v, want ErrBadOption", err)
+	}
+}
