@@ -18,6 +18,8 @@ import (
 //	tracing             yes (WithTrace)        no
 //	deterministic       yes (pure fn of seed)  coins only; not interleaving
 //	wall-clock timing   no (simulated steps)   yes
+//	register models     atomic, regular,       atomic, regular
+//	                    interposed             (no adversary to blunt)
 //
 // Asking a backend for a capability it lacks is a configuration error with
 // a precise message, never silent misbehavior. Work accounting (TotalWork,
@@ -68,7 +70,12 @@ func (b Backend) impl() (exec.Backend, error) {
 // from deep inside a backend. Every error wraps a typed sentinel:
 // ErrBadOption for a missing requirement, ErrOptionUnsupported for an
 // option the backend cannot honor.
-func (b Backend) validateOptions(scheduler Scheduler, traced bool) error {
+func (b Backend) validateOptions(scheduler Scheduler, traced bool, registers RegisterModel) error {
+	switch registers {
+	case Atomic, Regular, Interposed:
+	default:
+		return fmt.Errorf("unknown register model %d (use Atomic, Regular, or Interposed): %w", int(registers), ErrBadOption)
+	}
 	switch b {
 	case Sim:
 		if scheduler == nil {
@@ -80,6 +87,9 @@ func (b Backend) validateOptions(scheduler Scheduler, traced bool) error {
 		}
 		if traced {
 			return fmt.Errorf("tracing is sim-only: the %s backend has no global step sequence to record: %w", b, ErrOptionUnsupported)
+		}
+		if registers == Interposed {
+			return fmt.Errorf("interposed registers are sim-only: the interposition blunts an adversary's view of in-flight operations, and the %s backend has no adversary to blunt: %w", b, ErrOptionUnsupported)
 		}
 	}
 	return nil

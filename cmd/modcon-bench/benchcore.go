@@ -131,10 +131,10 @@ func measureCoreCell(power sched.Power, n int, budget time.Duration) (coreCell, 
 // benchOpts selects which bench modes contribute to the BENCH_sim.json
 // report and their knobs.
 type benchOpts struct {
-	Out           string
-	Core          bool          // -bench-core: the (power × n) step-loop matrix
-	Scaling       bool          // -bench-scaling: the worker-parallelism curve
-	Budget        time.Duration // per step-loop cell
+	Out            string
+	Core           bool          // -bench-core: the (power × n) step-loop matrix
+	Scaling        bool          // -bench-scaling: the worker-parallelism curve
+	Budget         time.Duration // per step-loop cell
 	Ns             []int
 	ScalingTrials  int
 	ScalingWorkers []int // nil = auto {1, 2, 4, …, NumCPU}
@@ -148,10 +148,11 @@ func runBench(opts benchOpts) error {
 	manifest := obs.NewManifest("modcon-bench")
 	manifest.Seed = opts.Seed // step-loop cells always run sim.Config{Seed: 1}
 	manifest.Backend = "sim"
+	manifest.Registers = register.Atomic.String() // bench paths are atomic-only
 	manifest.Config = map[string]string{
-		"bench-out":      opts.Out,
-		"bench-budget":   opts.Budget.String(),
-		"bench-n":        intsCSV(opts.Ns),
+		"bench-out":       opts.Out,
+		"bench-budget":    opts.Budget.String(),
+		"bench-n":         intsCSV(opts.Ns),
 		"bench-core":      fmt.Sprint(opts.Core),
 		"bench-scaling":   fmt.Sprint(opts.Scaling),
 		"scaling-trials":  fmt.Sprint(opts.ScalingTrials),

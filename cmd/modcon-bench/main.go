@@ -1,6 +1,6 @@
 // Command modcon-bench regenerates the paper's quantitative claims.
 //
-// Each experiment (E1–E20, see DESIGN.md §3 and EXPERIMENTS.md) sweeps the
+// Each experiment (E1–E21, see DESIGN.md §3 and EXPERIMENTS.md) sweeps the
 // relevant parameter, runs many simulated executions per cell on the
 // parallel trial engine, and prints a table comparing measurements against
 // the corresponding theorem.
@@ -17,6 +17,9 @@
 //	modcon-bench -timeout 2m     # wall-clock budget for the whole run
 //	modcon-bench -fail-fast      # stop a fault sweep at its first safety
 //	                             # violation instead of finishing the cell
+//	modcon-bench -registers regular  # run every consensus sweep on regular
+//	                             # (or interposed, sim-only) registers
+//	                             # instead of atomic
 //	modcon-bench -progress 2s    # stream progress lines to stderr (trials
 //	                             # done, trials/sec, ETA, violations)
 //	modcon-bench -markdown       # emit EXPERIMENTS.md-ready markdown
@@ -65,6 +68,7 @@ import (
 
 	"github.com/modular-consensus/modcon/internal/exp"
 	"github.com/modular-consensus/modcon/internal/obs"
+	"github.com/modular-consensus/modcon/internal/register"
 )
 
 func main() {
@@ -84,6 +88,7 @@ func run(args []string) error {
 		workers  = fs.Int("workers", 0, "concurrent trials per cell (0 = GOMAXPROCS; results identical at any value)")
 		timeout  = fs.Duration("timeout", 0, "wall-clock budget; in-flight executions are cancelled when it expires (0 = none)")
 		failFast = fs.Bool("fail-fast", false, "stop fault sweeps (E20) at the first safety violation")
+		regModel = fs.String("registers", "atomic", "register consistency model for every consensus sweep: atomic, regular, or interposed (sim-only); E21 sweeps the models itself and ignores this")
 		progress = fs.Duration("progress", 0, "stream progress snapshots to stderr at this interval (0 = off)")
 		markdown = fs.Bool("markdown", false, "emit markdown instead of aligned text")
 		jsonOut  = fs.Bool("json", false, "emit a JSON object with a run manifest and the completed tables")
@@ -93,11 +98,11 @@ func run(args []string) error {
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 		traceFile  = fs.String("trace", "", "write a runtime execution trace of the run to this file")
 
-		benchCore     = fs.Bool("bench-core", false, "microbenchmark the step engine and write a JSON perf baseline")
-		benchScaling  = fs.Bool("bench-scaling", false, "sweep worker counts 1,2,4,…,NumCPU over a fixed consensus sweep and record the scaling curve (combinable with -bench-core; same output file)")
-		benchOut      = fs.String("bench-out", "BENCH_sim.json", "output path for -bench-core / -bench-scaling")
-		benchBudget   = fs.Duration("bench-budget", time.Second, "time budget per -bench-core cell")
-		benchN        = fs.String("bench-n", "2,16,256", "comma-separated process counts for -bench-core")
+		benchCore      = fs.Bool("bench-core", false, "microbenchmark the step engine and write a JSON perf baseline")
+		benchScaling   = fs.Bool("bench-scaling", false, "sweep worker counts 1,2,4,…,NumCPU over a fixed consensus sweep and record the scaling curve (combinable with -bench-core; same output file)")
+		benchOut       = fs.String("bench-out", "BENCH_sim.json", "output path for -bench-core / -bench-scaling")
+		benchBudget    = fs.Duration("bench-budget", time.Second, "time budget per -bench-core cell")
+		benchN         = fs.String("bench-n", "2,16,256", "comma-separated process counts for -bench-core")
 		scalingTrials  = fs.Int("scaling-trials", 2000, "trials per worker count for -bench-scaling")
 		scalingWorkers = fs.String("scaling-workers", "", "comma-separated worker counts for -bench-scaling (default: 1,2,4,… up to NumCPU)")
 
@@ -200,7 +205,11 @@ func run(args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	cfg := exp.Config{Trials: *trials, Seed: *seed, Workers: *workers, Ctx: ctx, FailFast: *failFast}
+	registers, err := register.ParseSemantics(*regModel)
+	if err != nil {
+		return fmt.Errorf("-registers: %w", err)
+	}
+	cfg := exp.Config{Trials: *trials, Seed: *seed, Workers: *workers, Ctx: ctx, FailFast: *failFast, Registers: registers}
 	if *progress > 0 {
 		cfg.Reporter = obs.NewReporter(obs.Text(os.Stderr), *progress)
 		cfg.Meter = &obs.Meter{}
@@ -211,6 +220,7 @@ func run(args []string) error {
 	manifest := obs.NewManifest("modcon-bench")
 	manifest.Seed = *seed
 	manifest.Backend = *backend
+	manifest.Registers = registers.String()
 	manifest.Config = map[string]string{
 		"run":       *runList,
 		"backend":   *backend,
@@ -219,6 +229,7 @@ func run(args []string) error {
 		"workers":   fmt.Sprint(*workers),
 		"timeout":   timeout.String(),
 		"fail-fast": fmt.Sprint(*failFast),
+		"registers": registers.String(),
 	}
 
 	var tables []*exp.Table

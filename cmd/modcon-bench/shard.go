@@ -27,6 +27,7 @@ import (
 
 	"github.com/modular-consensus/modcon/internal/harness"
 	"github.com/modular-consensus/modcon/internal/obs"
+	"github.com/modular-consensus/modcon/internal/register"
 )
 
 // shardSlice identifies one shard's contiguous slice of the seed space.
@@ -95,6 +96,7 @@ func runShardSlice(index, of, trials int, seed uint64, workers int) (*shardRepor
 	manifest := obs.NewManifest("modcon-bench")
 	manifest.Seed = seed
 	manifest.Backend = "sim"
+	manifest.Registers = register.Atomic.String() // the sharded sweep is atomic-only
 	manifest.Config = map[string]string{
 		"shard":   fmt.Sprintf("%d/%d", index, of),
 		"trials":  fmt.Sprint(trials),
@@ -166,6 +168,7 @@ func mergeShardReports(reports []*shardReport) (*shardReport, error) {
 	manifest := obs.NewManifest("modcon-bench")
 	manifest.Seed = first.Seed
 	manifest.Backend = "sim"
+	manifest.Registers = register.Atomic.String()
 	manifest.Config = map[string]string{
 		"merged-shards": fmt.Sprint(len(reports)),
 		"trials":        fmt.Sprint(first.Trials),

@@ -239,6 +239,9 @@ type RunConfig struct {
 	// CheapCollect enables the O(1)-collect cost model (needed by
 	// SchemeCollect to hit its 4-op bound).
 	CheapCollect bool
+	// Registers selects the register consistency model (zero value Atomic;
+	// see RegisterModel). Interposed is Sim-only.
+	Registers RegisterModel
 	// CrashAfter crashes pid after its given operation count (legacy sugar
 	// for a plan of crash faults; merged with Faults, smaller threshold
 	// wins).
@@ -329,7 +332,7 @@ func (c *Consensus) Solve(inputs []Value, s Scheduler, seed uint64, run ...RunCo
 	default:
 		return nil, errors.New("modcon: pass at most one RunConfig")
 	}
-	if err := rc.Backend.validateOptions(s, rc.Traced); err != nil {
+	if err := rc.Backend.validateOptions(s, rc.Traced, rc.Registers); err != nil {
 		return nil, err
 	}
 	be, err := rc.Backend.impl()
@@ -347,7 +350,7 @@ func (c *Consensus) Solve(inputs []Value, s Scheduler, seed uint64, run ...RunCo
 	}
 	pr, err := harness.RunProtocol(proto, harness.ObjectConfig{
 		N: c.n, File: file, Inputs: inputs, Backend: be, Scheduler: s, Seed: seed,
-		Traced: rc.Traced, CheapCollect: rc.CheapCollect,
+		Traced: rc.Traced, CheapCollect: rc.CheapCollect, Registers: rc.Registers,
 		CrashAfter: rc.CrashAfter, Faults: rc.Faults,
 		MaxSteps: rc.MaxSteps, Context: rc.Context,
 	})
@@ -423,7 +426,7 @@ func (c *Consensus) Sweep(trials int, newSched func() Scheduler, inputs func(t T
 	if newSched != nil {
 		probe = newSched()
 	}
-	if err := rc.backend.validateOptions(probe, rc.traced); err != nil {
+	if err := rc.backend.validateOptions(probe, rc.traced, rc.registers); err != nil {
 		return err
 	}
 	be, err := rc.backend.impl()
@@ -451,7 +454,7 @@ func (c *Consensus) Sweep(trials int, newSched func() Scheduler, inputs func(t T
 			}
 			return proto, harness.ObjectConfig{
 				N: c.n, File: file, Inputs: base, Backend: be, Scheduler: sched,
-				Traced: rc.traced, CheapCollect: rc.cheapCollect,
+				Traced: rc.traced, CheapCollect: rc.cheapCollect, Registers: rc.registers,
 				CrashAfter: rc.crashAfter, Faults: rc.faults,
 				MaxSteps: rc.maxSteps, Context: rc.ctx, Meter: rc.meter,
 			}

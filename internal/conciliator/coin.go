@@ -32,17 +32,18 @@ type FromCoin struct {
 var _ core.Object = (*FromCoin)(nil)
 
 // NewFromCoin allocates the conciliator's two binary registers and wires in
-// the shared coin.
-func NewFromCoin(file *register.File, coin sharedcoin.Coin, index int) *FromCoin {
+// the shared coin. mem is any register allocator — a *register.File under
+// any consistency model.
+func NewFromCoin(mem register.Allocator, coin sharedcoin.Coin, index int) *FromCoin {
 	label := fmt.Sprintf("CC%d", index)
 	c := &FromCoin{
-		r0:    file.Alloc1(label + ".r0"),
-		r1:    file.Alloc1(label + ".r1"),
+		r0:    mem.Alloc1(label + ".r0"),
+		r1:    mem.Alloc1(label + ".r1"),
 		coin:  coin,
 		label: label,
 	}
-	file.Init(c.r0, 0)
-	file.Init(c.r1, 0)
+	mem.Init(c.r0, 0)
+	mem.Init(c.r1, 0)
 	return c
 }
 

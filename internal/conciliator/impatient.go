@@ -79,15 +79,16 @@ type Impatient struct {
 
 var _ core.Object = (*Impatient)(nil)
 
-// NewImpatient allocates the conciliator's single register in file for a
-// system of n processes. index names the instance (Cᵢ).
-func NewImpatient(file *register.File, n, index int) *Impatient {
+// NewImpatient allocates the conciliator's single register in mem — any
+// register allocator, i.e. a *register.File under any consistency model —
+// for a system of n processes. index names the instance (Cᵢ).
+func NewImpatient(mem register.Allocator, n, index int) *Impatient {
 	if n <= 0 {
 		panic(fmt.Sprintf("conciliator: n=%d must be positive", n))
 	}
 	label := fmt.Sprintf("C%d", index)
 	return &Impatient{
-		r:      file.Alloc1(label + ".r"),
+		r:      mem.Alloc1(label + ".r"),
 		n:      n,
 		label:  label,
 		Growth: GrowthDoubling,
@@ -174,8 +175,8 @@ func (c *Impatient) Label() string { return c.label }
 
 // NewConstantRate returns the Chor–Israeli–Li / Cheung baseline: identical
 // to Impatient but with a fixed 1/n write probability.
-func NewConstantRate(file *register.File, n, index int) *Impatient {
-	c := NewImpatient(file, n, index)
+func NewConstantRate(mem register.Allocator, n, index int) *Impatient {
+	c := NewImpatient(mem, n, index)
 	c.Growth = GrowthConstant
 	return c
 }

@@ -25,10 +25,11 @@ type NaiveFirstMover struct {
 
 var _ core.Object = (*NaiveFirstMover)(nil)
 
-// NewNaiveFirstMover allocates the strawman's single register.
-func NewNaiveFirstMover(file *register.File, index int) *NaiveFirstMover {
+// NewNaiveFirstMover allocates the strawman's single register. mem is any
+// register allocator — a *register.File under any consistency model.
+func NewNaiveFirstMover(mem register.Allocator, index int) *NaiveFirstMover {
 	label := fmt.Sprintf("NC%d", index)
-	return &NaiveFirstMover{r: file.Alloc1(label + ".r"), label: label}
+	return &NaiveFirstMover{r: mem.Alloc1(label + ".r"), label: label}
 }
 
 // Invoke implements core.Object.

@@ -89,6 +89,15 @@ type Config struct {
 	// CheapCollect enables the cheap-collect cost model (§6.2, choice 4):
 	// Env.Collect costs one operation instead of one per register.
 	CheapCollect bool
+	// Registers selects the register consistency model (the zero value is
+	// register.Atomic, the paper's base model). Backends honor only the
+	// models their Capabilities.Semantics set contains and reject the rest
+	// up front. Under register.Regular a read that overlaps a write may
+	// return the old value, resolved deterministically from the schedule
+	// plus a dedicated RNG stream; under register.Interposed reads stay
+	// atomic but the adversary's view of in-flight operations is blunted
+	// (Attiya–Enea–Welch).
+	Registers register.Semantics
 	// Faults is the typed fault plan for this execution: crashes (after k
 	// own operations or on a global round), stalls, per-operation delay
 	// jitter, and lost probabilistic-write coins. Backends compile it with
@@ -157,6 +166,10 @@ type Capabilities struct {
 	// callers can always program against the Session seam; Reusable only
 	// tells them whether pooling actually buys throughput.
 	Reusable bool
+	// Semantics is the set of register consistency models the backend can
+	// execute (always at least register.Atomic). A Config.Registers outside
+	// the set is a configuration error the caller reports before running.
+	Semantics register.SemanticsSet
 	// Batched reports whether NewSession's sessions also implement
 	// BatchSession natively, i.e. running a lane of K trials through
 	// RunBatch amortizes real work (dispatch, staging, per-trial setup)
@@ -429,6 +442,8 @@ func mix64(z uint64) uint64 {
 const (
 	procCoinStream = 1         // + pid: local coin flips (cost 0)
 	procProbStream = 1_000_000 // + pid: probabilistic-write coins
+	semStream      = 3_000_000 // shared schedule-ordered register-semantics coins (sim)
+	procSemStream  = 3_000_001 // + pid: per-process register-semantics coins (live)
 )
 
 // ProcCoins derives process pid's local-coin stream from the root source.
@@ -453,4 +468,21 @@ func ProcCoinsInto(dst *xrand.Source, root *xrand.Source, pid int) {
 // coin stream, the allocation-free form of ProcProb.
 func ProcProbInto(dst *xrand.Source, root *xrand.Source, pid int) {
 	root.SplitInto(dst, uint64(procProbStream+pid))
+}
+
+// SemCoinsInto reseeds dst in place with the execution's shared
+// register-semantics stream: the coins that resolve overlapping reads under
+// register.Regular on the simulator. One shared stream, consumed in
+// schedule order, keeps resolution a pure function of (schedule, seed).
+// Derived only when the configured model needs it, so atomic executions
+// draw exactly the streams they always did.
+func SemCoinsInto(dst *xrand.Source, root *xrand.Source) {
+	root.SplitInto(dst, semStream)
+}
+
+// ProcSemCoins derives process pid's register-semantics stream, used by the
+// live backend where there is no global schedule order to consume a shared
+// stream in. Disjoint from the sim stream index by construction.
+func ProcSemCoins(root *xrand.Source, pid int) *xrand.Source {
+	return root.Split(uint64(procSemStream + pid))
 }

@@ -23,11 +23,20 @@ type protoSpec struct {
 	stages       int
 	fallbackK    bool
 	detectWrites bool
+	registers    register.Semantics
 }
 
 // defaultSpec is the paper's recommended assembly.
 func defaultSpec(n, m int) protoSpec {
 	return protoSpec{n: n, m: m, growth: conciliator.GrowthDoubling, fastPath: true}
+}
+
+// spec is defaultSpec carrying the config's register model, so every
+// consensus sweep in the suite honors -registers.
+func (c Config) spec(n, m int) protoSpec {
+	s := defaultSpec(n, m)
+	s.registers = c.Registers
+	return s
 }
 
 // build constructs a fresh one-shot protocol instance.
@@ -123,6 +132,7 @@ func consensusSweep(s harness.Sweep, spec protoSpec, mk func() sched.Scheduler, 
 				return proto, harness.ObjectConfig{
 					N: spec.n, File: file, Inputs: mixedInputs(spec.n, spec.m, 0),
 					Scheduler: mk(), MaxSteps: maxSteps,
+					Registers: spec.registers,
 				}
 			},
 			Inputs: func(t harness.Trial) []value.Value {

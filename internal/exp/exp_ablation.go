@@ -61,7 +61,7 @@ func E15Ablations(cfg Config) *Table {
 	// 3. Fast path on agreeing inputs, full protocol.
 	for _, fp := range []bool{true, false} {
 		var ind, tot stats.Acc
-		spec := defaultSpec(n, 2)
+		spec := cfg.spec(n, 2)
 		spec.fastPath = fp
 		mustSweep(harness.SweepProtocol(cfg.sweep(trials/2),
 			harness.ProtocolSweep{
@@ -70,6 +70,7 @@ func E15Ablations(cfg Config) *Table {
 					return proto, harness.ObjectConfig{
 						N: n, File: file, Inputs: mixedInputs(n, 1, 0),
 						Scheduler: sched.NewUniformRandom(),
+						Registers: spec.registers,
 					}
 				},
 			},
@@ -130,7 +131,7 @@ func E15Ablations(cfg Config) *Table {
 			name = "bitvector"
 		}
 		var ind, tot stats.Acc
-		spec := defaultSpec(n, m)
+		spec := cfg.spec(n, m)
 		spec.bitVector = bv
 		consensusSweep(cfg.sweep(trials/2), spec,
 			func() sched.Scheduler { return sched.NewUniformRandom() }, 0,

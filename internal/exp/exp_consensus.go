@@ -31,7 +31,7 @@ func E6BinaryConsensus(cfg Config) *Table {
 	for _, n := range []int{4, 8, 16, 32, 64, 128, 256} {
 		for _, adv := range advs {
 			ind, tot := &obs.Hist{}, &obs.Hist{}
-			consensusSweep(cfg.sweep(trials), defaultSpec(n, 2), adv.New, 0,
+			consensusSweep(cfg.sweep(trials), cfg.spec(n, 2), adv.New, 0,
 				func(tr harness.Trial, run *harness.ProtocolRun) {
 					if err := check.Consensus(mixedInputs(n, 2, tr.Index), run.DecidedOutputs()); err != nil {
 						panic(err)
@@ -73,7 +73,7 @@ func E7MValuedConsensus(cfg Config) *Table {
 	var ms, totY []float64
 	for _, m := range []int{2, 4, 16, 64, 256, 1024} {
 		ind, tot := &obs.Hist{}, &obs.Hist{}
-		consensusSweep(cfg.sweep(trials), defaultSpec(n, m),
+		consensusSweep(cfg.sweep(trials), cfg.spec(n, m),
 			func() sched.Scheduler { return sched.NewFirstMoverAttack() }, 0,
 			func(_ harness.Trial, run *harness.ProtocolRun) {
 				ind.AddInt(run.Result.MaxIndividualWork())
@@ -106,7 +106,7 @@ func E9FastPath(cfg Config) *Table {
 		maxInd := 0
 		var ind stats.Acc
 		fastDecisions, total := 0, 0
-		spec := defaultSpec(n, 2)
+		spec := cfg.spec(n, 2)
 		mustSweep(harness.SweepProtocol(cfg.sweep(trials),
 			harness.ProtocolSweep{
 				Build: func() (*core.Protocol, harness.ObjectConfig) {
@@ -114,6 +114,7 @@ func E9FastPath(cfg Config) *Table {
 					return proto, harness.ObjectConfig{
 						N: n, File: file, Inputs: mixedInputs(n, 1, 0), // all zeros
 						Scheduler: sched.NewUniformRandom(),
+						Registers: spec.registers,
 					}
 				},
 			},
@@ -159,7 +160,7 @@ func E13BoundedConstruction(cfg Config) *Table {
 		// exactly when the corresponding untruncated execution's maximum
 		// deciding stage exceeds k, so the deep-run tail Pr[maxStage > k]
 		// predicts the fallback rate directly.
-		deepSpec := defaultSpec(n, 2)
+		deepSpec := cfg.spec(n, 2)
 		deepSpec.fastPath = false
 		deepSpec.stages = 12
 		deepSpec.fallbackK = true
@@ -188,7 +189,7 @@ func E13BoundedConstruction(cfg Config) *Table {
 			return float64(cnt) / float64(len(deepMax))
 		}
 		for _, k := range []int{1, 2, 4, 8} {
-			spec := defaultSpec(n, 2)
+			spec := cfg.spec(n, 2)
 			spec.fastPath = false
 			spec.stages = k
 			spec.fallbackK = true
@@ -245,12 +246,13 @@ func E14TerminationTail(cfg Config) *Table {
 		// letting it abort the sweep.
 		mustSweep(harness.RunTrials(cfg.sweep(trials),
 			func(ctx context.Context, tr harness.Trial) (bool, error) {
-				spec := defaultSpec(n, 2)
+				spec := cfg.spec(n, 2)
 				file, proto := spec.build()
 				_, err := harness.RunProtocol(proto, harness.ObjectConfig{
 					N: n, File: file, Inputs: mixedInputs(n, 2, tr.Index),
 					Scheduler: sched.NewFirstMoverAttack(), Seed: tr.Seed,
 					MaxSteps: mult * n, Context: ctx,
+					Registers: spec.registers,
 				})
 				switch {
 				case err == nil:

@@ -99,12 +99,13 @@ func E20FaultIntensity(cfg Config) *Table {
 			report, err := harness.SweepProtocolRobust(cfg.sweep(ct), rz,
 				harness.ProtocolSweep{
 					Build: func() (*core.Protocol, harness.ObjectConfig) {
-						spec := defaultSpec(e20N, e20M)
+						spec := cfg.spec(e20N, e20M)
 						spec.fallbackK = true
 						file, proto := spec.build()
 						return proto, be.cfg(harness.ObjectConfig{
 							N: e20N, File: file, Inputs: mixedInputs(e20N, e20M, 0),
 							MaxSteps: e20MaxSteps, Faults: sc.plan, Meter: cfg.Meter,
+							Registers: spec.registers,
 						})
 					},
 					Inputs: func(tr harness.Trial) []value.Value {

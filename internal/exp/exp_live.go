@@ -131,15 +131,16 @@ func E18CrossBackend(cfg Config) *Table {
 			violations := 0
 			var tot stats.Acc
 			for i := 0; i < trials; i++ {
-				spec := defaultSpec(n, m)
+				spec := cfg.spec(n, m)
 				spec.fallbackK = true
 				file, proto := spec.build()
 				inputs := mixedInputs(n, m, i)
 				run, err := harness.RunProtocol(proto, harness.ObjectConfig{
 					N: n, File: file, Inputs: inputs,
-					Backend: live.Backend(),
-					Seed:    harness.TrialSeed(cfg.Seed, i),
-					Context: cfg.Ctx,
+					Backend:   live.Backend(),
+					Seed:      harness.TrialSeed(cfg.Seed, i),
+					Context:   cfg.Ctx,
+					Registers: spec.registers,
 				})
 				if err != nil {
 					panic(fmt.Sprintf("exp: E18 live consensus n=%d m=%d: %v", n, m, err))
@@ -182,16 +183,17 @@ func E19LiveWallClock(cfg Config) *Table {
 		var tot stats.Acc
 		var elapsed time.Duration
 		for i := 0; i < trials; i++ {
-			spec := defaultSpec(n, 2)
+			spec := cfg.spec(n, 2)
 			spec.fallbackK = true
 			file, proto := spec.build()
 			inputs := mixedInputs(n, 2, i)
 			start := time.Now()
 			run, err := harness.RunProtocol(proto, harness.ObjectConfig{
 				N: n, File: file, Inputs: inputs,
-				Backend: live.Backend(),
-				Seed:    harness.TrialSeed(cfg.Seed, i),
-				Context: cfg.Ctx,
+				Backend:   live.Backend(),
+				Seed:      harness.TrialSeed(cfg.Seed, i),
+				Context:   cfg.Ctx,
+				Registers: spec.registers,
 			})
 			elapsed += time.Since(start)
 			if err != nil {

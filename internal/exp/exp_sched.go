@@ -133,7 +133,7 @@ func E11NoisyRatifierOnly(cfg Config) *Table {
 		var indSum, stageSum float64
 		mustSweep(harness.RunTrials(cfg.sweep(trials),
 			func(ctx context.Context, tr harness.Trial) (noisyResult, error) {
-				spec := defaultSpec(n, m)
+				spec := cfg.spec(n, m)
 				spec.noConc = true
 				spec.fastPath = false
 				spec.stages = 4096
@@ -142,6 +142,7 @@ func E11NoisyRatifierOnly(cfg Config) *Table {
 					N: n, File: file, Inputs: mixedInputs(n, m, tr.Index),
 					Scheduler: sched.NewNoisy(sigma), Seed: tr.Seed,
 					MaxSteps: 4_000_000, Context: ctx,
+					Registers: spec.registers,
 				})
 				if err != nil {
 					if errors.Is(err, sim.ErrStepLimit) {
@@ -203,7 +204,7 @@ func E12PriorityRatifierOnly(cfg Config) *Table {
 	trials := cfg.trials(60)
 	for _, n := range []int{2, 4, 8, 16, 32} {
 		done, maxInd, topWork := 0, 0, 0
-		spec := defaultSpec(n, 2)
+		spec := cfg.spec(n, 2)
 		spec.noConc = true
 		spec.fastPath = false
 		spec.stages = 64

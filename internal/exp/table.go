@@ -7,6 +7,7 @@ import (
 
 	"github.com/modular-consensus/modcon/internal/harness"
 	"github.com/modular-consensus/modcon/internal/obs"
+	"github.com/modular-consensus/modcon/internal/register"
 )
 
 // Table is a rendered experiment result: the rows cmd/modcon-bench prints
@@ -158,6 +159,12 @@ type Config struct {
 	// FailFast makes experiments that classify safety per trial (E20) stop
 	// their sweep at the first violation instead of finishing the cell.
 	FailFast bool
+	// Registers selects the register consistency model every consensus
+	// sweep runs under (zero value register.Atomic). E21 ignores it — that
+	// experiment sweeps over the models itself — but the rest of the suite
+	// honors it, which is how the CI determinism gate replays E6 under
+	// regular semantics.
+	Registers register.Semantics
 	// Reporter, if non-nil, receives throttled progress snapshots from
 	// every sweep an experiment runs (cmd/modcon-bench -progress wires a
 	// stderr text sink here). Reporting never affects results.
@@ -220,6 +227,7 @@ func All() []Experiment {
 		{ID: "E18", Title: "Cross-backend validation: sim vs live equivalence and live safety", Live: true, Run: E18CrossBackend},
 		{ID: "E19", Title: "Live-backend wall-clock consensus cost", Live: true, Run: E19LiveWallClock},
 		{ID: "E20", Title: "Fault intensity vs termination and work (robust sweeps, both backends)", Live: true, Run: E20FaultIntensity},
+		{ID: "E21", Title: "Register semantics: agreement, termination, and work per model (both backends)", Live: true, Run: E21RegisterSemantics},
 	}
 }
 

@@ -169,6 +169,8 @@ func TestLaneEligibility(t *testing.T) {
 		{"metered", Sweep{Meter: new(obs.Meter)}, nil, false},
 		{"crash-map", Sweep{}, func(cfg *ObjectConfig) { cfg.CrashAfter = map[int]int{0: 5} }, false},
 		{"fault-plan", Sweep{}, func(cfg *ObjectConfig) { cfg.Faults = fault.New(fault.LoseCoin(1, 1, 3)) }, false},
+		{"regular-registers", Sweep{}, func(cfg *ObjectConfig) { cfg.Registers = register.Regular }, false},
+		{"interposed-registers", Sweep{}, func(cfg *ObjectConfig) { cfg.Registers = register.Interposed }, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -219,6 +221,17 @@ func TestSweepLaneFallback(t *testing.T) {
 	}
 	if traces != trials {
 		t.Errorf("traced cell under LaneWidth=8 yielded %d non-empty traces, want %d", traces, trials)
+	}
+
+	// A regular-register cell is lane-ineligible (lane engines are
+	// atomic-only); asking for lanes anyway must transparently run it on
+	// pooled sessions with bit-identical per-trial results.
+	regular := func(cfg *ObjectConfig) { cfg.Registers = register.Regular }
+	regSpec := laneProtocolSpec(t, n, regular)
+	regBase := runProtocolDigest(t, Sweep{Trials: trials, Workers: 1, Seed: 5, LaneWidth: -1}, regSpec)
+	regGot := runProtocolDigest(t, Sweep{Trials: trials, Workers: 2, Seed: 5, LaneWidth: 8}, regSpec)
+	if !reflect.DeepEqual(regGot, regBase) {
+		t.Errorf("regular-register cell with LaneWidth=8 diverged from unbatched baseline")
 	}
 }
 

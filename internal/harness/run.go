@@ -64,6 +64,10 @@ type ObjectConfig struct {
 	Traced bool
 	// CheapCollect enables the cheap-collect cost model.
 	CheapCollect bool
+	// Registers selects the register consistency model (zero value
+	// register.Atomic). Models outside the backend's Capabilities.Semantics
+	// set are rejected up front with a precise error.
+	Registers register.Semantics
 	// CrashAfter is legacy sugar for a plan of plain crash faults; it is
 	// merged (min-threshold wins) with Faults before reaching the backend.
 	CrashAfter map[int]int
@@ -98,6 +102,11 @@ func (cfg *ObjectConfig) backend() (exec.Backend, error) {
 	if !caps.Tracing && cfg.Traced {
 		return nil, fmt.Errorf("harness: backend %q cannot record traces (no global step sequence)", be.Name())
 	}
+	// Atomic is universal (every backend implements the paper's base model);
+	// anything else must appear in the backend's declared semantics set.
+	if cfg.Registers != register.Atomic && !caps.Semantics.Has(cfg.Registers) {
+		return nil, fmt.Errorf("harness: backend %q does not implement %v register semantics", be.Name(), cfg.Registers)
+	}
 	return be, nil
 }
 
@@ -110,6 +119,7 @@ func (cfg *ObjectConfig) execConfig(log *trace.Log) exec.Config {
 		Seed:         cfg.Seed,
 		Trace:        log,
 		CheapCollect: cfg.CheapCollect,
+		Registers:    cfg.Registers,
 		Faults:       fault.Merge(cfg.Faults, fault.FromCrashMap(cfg.CrashAfter)),
 		MaxSteps:     cfg.MaxSteps,
 		Context:      cfg.Context,

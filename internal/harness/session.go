@@ -35,6 +35,7 @@ import (
 	"github.com/modular-consensus/modcon/internal/core"
 	"github.com/modular-consensus/modcon/internal/exec"
 	"github.com/modular-consensus/modcon/internal/fault"
+	"github.com/modular-consensus/modcon/internal/register"
 	"github.com/modular-consensus/modcon/internal/trace"
 	"github.com/modular-consensus/modcon/internal/value"
 )
@@ -185,12 +186,15 @@ func (si *sessionInputs) set(t Trial) error {
 // laneEligible reports whether a cell can route trials through batch (lane)
 // execution: the sweep asked for lanes, the backend runs batches natively,
 // and nothing per-trial-stateful is in play. Traced cells need a per-trial
-// trace snapshot, metered cells feed a live observer, and fault plans arm
-// per-trial injector state — all of which the per-trial pooled path handles;
-// lanes keep the unencumbered fast path. cfg must already carry the sweep's
-// meter (the constructors assign cfg.Meter = s.Meter before calling this).
+// trace snapshot, metered cells feed a live observer, fault plans arm
+// per-trial injector state, and non-atomic register semantics are not yet
+// proven bit-stable on the op-coded lane engine — all of which the
+// per-trial pooled path handles; lanes keep the unencumbered fast path. cfg
+// must already carry the sweep's meter (the constructors assign
+// cfg.Meter = s.Meter before calling this).
 func laneEligible(s Sweep, cfg ObjectConfig, caps exec.Capabilities) bool {
 	return s.laneWidth() > 1 && caps.Batched && !cfg.Traced && cfg.Meter == nil &&
+		cfg.Registers == register.Atomic &&
 		fault.Merge(cfg.Faults, fault.FromCrashMap(cfg.CrashAfter)).Empty()
 }
 

@@ -32,6 +32,7 @@ package live
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -126,6 +127,13 @@ type Env struct {
 	// progress reporting; nil costs one branch per operation (same
 	// zero-overhead contract as the sim backend).
 	meter *obs.Meter
+	// regular enables regular-register reads: each read samples its target
+	// twice around a scheduling yield, and when the samples differ — a
+	// write really did overlap the read — a coin from sem picks the old or
+	// the new value. sem is this process's private semantics stream
+	// (exec.ProcSemCoins), nil under atomic semantics.
+	regular bool
+	sem     *xrand.Source
 	// ctxDone, if non-nil, is polled at every operation boundary.
 	ctxDone <-chan struct{}
 	// budget, if non-nil, is the shared remaining-operation counter
@@ -195,9 +203,27 @@ func (e *Env) PID() int { return e.pid }
 // N implements core.Env.
 func (e *Env) N() int { return e.n }
 
-// Read implements core.Env.
+// readYield widens the overlap window of a regular-register read between
+// its two samples. It is a variable so the regular-semantics tests can
+// interpose a deterministic concurrent write where production code yields
+// to the Go scheduler.
+var readYield = runtime.Gosched
+
+// Read implements core.Env. Under atomic semantics it is a single atomic
+// load. Under regular semantics (Hadzilacos–Hu–Toueg) the read is realized
+// as two samples around a scheduling yield: the first plays the rôle of the
+// value at the read's invocation, the second the value at its response, and
+// when a concurrent write makes them differ the process's semantics coin
+// decides which one the read returns — old or new, exactly the freedom a
+// regular register grants. Either way the read costs one operation.
 func (e *Env) Read(r register.Reg) value.Value {
 	v := e.mem.Load(r)
+	if e.regular {
+		readYield()
+		if v2 := e.mem.Load(r); v2 != v && !e.sem.Bool() {
+			v = v2
+		}
+	}
 	e.account()
 	return v
 }
@@ -282,7 +308,14 @@ func (backend) Name() string { return "live" }
 // sequence to order events by), no deterministic replay for n > 1 — but
 // wall-clock timings are real.
 func (backend) Capabilities() exec.Capabilities {
-	return exec.Capabilities{WallClock: true}
+	return exec.Capabilities{
+		WallClock: true,
+		// Regular registers are realizable over real sync/atomic memory
+		// (two-sample reads, see Env.Read); interposed semantics is not —
+		// its whole content is blunting an explicit adversary's view of
+		// in-flight operations, and this backend has no adversary to blunt.
+		Semantics: register.SetOf(register.Atomic, register.Regular),
+	}
 }
 
 // NewSession implements exec.Backend via the one-shot fallback: the live
@@ -306,6 +339,14 @@ func (backend) Run(cfg exec.Config, programs ...exec.Program) (*exec.Result, err
 	if cfg.Trace != nil {
 		return nil, fmt.Errorf("live: tracing rejected: the live backend has no global step sequence to record")
 	}
+	switch cfg.Registers {
+	case register.Atomic, register.Regular:
+	case register.Interposed:
+		return nil, fmt.Errorf("live: interposed registers rejected: the interposition blunts an explicit adversary's view of in-flight operations, and the live backend has no adversary to blunt")
+	default:
+		return nil, fmt.Errorf("live: unknown register semantics %v", cfg.Registers)
+	}
+	cfg.File.SetSemantics(cfg.Registers)
 	progs, err := exec.Programs(cfg.N, programs)
 	if err != nil {
 		return nil, err
@@ -337,6 +378,7 @@ func (backend) Run(cfg exec.Config, programs ...exec.Program) (*exec.Result, err
 	}
 
 	root := xrand.New(cfg.Seed)
+	regular := cfg.Registers == register.Regular
 	envs := make([]*Env, cfg.N)
 	for pid := 0; pid < cfg.N; pid++ {
 		envs[pid] = &Env{
@@ -345,6 +387,12 @@ func (backend) Run(cfg exec.Config, programs ...exec.Program) (*exec.Result, err
 			crashAt: inj.CrashAt(pid), stallAt: inj.StallAt(pid),
 			stepCrashAt: inj.CrashStep(pid), inj: inj, totalOps: totalOps,
 			meter: cfg.Meter, ctxDone: ctxDone, budget: budget,
+			regular: regular,
+		}
+		if regular {
+			// Derived only when needed, so atomic executions draw exactly
+			// the streams they always did (Split never advances root).
+			envs[pid].sem = exec.ProcSemCoins(root, pid)
 		}
 	}
 

@@ -29,6 +29,10 @@ type Manifest struct {
 	// Backend names the execution backend ("sim", "live", or "" when the
 	// artifact spans both).
 	Backend string `json:"backend,omitempty"`
+	// Registers names the register consistency model the run's consensus
+	// sweeps used ("atomic", "regular", "interposed"), empty for tools that
+	// predate the semantics layer or artifacts that span models.
+	Registers string `json:"registers,omitempty"`
 	// GoVersion is runtime.Version() of the producing binary.
 	GoVersion string `json:"goVersion"`
 	// GOMAXPROCS is the worker-parallelism ceiling at process launch. Runs

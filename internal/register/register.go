@@ -47,6 +47,12 @@ type File struct {
 	// O(cells) string formatting up front (names only matter for traces and
 	// error messages, which are off the hot path by construction).
 	spans []nameSpan
+	// semantics is the consistency model this file runs under. It is set by
+	// the execution backend from the run configuration (SetSemantics); the
+	// zero value Atomic matches the paper's base model. Name and the error
+	// strings report it for non-atomic files so traces and failures
+	// self-describe which model produced them.
+	semantics Semantics
 }
 
 // nameSpan labels the contiguous block of registers from one Alloc call.
@@ -136,15 +142,35 @@ func (f *File) Name(r Reg) string {
 			hi = mid
 		}
 	}
+	var name string
 	if lo < len(f.spans) && f.spans[lo].base <= i && f.spans[lo].name != "" {
 		s := f.spans[lo]
 		if s.n == 1 {
-			return s.name
+			name = s.name
+		} else {
+			name = fmt.Sprintf("%s[%d]", s.name, i-s.base)
 		}
-		return fmt.Sprintf("%s[%d]", s.name, i-s.base)
+	} else {
+		name = fmt.Sprintf("r%d", i)
 	}
-	return fmt.Sprintf("r%d", i)
+	// Atomic names stay exactly as they always were (golden traces depend on
+	// them); weaker/stronger models tag every lookup so a trace line or error
+	// can never be misread as atomic behavior.
+	if f.semantics != Atomic {
+		name += "@" + f.semantics.String()
+	}
+	return name
 }
+
+// SetSemantics records the consistency model this file runs under. Execution
+// backends call it when lowering a run configuration; it has no effect on
+// the stored values, only on how reads are resolved by the backend and how
+// names and errors describe the file.
+func (f *File) SetSemantics(s Semantics) { f.semantics = s }
+
+// Semantics returns the consistency model recorded by SetSemantics
+// (Atomic unless overridden).
+func (f *File) Semantics() Semantics { return f.semantics }
 
 // Contents returns a copy of the whole memory. Used where a fresh, caller-
 // owned image is wanted (tests, archival); the simulator's hot path uses
@@ -178,7 +204,7 @@ func (f *File) Reset() {
 // corrupt the next run.
 func (f *File) Restore(img []value.Value) error {
 	if len(img) != len(f.cells) {
-		return fmt.Errorf("register: restore image has %d cells, file has %d (the file grew after the image was taken)", len(img), len(f.cells))
+		return fmt.Errorf("register: restore image has %d cells, %s file has %d (the file grew after the image was taken)", len(img), f.semantics, len(f.cells))
 	}
 	copy(f.cells, img)
 	return nil
@@ -186,7 +212,7 @@ func (f *File) Restore(img []value.Value) error {
 
 func (f *File) check(r Reg) int {
 	if r < 0 || int(r) >= len(f.cells) {
-		panic(fmt.Sprintf("register: access to unallocated register %d (file size %d)", r, len(f.cells)))
+		panic(fmt.Sprintf("register: access to unallocated register %d (%s file, size %d)", r, f.semantics, len(f.cells)))
 	}
 	return int(r)
 }

@@ -1,0 +1,150 @@
+package register
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/modular-consensus/modcon/internal/value"
+)
+
+func TestSemanticsStringAndParse(t *testing.T) {
+	cases := []struct {
+		model Semantics
+		str   string
+	}{
+		{Atomic, "atomic"},
+		{Regular, "regular"},
+		{Interposed, "interposed"},
+	}
+	for _, c := range cases {
+		if got := c.model.String(); got != c.str {
+			t.Errorf("%d.String() = %q, want %q", int(c.model), got, c.str)
+		}
+		parsed, err := ParseSemantics(c.str)
+		if err != nil || parsed != c.model {
+			t.Errorf("ParseSemantics(%q) = %v, %v; want %v, nil", c.str, parsed, err, c.model)
+		}
+	}
+	if parsed, err := ParseSemantics(""); err != nil || parsed != Atomic {
+		t.Errorf("ParseSemantics(\"\") = %v, %v; want Atomic, nil", parsed, err)
+	}
+	if _, err := ParseSemantics("linearizabull"); err == nil {
+		t.Error("ParseSemantics of garbage did not error")
+	}
+}
+
+func TestSemanticsSet(t *testing.T) {
+	set := SetOf(Atomic, Interposed)
+	if !set.Has(Atomic) || !set.Has(Interposed) {
+		t.Errorf("set %b missing a member it was built from", set)
+	}
+	if set.Has(Regular) {
+		t.Errorf("set %b contains Regular, which was not added", set)
+	}
+	var zero SemanticsSet
+	if zero.Has(Atomic) {
+		t.Error("zero set claims to contain Atomic")
+	}
+}
+
+func TestFileSemanticsDefaultAndSet(t *testing.T) {
+	f := NewFile()
+	if f.Semantics() != Atomic {
+		t.Fatalf("fresh file semantics = %v, want Atomic", f.Semantics())
+	}
+	f.SetSemantics(Regular)
+	if f.Semantics() != Regular {
+		t.Fatalf("after SetSemantics(Regular): %v", f.Semantics())
+	}
+}
+
+// Non-atomic files tag every Name lookup with their model, so a trace line
+// or error string can never be misread as atomic behavior; atomic names are
+// byte-identical to what they always were (golden traces depend on that).
+func TestNameCarriesSemanticsTag(t *testing.T) {
+	f := NewFile()
+	r := f.Alloc1("C0.r")
+	a := f.Alloc(2, "coin0.tally")
+	f.Alloc(1, "") // unnamed
+
+	if got := f.Name(r); got != "C0.r" {
+		t.Errorf("atomic Name = %q, want bare %q", got, "C0.r")
+	}
+	f.SetSemantics(Regular)
+	if got := f.Name(r); got != "C0.r@regular" {
+		t.Errorf("regular Name = %q, want %q", got, "C0.r@regular")
+	}
+	if got := f.Name(a.At(1)); got != "coin0.tally[1]@regular" {
+		t.Errorf("regular array Name = %q, want %q", got, "coin0.tally[1]@regular")
+	}
+	if got := f.Name(3); got != "r3@regular" {
+		t.Errorf("regular unnamed Name = %q, want %q", got, "r3@regular")
+	}
+	f.SetSemantics(Interposed)
+	if got := f.Name(r); got != "C0.r@interposed" {
+		t.Errorf("interposed Name = %q, want %q", got, "C0.r@interposed")
+	}
+	f.SetSemantics(Atomic)
+	if got := f.Name(r); got != "C0.r" {
+		t.Errorf("Name after returning to Atomic = %q, want bare %q", got, "C0.r")
+	}
+}
+
+// Pins the pooled-session contract around Contents/Restore when the file
+// grows between image capture and restore: the stale image must be rejected
+// (silently restoring a prefix would corrupt the next trial), a fresh image
+// must round-trip exactly, and Name lookups must stay correct across the
+// growth — the lazy span search must not be confused by post-capture Allocs.
+func TestNamesAndRestoreRoundTripAfterGrowth(t *testing.T) {
+	f := NewFile()
+	first := f.Alloc(3, "stage0")
+	f.Init(first.At(0), 7)
+	img := f.Contents()
+
+	// Grow the file after the image was taken.
+	extra := f.Alloc(2, "stage1")
+	f.Init(extra.At(1), 9)
+
+	err := f.Restore(img)
+	if err == nil {
+		t.Fatal("Restore of a pre-growth image succeeded; want error")
+	}
+	if !strings.Contains(err.Error(), "3 cells") || !strings.Contains(err.Error(), "5") {
+		t.Errorf("growth error %q does not mention both sizes", err)
+	}
+
+	// A fresh image round-trips exactly, growth included.
+	img2 := f.Contents()
+	f.Store(first.At(0), 42)
+	f.Store(extra.At(1), 43)
+	if err := f.Restore(img2); err != nil {
+		t.Fatalf("Restore of current image: %v", err)
+	}
+	if got := f.Load(first.At(0)); got != 7 {
+		t.Errorf("restored stage0[0] = %s, want 7", got)
+	}
+	if got := f.Load(extra.At(1)); got != 9 {
+		t.Errorf("restored stage1[1] = %s, want 9", got)
+	}
+	if got := f.Load(extra.At(0)); got != value.None {
+		t.Errorf("restored stage1[0] = %s, want ⊥", got)
+	}
+
+	// Name lookups remain correct for spans allocated both before and after
+	// the image dance.
+	for i := 0; i < 3; i++ {
+		want := "stage0[" + string(rune('0'+i)) + "]"
+		if got := f.Name(first.At(i)); got != want {
+			t.Errorf("Name(stage0[%d]) = %q, want %q", i, got, want)
+		}
+	}
+	if got := f.Name(extra.At(0)); got != "stage1[0]" {
+		t.Errorf("Name(stage1[0]) = %q", got)
+	}
+
+	// The semantics tag composes with the growth error string.
+	f.SetSemantics(Interposed)
+	if err := f.Restore(img); err == nil || !strings.Contains(err.Error(), "interposed") {
+		t.Errorf("non-atomic growth error %v does not name the model", err)
+	}
+}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"github.com/modular-consensus/modcon/internal/register"
 	"github.com/modular-consensus/modcon/internal/value"
 	"github.com/modular-consensus/modcon/internal/xrand"
 )
@@ -319,6 +320,82 @@ func (s *EagerWriteAttack) Name() string { return "eager-write-attack" }
 
 // MinPower implements Scheduler.
 func (s *EagerWriteAttack) MinPower() Power { return LocationOblivious }
+
+// StaleReadAttack is a value-oblivious strategy that exploits *regular*
+// register semantics (Hadzilacos–Hu–Toueg): whenever a read and a write are
+// simultaneously pending on the same register, it fires the write first and
+// then releases the read, so the read overlaps the write and may resolve to
+// the stale pre-write value. Against atomic registers the same schedule is
+// harmless — the read simply returns the new value — which is exactly the
+// separation the regular-register tests and E21 measure. Everything it
+// consults (pending operation kinds and locations, its own memory of which
+// registers it poisoned) is legal for a value-oblivious adversary.
+type StaleReadAttack struct {
+	// stale marks registers written over while a read was pending on them:
+	// any still-pending read on such a register carries a stale invocation
+	// snapshot worth cashing in.
+	stale map[register.Reg]bool
+	next  int
+}
+
+// NewStaleReadAttack returns the attack scheduler.
+func NewStaleReadAttack() *StaleReadAttack { return &StaleReadAttack{} }
+
+// Next implements Scheduler.
+func (s *StaleReadAttack) Next(v *View) int {
+	if s.stale == nil {
+		s.stale = make(map[register.Reg]bool)
+	}
+	// A pending read on a register we already poisoned: release it now,
+	// while its snapshot is still stale.
+	for _, pid := range v.Runnable {
+		op := v.Pending[pid]
+		if op.Kind == OpRead && op.Reg >= 0 && s.stale[op.Reg] {
+			delete(s.stale, op.Reg)
+			return pid
+		}
+	}
+	// A write poised over a register some other process is mid-read on:
+	// land it, creating the overlap a regular register lets us exploit.
+	for _, pid := range v.Runnable {
+		op := v.Pending[pid]
+		if (op.Kind != OpWrite && op.Kind != OpProbWrite) || op.Reg < 0 {
+			continue
+		}
+		for _, rd := range v.Runnable {
+			if rd == pid {
+				continue
+			}
+			rop := v.Pending[rd]
+			if rop.Kind == OpRead && rop.Reg == op.Reg {
+				s.stale[op.Reg] = true
+				return pid
+			}
+		}
+	}
+	// No overlap to engineer: neutral round-robin keeps the run moving.
+	for i := 0; i < v.N; i++ {
+		pid := (s.next + i) % v.N
+		if v.Pending[pid].Valid {
+			s.next = (pid + 1) % v.N
+			return pid
+		}
+	}
+	return v.Runnable[0]
+}
+
+// Seed implements Scheduler (deterministic strategy; resets the poisoned-
+// register memory accumulated over the previous execution).
+func (s *StaleReadAttack) Seed(*xrand.Source) {
+	clear(s.stale)
+	s.next = 0
+}
+
+// Name implements Scheduler.
+func (s *StaleReadAttack) Name() string { return "stale-read-attack" }
+
+// MinPower implements Scheduler.
+func (s *StaleReadAttack) MinPower() Power { return ValueOblivious }
 
 // SplitVote is a value-oblivious strategy that tries to defeat agreement
 // detection by running the processes in two isolated waves: first every even

@@ -114,6 +114,13 @@ type Op struct {
 	// write (LocationOblivious and Adaptive; the probability is part of the
 	// pending value/type, not its location).
 	ProbNum, ProbDen uint64
+	// InFlight marks a pending write (OpWrite/OpProbWrite) that has been
+	// invoked but not yet taken effect — the window a regular register lets
+	// an overlapping read exploit. Populated for ValueOblivious and
+	// stronger views when the execution runs under non-atomic register
+	// semantics; always false under register.Atomic, where the window is
+	// unobservable by definition.
+	InFlight bool
 }
 
 // View is what the adversary sees when choosing the next step.
@@ -128,6 +135,13 @@ type Op struct {
 type View struct {
 	// Power is the information class this view was built for.
 	Power Power
+	// Semantics is the register consistency model of the execution. Under
+	// register.Interposed the runtime additionally blunts strong views:
+	// pending operation values and probabilities are hidden (the
+	// linearizable implementation layer conceals in-flight contents from
+	// the adversary, per Attiya–Enea–Welch), leaving only completed state
+	// in Memory.
+	Semantics register.Semantics
 	// Step counts work-charged operations executed so far.
 	Step int
 	// N is the number of processes.

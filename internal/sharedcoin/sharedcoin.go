@@ -49,14 +49,15 @@ type Voting struct {
 
 var _ Coin = (*Voting)(nil)
 
-// NewVoting allocates the voting coin's n single-writer registers.
-func NewVoting(file *register.File, n, index int) *Voting {
+// NewVoting allocates the voting coin's n single-writer registers. mem is
+// any register allocator — a *register.File under any consistency model.
+func NewVoting(mem register.Allocator, n, index int) *Voting {
 	if n <= 0 {
 		panic(fmt.Sprintf("sharedcoin: n=%d must be positive", n))
 	}
 	label := fmt.Sprintf("coin%d", index)
 	return &Voting{
-		tally:     file.Alloc(n, label+".tally"),
+		tally:     mem.Alloc(n, label+".tally"),
 		n:         n,
 		label:     label,
 		Threshold: n * n,
@@ -69,7 +70,7 @@ func (c *Voting) Flip(e core.Env) value.Value {
 	pid := e.PID()
 	votes, net := 0, 0
 	for {
-		total, sum := c.read(e)
+		total, sum := collectTally(e, c.tally)
 		if total >= c.Threshold {
 			if sum >= 0 {
 				return 1
@@ -88,21 +89,24 @@ func (c *Voting) Flip(e core.Env) value.Value {
 	}
 }
 
-// read collects the tally and returns the total vote count and net sum.
-func (c *Voting) read(e core.Env) (total, sum int) {
-	for _, raw := range e.Collect(c.tally) {
+// Label implements Coin.
+func (c *Voting) Label() string { return c.label }
+
+// collectTally collects a (count, net) tally array and returns the summed
+// totals — the shared read side of both voting coins. The count slot is
+// votes for Voting and variance units for Weighted; the arithmetic is
+// identical either way.
+func collectTally(e core.Env, tally register.Array) (total, sum int) {
+	for _, raw := range e.Collect(tally) {
 		if raw.IsNone() {
 			continue
 		}
-		votes, net := unpackTally(raw)
-		total += votes
+		count, net := unpackTally(raw)
+		total += count
 		sum += net
 	}
 	return total, sum
 }
-
-// Label implements Coin.
-func (c *Voting) Label() string { return c.label }
 
 // packTally encodes (votes, net) with net ∈ [-votes, votes] shifted to be
 // non-negative.

@@ -35,14 +35,15 @@ type Weighted struct {
 
 var _ Coin = (*Weighted)(nil)
 
-// NewWeighted allocates the coin's n single-writer registers.
-func NewWeighted(file *register.File, n, index int) *Weighted {
+// NewWeighted allocates the coin's n single-writer registers. mem is any
+// register allocator — a *register.File under any consistency model.
+func NewWeighted(mem register.Allocator, n, index int) *Weighted {
 	if n <= 0 {
 		panic(fmt.Sprintf("sharedcoin: n=%d must be positive", n))
 	}
 	label := fmt.Sprintf("wcoin%d", index)
 	return &Weighted{
-		tally:     file.Alloc(n, label+".tally"),
+		tally:     mem.Alloc(n, label+".tally"),
 		n:         n,
 		label:     label,
 		Threshold: n * n,
@@ -55,7 +56,7 @@ func (c *Weighted) Flip(e core.Env) value.Value {
 	pid := e.PID()
 	votes, variance, net := 0, 0, 0
 	for {
-		total, sum := c.read(e)
+		total, sum := collectTally(e, c.tally)
 		if total >= c.Threshold {
 			if sum >= 0 {
 				return 1
@@ -86,19 +87,6 @@ func (c *Weighted) weight(k int) int {
 		}
 	}
 	return w
-}
-
-// read collects the tally and returns total variance and weighted net sum.
-func (c *Weighted) read(e core.Env) (total, sum int) {
-	for _, raw := range e.Collect(c.tally) {
-		if raw.IsNone() {
-			continue
-		}
-		variance, net := unpackTally(raw)
-		total += variance
-		sum += net
-	}
-	return total, sum
 }
 
 // Label implements Coin.

@@ -8,6 +8,7 @@ import (
 	"github.com/modular-consensus/modcon/internal/core"
 	"github.com/modular-consensus/modcon/internal/exec"
 	"github.com/modular-consensus/modcon/internal/fault"
+	"github.com/modular-consensus/modcon/internal/register"
 	"github.com/modular-consensus/modcon/internal/value"
 )
 
@@ -32,7 +33,10 @@ func (backend) Name() string { return "sim" }
 // execution (session.RunBatch drives the reused engine across a lane of
 // seeds); its clock is simulated steps, not wall time.
 func (backend) Capabilities() exec.Capabilities {
-	return exec.Capabilities{Adversary: true, Tracing: true, Deterministic: true, Reusable: true, Batched: true}
+	return exec.Capabilities{
+		Adversary: true, Tracing: true, Deterministic: true, Reusable: true, Batched: true,
+		Semantics: register.SetOf(register.Atomic, register.Regular, register.Interposed),
+	}
 }
 
 // session adapts one Engine plus a once-compiled fault injector to the
@@ -77,6 +81,7 @@ func (backend) NewSession(cfg exec.Config, programs ...exec.Program) (exec.Sessi
 		Scheduler:    cfg.Scheduler,
 		Trace:        cfg.Trace,
 		CheapCollect: cfg.CheapCollect,
+		Registers:    cfg.Registers,
 		MaxSteps:     cfg.MaxSteps,
 		Meter:        cfg.Meter,
 	}, progs...)
@@ -157,6 +162,7 @@ func NewLaneSession(cfg exec.Config, programs ...LaneProgram) (exec.BatchSession
 		Scheduler:    cfg.Scheduler,
 		Trace:        cfg.Trace,
 		CheapCollect: cfg.CheapCollect,
+		Registers:    cfg.Registers,
 		MaxSteps:     cfg.MaxSteps,
 		Meter:        cfg.Meter,
 	}, programs...)
@@ -224,6 +230,7 @@ func (backend) Run(cfg exec.Config, programs ...exec.Program) (*exec.Result, err
 		Seed:         cfg.Seed,
 		Trace:        cfg.Trace,
 		CheapCollect: cfg.CheapCollect,
+		Registers:    cfg.Registers,
 		Faults:       inj,
 		MaxSteps:     cfg.MaxSteps,
 		Context:      cfg.Context,

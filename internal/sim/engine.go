@@ -10,6 +10,7 @@ import (
 	"github.com/modular-consensus/modcon/internal/exec"
 	"github.com/modular-consensus/modcon/internal/fault"
 	"github.com/modular-consensus/modcon/internal/obs"
+	"github.com/modular-consensus/modcon/internal/register"
 	"github.com/modular-consensus/modcon/internal/sched"
 	"github.com/modular-consensus/modcon/internal/trace"
 	"github.com/modular-consensus/modcon/internal/value"
@@ -72,6 +73,19 @@ type Engine struct {
 	schedSrc xrand.Source
 	coinSrc  []xrand.Source
 	probSrc  []xrand.Source
+
+	// Register-semantics state, allocated only under register.Regular: semSrc
+	// is the shared schedule-ordered stream that resolves overlapping reads
+	// (derived by Reset only when needed, so atomic trials draw exactly the
+	// streams they always did), and invVal[pid] snapshots the target's value
+	// at the moment pid *invokes* a read. If the register changed by the time
+	// the read executes, the read overlapped a write and semSrc decides
+	// old-or-new. A write that restores the invocation value (ABA) counts as
+	// no overlap — the model tracks values, not write events, a deliberate
+	// modeling choice documented in ARCHITECTURE.md.
+	sem    register.Semantics
+	semSrc xrand.Source
+	invVal []value.Value
 
 	// baseCrashAt is the dense flattening of cfg.CrashAfter (maxInt =
 	// never); crashAt is the per-trial merge with the injector's
@@ -146,6 +160,14 @@ func NewEngine(cfg Config, programs ...Program) (*Engine, error) {
 	if maxSteps <= 0 {
 		maxSteps = DefaultMaxSteps
 	}
+	switch cfg.Registers {
+	case register.Atomic, register.Regular, register.Interposed:
+	default:
+		return nil, fmt.Errorf("sim: unknown register semantics %v", cfg.Registers)
+	}
+	// Stamp the model on the file so trace/error strings self-describe which
+	// semantics produced them (a no-op for atomic: names stay byte-identical).
+	cfg.File.SetSemantics(cfg.Registers)
 	eng := &Engine{
 		cfg:         cfg,
 		power:       cfg.Scheduler.MinPower(),
@@ -163,8 +185,12 @@ func NewEngine(cfg Config, programs ...Program) (*Engine, error) {
 		stalledBuf:  make([]bool, cfg.N),
 		meter:       cfg.Meter,
 		runnable:    make([]int, 0, cfg.N),
+		sem:         cfg.Registers,
 	}
-	eng.view = sched.View{Power: eng.power, N: cfg.N, Pending: make([]sched.Op, cfg.N)}
+	if cfg.Registers == register.Regular {
+		eng.invVal = make([]value.Value, cfg.N)
+	}
+	eng.view = sched.View{Power: eng.power, Semantics: cfg.Registers, N: cfg.N, Pending: make([]sched.Op, cfg.N)}
 	eng.result.Trace = cfg.Trace
 	// CrashAfter is consulted on every step; flatten the map into a dense
 	// per-pid limit (maxInt = never) so the hot path does one compare
@@ -302,6 +328,12 @@ func (eng *Engine) Reset(seed uint64, faults *fault.Injector) error {
 	for pid := 0; pid < eng.cfg.N; pid++ {
 		exec.ProcCoinsInto(&eng.coinSrc[pid], &eng.root, pid)
 		exec.ProcProbInto(&eng.probSrc[pid], &eng.root, pid)
+	}
+	// The semantics stream exists only under Regular; atomic trials derive
+	// exactly the streams they always did (Split never advances the parent,
+	// so skipping the derivation keeps them bit-identical).
+	if eng.sem == register.Regular {
+		exec.SemCoinsInto(&eng.semSrc, &eng.root)
 	}
 	// Clear per-trial process, result, trace, and view state.
 	for pid := range eng.procs {
@@ -497,6 +529,16 @@ func (rt *Engine) execute(pid int) {
 	switch req.kind {
 	case sched.OpRead:
 		resp.val = file.Load(req.reg)
+		if rt.sem == register.Regular && resp.val != rt.invVal[pid] {
+			// The register changed between this read's invocation and its
+			// execution: under regular semantics the read overlapped the
+			// write(s) and may legally return the old value. One coin from
+			// the shared schedule-ordered stream decides, so the outcome is
+			// a pure function of (schedule, seed).
+			if rt.semSrc.Bool() {
+				resp.val = rt.invVal[pid]
+			}
+		}
 	case sched.OpWrite:
 		file.Store(req.reg, req.val)
 	case sched.OpProbWrite:
@@ -619,6 +661,11 @@ func (rt *Engine) resume(pid int) {
 	p.pending = req
 	p.hasOp = true
 	p.parked = false
+	if rt.sem == register.Regular && req.kind == sched.OpRead {
+		// Snapshot the target at invocation time: the read's execution
+		// compares against this to detect an overlapping write.
+		rt.invVal[pid] = rt.cfg.File.Load(req.reg)
+	}
 }
 
 // restrictOp projects a pending request down to what rt.power permits the
@@ -652,6 +699,23 @@ func (rt *Engine) restrictOp(req request) sched.Op {
 		op.ProbNum, op.ProbDen = req.num, req.den
 	default:
 		panic(fmt.Sprintf("sim: unknown power %v", rt.power))
+	}
+	if rt.sem != register.Atomic {
+		// Non-atomic models surface the invocation/execution window to any
+		// adversary that may see operation kinds: a pending write is exactly
+		// the overlap a regular register lets a read exploit.
+		if rt.power != sched.Oblivious && (req.kind == sched.OpWrite || req.kind == sched.OpProbWrite) {
+			op.InFlight = true
+		}
+		if rt.sem == register.Interposed {
+			// The linearizable interposition blunts the adversary
+			// (Attiya–Enea–Welch): the contents of in-flight operations —
+			// pending write values and attempt probabilities — are hidden
+			// inside the implementation; only completed state (View.Memory)
+			// remains visible.
+			op.Val = value.None
+			op.ProbNum, op.ProbDen = 0, 0
+		}
 	}
 	return op
 }

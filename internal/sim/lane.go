@@ -210,6 +210,12 @@ func NewLaneEngine(cfg Config, programs ...LaneProgram) (*LaneEngine, error) {
 	if cfg.Trace != nil {
 		return nil, errors.New("sim: lane engines are traceless (use Engine for traced cells)")
 	}
+	if cfg.Registers != register.Atomic {
+		// Lanes are pinned bit-identical to the coroutine engine by the
+		// differential suite, which covers only the atomic model so far; the
+		// harness routes non-atomic cells to pooled Engine sessions instead.
+		return nil, fmt.Errorf("sim: lane engines support only atomic registers (got %v; use Engine for %v cells)", cfg.Registers, cfg.Registers)
+	}
 	switch len(programs) {
 	case cfg.N:
 		ps := make([]LaneProgram, cfg.N)

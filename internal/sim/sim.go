@@ -84,6 +84,18 @@ type Config struct {
 	// Env.Collect costs one operation. Otherwise Collect performs one read
 	// per register.
 	CheapCollect bool
+	// Registers selects the register consistency model (zero value
+	// register.Atomic — the paper's base model, bit-identical to the
+	// pre-semantics engine). Under register.Regular a read whose target was
+	// overwritten between the read's invocation (publication as a pending
+	// op) and its execution may return the pre-write value, chosen by a
+	// dedicated schedule-ordered coin stream; cheap collects remain atomic
+	// snapshots (the cheap-collect primitive is an atomic snapshot by
+	// definition, §6.2), while non-cheap collects inherit regularity from
+	// their individual reads. Under register.Interposed reads stay atomic
+	// but adversary views are blunted: pending operation values and
+	// probabilities are hidden from strong adversaries (Attiya–Enea–Welch).
+	Registers register.Semantics
 	// CrashAfter maps pid -> number of operations after which the process
 	// crashes (its last operation takes effect, but the process never
 	// observes the result and is never scheduled again).

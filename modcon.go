@@ -29,6 +29,12 @@ type (
 	Power = sched.Power
 	// Registers is a shared register file protocols allocate from.
 	Registers = register.File
+	// RegisterModel is a register consistency model: Atomic (the paper's
+	// base model, the default), Regular (a read overlapping a write may
+	// return either the old or the new value), or Interposed (a
+	// linearizable interposition that hides in-flight operation contents
+	// from strong adversaries). Select one with WithRegisters.
+	RegisterModel = register.Semantics
 	// Trace is a recorded execution.
 	Trace = trace.Log
 )
@@ -42,6 +48,24 @@ const (
 	ValueOblivious    = sched.ValueOblivious
 	LocationOblivious = sched.LocationOblivious
 	Adaptive          = sched.Adaptive
+)
+
+// Register consistency models (see RegisterModel and WithRegisters).
+const (
+	// Atomic registers linearize every operation at its execution step: a
+	// read returns exactly the latest completed write. This is the paper's
+	// base model and the default.
+	Atomic = register.Atomic
+	// Regular registers weaken reads that overlap a write: such a read may
+	// return either the old or the new value (Lamport's regularity). Both
+	// backends implement it; on Sim the old/new resolution is a
+	// deterministic function of the schedule and seed.
+	Regular = register.Regular
+	// Interposed registers are atomic registers behind a linearizable
+	// interposition that hides the contents of in-flight operations from
+	// the adversary, blunting value-aware scheduling attacks. Sim-only:
+	// the live backend has no adversary whose view could be blunted.
+	Interposed = register.Interposed
 )
 
 // Decide constructs a (1, v) decision.
@@ -86,4 +110,9 @@ var (
 	// NewAdaptiveSpoiler is a strong-adversary strategy that targets
 	// conflicting deterministic writes.
 	NewAdaptiveSpoiler = sched.NewAdaptiveSpoiler
+	// NewStaleReadAttack is a value-oblivious strategy that fires writes
+	// over registers with pending reads and then releases the reads — the
+	// interleaving under which regular registers (WithRegisters(file,
+	// Regular)) may return stale values that atomic registers forbid.
+	NewStaleReadAttack = sched.NewStaleReadAttack
 )

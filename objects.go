@@ -128,7 +128,7 @@ func Simulate(n int, file *Registers, s Scheduler, seed uint64, proc Proc, run .
 	default:
 		return nil, errors.New("modcon: pass at most one RunConfig")
 	}
-	if err := rc.Backend.validateOptions(s, rc.Traced); err != nil {
+	if err := rc.Backend.validateOptions(s, rc.Traced, rc.Registers); err != nil {
 		return nil, err
 	}
 	be, err := rc.Backend.impl()
@@ -141,7 +141,7 @@ func Simulate(n int, file *Registers, s Scheduler, seed uint64, proc Proc, run .
 	}
 	res, err := be.Run(exec.Config{
 		N: n, File: file, Scheduler: s, Seed: seed,
-		Trace: tr, CheapCollect: rc.CheapCollect,
+		Trace: tr, CheapCollect: rc.CheapCollect, Registers: rc.Registers,
 		Faults:   fault.Merge(rc.Faults, fault.FromCrashMap(rc.CrashAfter)),
 		MaxSteps: rc.MaxSteps,
 		Context:  rc.Context,

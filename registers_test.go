@@ -1,0 +1,132 @@
+package modcon
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestWithRegistersModels: the default is Atomic, an explicit model is
+// honored, and models a backend cannot implement are typed configuration
+// errors.
+func TestWithRegistersModels(t *testing.T) {
+	mk := func() (*Registers, Object) {
+		file := NewRegisters()
+		r, err := NewRatifier(file, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return file, r
+	}
+
+	// Atomic spelled out is the same as the default.
+	file, r := mk()
+	if _, err := Run(r,
+		WithRegisters(file, Atomic), WithN(2), WithInputs(1),
+		WithScheduler(NewRoundRobin()), WithSeed(1)); err != nil {
+		t.Fatalf("explicit Atomic: %v", err)
+	}
+
+	// Regular runs on both backends.
+	file, r = mk()
+	if _, err := Run(r,
+		WithRegisters(file, Regular), WithN(2), WithInputs(1),
+		WithScheduler(NewStaleReadAttack()), WithSeed(1)); err != nil {
+		t.Fatalf("Regular on sim: %v", err)
+	}
+	file, r = mk()
+	if _, err := Run(r,
+		WithBackend(Live), WithRegisters(file, Regular), WithN(2), WithInputs(1),
+		WithSeed(1)); err != nil {
+		t.Fatalf("Regular on live: %v", err)
+	}
+
+	// Interposed is sim-only: live rejects it with the unsupported sentinel.
+	file, r = mk()
+	if _, err := Run(r,
+		WithRegisters(file, Interposed), WithN(2), WithInputs(1),
+		WithScheduler(NewAdaptiveSpoiler()), WithSeed(1)); err != nil {
+		t.Fatalf("Interposed on sim: %v", err)
+	}
+	file, r = mk()
+	_, err := Run(r,
+		WithBackend(Live), WithRegisters(file, Interposed), WithN(2), WithInputs(1),
+		WithSeed(1))
+	if !errors.Is(err, ErrOptionUnsupported) {
+		t.Errorf("Interposed on live: err = %v, want ErrOptionUnsupported", err)
+	}
+
+	// A garbage model is a bad option, not silent atomic behavior.
+	file, r = mk()
+	_, err = Run(r,
+		WithRegisters(file, RegisterModel(99)), WithN(2), WithInputs(1),
+		WithScheduler(NewRoundRobin()))
+	if !errors.Is(err, ErrBadOption) {
+		t.Errorf("unknown model: err = %v, want ErrBadOption", err)
+	}
+}
+
+// TestRegularRegistersStaleRead is the public-API form of the separation
+// witness: under the stale-read attack a Regular register may hand a reader
+// the pre-write value for some seed, while Atomic always returns the new
+// value under the identical schedule.
+func TestRegularRegistersStaleRead(t *testing.T) {
+	run := func(model RegisterModel, seed uint64) Value {
+		file := NewRegisters()
+		r := file.Alloc1("x")
+		file.Init(r, 5)
+		res, err := Simulate(2, file, NewStaleReadAttack(), seed, func(e Env) Value {
+			if e.PID() == 0 {
+				return e.Read(r)
+			}
+			e.Write(r, 9)
+			return 0
+		}, RunConfig{Registers: model})
+		if err != nil {
+			t.Fatalf("%v seed %d: %v", model, seed, err)
+		}
+		return res.Outputs[0]
+	}
+
+	sawStale := false
+	for seed := uint64(0); seed < 64; seed++ {
+		if got := run(Atomic, seed); got != 9 {
+			t.Fatalf("atomic read = %s, want 9 (seed %d)", got, seed)
+		}
+		if got := run(Regular, seed); got == 5 {
+			sawStale = true
+		} else if got != 9 {
+			t.Fatalf("regular read = %s, want 5 or 9 (seed %d)", got, seed)
+		}
+	}
+	if !sawStale {
+		t.Error("no seed in [0,64) returned the stale value through the public API")
+	}
+}
+
+// TestConsensusSolveRegularRegisters: the full consensus stack accepts the
+// model through RunConfig and stays safe under it.
+func TestConsensusSolveRegularRegisters(t *testing.T) {
+	cons, err := NewBinary(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := cons.Solve([]Value{0, 1, 1, 0}, NewStaleReadAttack(), 3,
+		RunConfig{Registers: Regular})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Value != 0 && out.Value != 1 {
+		t.Fatalf("decided %s, want a valid input", out.Value)
+	}
+}
+
+// TestRegisterModelStrings pins the flag/manifest spellings.
+func TestRegisterModelStrings(t *testing.T) {
+	for model, want := range map[RegisterModel]string{
+		Atomic: "atomic", Regular: "regular", Interposed: "interposed",
+	} {
+		if got := model.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(model), got, want)
+		}
+	}
+}

@@ -92,6 +92,7 @@ func (f runOptionFunc) applyRun(c *runConfig) { f(c) }
 type runConfig struct {
 	n            int
 	file         *Registers
+	registers    RegisterModel
 	inputs       []Value
 	backend      Backend
 	scheduler    Scheduler
@@ -121,9 +122,22 @@ func WithN(n int) RunOption {
 }
 
 // WithRegisters names the register file the object or protocol was built
-// against (required: objects allocate their registers at construction).
-func WithRegisters(file *Registers) RunOption {
-	return runOptionFunc(func(c *runConfig) { c.file = file })
+// against (required: objects allocate their registers at construction) and,
+// optionally, the register consistency model the execution should honor:
+//
+//	WithRegisters(file)              // atomic registers (the default)
+//	WithRegisters(file, Regular)     // reads overlapping writes may be stale
+//	WithRegisters(file, Interposed)  // adversary-blunting interposition (Sim)
+//
+// Models a backend does not implement are rejected with
+// ErrOptionUnsupported; see RegisterModel for what each model means.
+func WithRegisters(file *Registers, model ...RegisterModel) RunOption {
+	return runOptionFunc(func(c *runConfig) {
+		c.file = file
+		if len(model) > 0 {
+			c.registers = model[len(model)-1]
+		}
+	})
 }
 
 // WithInputs sets per-process input values: one per process, or a single
@@ -300,7 +314,7 @@ func (c *runConfig) objectConfig() (harness.ObjectConfig, error) {
 	if c.backend == Sim && c.scheduler == nil {
 		return harness.ObjectConfig{}, fmt.Errorf("WithScheduler is required (the sim backend needs an explicit adversary; use WithBackend(Live) to run without one): %w", ErrBadOption)
 	}
-	if err := c.backend.validateOptions(c.scheduler, c.traced); err != nil {
+	if err := c.backend.validateOptions(c.scheduler, c.traced, c.registers); err != nil {
 		return harness.ObjectConfig{}, err
 	}
 	if len(c.inputs) == 0 {
@@ -319,6 +333,7 @@ func (c *runConfig) objectConfig() (harness.ObjectConfig, error) {
 		Seed:         c.seed,
 		Traced:       c.traced,
 		CheapCollect: c.cheapCollect,
+		Registers:    c.registers,
 		CrashAfter:   c.crashAfter,
 		Faults:       c.faults,
 		MaxSteps:     c.maxSteps,
