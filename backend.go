@@ -70,18 +70,27 @@ func (b Backend) impl() (exec.Backend, error) {
 // from deep inside a backend. Every error wraps a typed sentinel:
 // ErrBadOption for a missing requirement, ErrOptionUnsupported for an
 // option the backend cannot honor.
-func (b Backend) validateOptions(scheduler Scheduler, traced bool, registers RegisterModel) error {
+func (b Backend) validateOptions(scheduler Scheduler, power Power, traced bool, registers RegisterModel) error {
 	switch registers {
 	case Atomic, Regular, Interposed:
 	default:
 		return fmt.Errorf("unknown register model %d (use Atomic, Regular, or Interposed): %w", int(registers), ErrBadOption)
+	}
+	if power != 0 && (power < Oblivious || power > Adaptive) {
+		return fmt.Errorf("unknown adversary power class %d (use Oblivious, ValueOblivious, LocationOblivious, or Adaptive): %w", int(power), ErrBadOption)
 	}
 	switch b {
 	case Sim:
 		if scheduler == nil {
 			return fmt.Errorf("a scheduler is required: the %s backend needs an explicit adversary: %w", b, ErrBadOption)
 		}
+		if power != 0 && scheduler.MinPower() > power {
+			return fmt.Errorf("scheduler %q requires at least %s power, but WithPower caps the adversary at %s: %w", scheduler.Name(), scheduler.MinPower(), power, ErrBadOption)
+		}
 	case Live:
+		if power != 0 {
+			return fmt.Errorf("an adversary power cap is sim-only: the %s backend has no adversary whose information class could be capped: %w", b, ErrOptionUnsupported)
+		}
 		if scheduler != nil {
 			return fmt.Errorf("a scheduler is sim-only: the %s backend has no adversary control (the Go scheduler decides the interleaving): %w", b, ErrOptionUnsupported)
 		}

@@ -68,7 +68,7 @@ type coreReport struct {
 
 // runCoreCell executes exactly `steps` scheduled operations of the step-loop
 // workload under the given power and process count, tracing off.
-func runCoreCell(power sched.Power, n, steps int) error {
+func runCoreCell(power sched.Power, n, steps int, regs register.Semantics) error {
 	f := register.NewFile()
 	a := f.Alloc(n, "bench")
 	prog := func(e *sim.Env) value.Value {
@@ -82,6 +82,7 @@ func runCoreCell(power sched.Power, n, steps int) error {
 	res, err := sim.Run(sim.Config{
 		N: n, File: f, Seed: 1, MaxSteps: steps,
 		Scheduler: &benchSched{power: power, inner: sched.NewRoundRobin()},
+		Registers: regs,
 	}, prog)
 	if err != nil && !errors.Is(err, sim.ErrStepLimit) {
 		return err
@@ -95,14 +96,14 @@ func runCoreCell(power sched.Power, n, steps int) error {
 // measureCoreCell grows the step count until a run fills the time budget,
 // then reports the final run's per-step figures. Allocation counts are
 // process-wide malloc deltas; per-run setup is amortized by the step count.
-func measureCoreCell(power sched.Power, n int, budget time.Duration) (coreCell, error) {
+func measureCoreCell(power sched.Power, n int, budget time.Duration, regs register.Semantics) (coreCell, error) {
 	steps := 50_000
 	for {
 		runtime.GC()
 		var m0, m1 runtime.MemStats
 		runtime.ReadMemStats(&m0)
 		start := time.Now()
-		if err := runCoreCell(power, n, steps); err != nil {
+		if err := runCoreCell(power, n, steps, regs); err != nil {
 			return coreCell{}, err
 		}
 		elapsed := time.Since(start)
@@ -139,6 +140,9 @@ type benchOpts struct {
 	ScalingTrials  int
 	ScalingWorkers []int // nil = auto {1, 2, 4, …, NumCPU}
 	Seed           uint64
+	// Registers is the register model for every bench cell (step-loop and
+	// scaling); the manifest and the scaling section both attribute it.
+	Registers register.Semantics
 }
 
 // runBench runs the selected microbenchmark modes and writes one combined
@@ -148,8 +152,9 @@ func runBench(opts benchOpts) error {
 	manifest := obs.NewManifest("modcon-bench")
 	manifest.Seed = opts.Seed // step-loop cells always run sim.Config{Seed: 1}
 	manifest.Backend = "sim"
-	manifest.Registers = register.Atomic.String() // bench paths are atomic-only
+	manifest.Registers = opts.Registers.String()
 	manifest.Config = map[string]string{
+		"registers":       opts.Registers.String(),
 		"bench-out":       opts.Out,
 		"bench-budget":    opts.Budget.String(),
 		"bench-n":         intsCSV(opts.Ns),
@@ -171,7 +176,7 @@ func runBench(opts benchOpts) error {
 		}
 		for _, power := range powers {
 			for _, n := range opts.Ns {
-				cell, err := measureCoreCell(power, n, opts.Budget)
+				cell, err := measureCoreCell(power, n, opts.Budget, opts.Registers)
 				if err != nil {
 					return err
 				}
@@ -187,7 +192,7 @@ func runBench(opts benchOpts) error {
 		report.Trial = trial
 	}
 	if opts.Scaling {
-		scaling, err := runBenchScaling(opts.ScalingWorkers, opts.ScalingTrials, opts.Seed)
+		scaling, err := runBenchScaling(opts.ScalingWorkers, opts.ScalingTrials, opts.Seed, opts.Registers)
 		if err != nil {
 			return err
 		}

@@ -58,6 +58,9 @@ type scalingReport struct {
 	N             int    `json:"n"`
 	TrialsPerCell int    `json:"trialsPerCell"`
 	Seed          uint64 `json:"seed"`
+	// Registers is the register model every cell ran under; non-atomic
+	// models skip the lane engine but keep the same bit-identity contract.
+	Registers string `json:"registers"`
 	// IdenticalAggregates is true iff every cell produced the same digest —
 	// the bit-identity guarantee, pre-checked so consumers need not compare.
 	IdenticalAggregates bool          `json:"identicalAggregates"`
@@ -77,10 +80,13 @@ func scalingWorkerCounts() []int {
 
 // scalingSweep builds the workload spec: full binary consensus (impatient
 // conciliators, binary ratifiers, fast path) under the uniform-random
-// adversary, with the mixed-input pattern the experiments use. Build runs
-// once per pooled session — at most `workers` times per cell — and its cost
-// is amortized over every trial that session runs.
-func scalingSweep() harness.ProtocolSweep {
+// adversary, with the mixed-input pattern the experiments use, on the regs
+// register model. Build runs once per pooled session — at most `workers`
+// times per cell — and its cost is amortized over every trial that session
+// runs. Non-atomic models are not lane-eligible, so those cells route
+// through the pooled per-trial path; the aggregates stay bit-identical at
+// any worker count either way.
+func scalingSweep(regs register.Semantics) harness.ProtocolSweep {
 	return harness.ProtocolSweep{
 		Build: func() (*core.Protocol, harness.ObjectConfig) {
 			file := register.NewFile()
@@ -99,6 +105,7 @@ func scalingSweep() harness.ProtocolSweep {
 				N: scalingN, File: file,
 				Inputs:    []value.Value{0},
 				Scheduler: sched.NewUniformRandom(),
+				Registers: regs,
 			}
 		},
 		Inputs: func(tr harness.Trial) []value.Value {
@@ -114,7 +121,7 @@ func scalingSweep() harness.ProtocolSweep {
 // runScalingCell runs the sweep at one worker count and folds the aggregate
 // histograms. GOMAXPROCS is pinned to the worker count for the cell so the
 // curve reflects CPU parallelism, not just pool width.
-func runScalingCell(workers, trials int, seed uint64) (scalingCell, error) {
+func runScalingCell(workers, trials int, seed uint64, regs register.Semantics) (scalingCell, error) {
 	prev := runtime.GOMAXPROCS(workers)
 	defer runtime.GOMAXPROCS(prev)
 	// Read the pin back inside the region so the cell records the setting it
@@ -129,7 +136,7 @@ func runScalingCell(workers, trials int, seed uint64) (scalingCell, error) {
 	start := time.Now()
 	err := harness.SweepProtocol(
 		harness.Sweep{Trials: trials, Workers: workers, Seed: seed},
-		scalingSweep(),
+		scalingSweep(regs),
 		func(tr harness.Trial, run *harness.ProtocolRun) {
 			steps.AddInt(run.Result.TotalWork)
 			work.AddInt(run.Result.MaxIndividualWork())
@@ -177,10 +184,10 @@ func scalingDigest(steps, work *obs.Hist, decided int) (string, error) {
 // runBenchScaling sweeps the worker counts (explicit list, or the powers of
 // two up to NumCPU) and assembles the report. Worker counts above NumCPU
 // are legal — oversubscription still must not move the aggregates.
-func runBenchScaling(workerCounts []int, trials int, seed uint64) (*scalingReport, error) {
+func runBenchScaling(workerCounts []int, trials int, seed uint64, regs register.Semantics) (*scalingReport, error) {
 	// Pre-flight: surface a protocol-construction error as an error here so
 	// the Build closure's panic is unreachable.
-	spec := scalingSweep()
+	spec := scalingSweep(regs)
 	if _, cfg := spec.Build(); cfg.N != scalingN {
 		return nil, fmt.Errorf("bench-scaling: workload built with n=%d, want %d", cfg.N, scalingN)
 	}
@@ -193,10 +200,11 @@ func runBenchScaling(workerCounts []int, trials int, seed uint64) (*scalingRepor
 		N:                   scalingN,
 		TrialsPerCell:       trials,
 		Seed:                seed,
+		Registers:           regs.String(),
 		IdenticalAggregates: true,
 	}
 	for _, w := range workerCounts {
-		cell, err := runScalingCell(w, trials, seed)
+		cell, err := runScalingCell(w, trials, seed, regs)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,6 @@
 // Command modcon-bench regenerates the paper's quantitative claims.
 //
-// Each experiment (E1–E21, see DESIGN.md §3 and EXPERIMENTS.md) sweeps the
+// Each experiment (E1–E22, see DESIGN.md §3 and EXPERIMENTS.md) sweeps the
 // relevant parameter, runs many simulated executions per cell on the
 // parallel trial engine, and prints a table comparing measurements against
 // the corresponding theorem.
@@ -45,6 +45,14 @@
 //	                             # stdout; spread shards across machines and
 //	                             # reassemble with -merge-shards)
 //	modcon-bench -merge-shards a.json,b.json  # merge saved shard artifacts
+//	modcon-bench -search         # search the parametric scheduler family for
+//	                             # a worst-case adversary and print a JSON
+//	                             # artifact with full provenance (see
+//	                             # -search-power, -search-algo,
+//	                             # -search-objective, -search-budget,
+//	                             # -search-trials)
+//	modcon-bench -search-replay 'adv:…'  # re-evaluate a found adversary
+//	                             # config; bit-identical at any -workers
 //
 // Results are deterministic in (-seed, -trials) and independent of
 // -workers: trial seeds are derived per-trial and results are merged in
@@ -88,7 +96,7 @@ func run(args []string) error {
 		workers  = fs.Int("workers", 0, "concurrent trials per cell (0 = GOMAXPROCS; results identical at any value)")
 		timeout  = fs.Duration("timeout", 0, "wall-clock budget; in-flight executions are cancelled when it expires (0 = none)")
 		failFast = fs.Bool("fail-fast", false, "stop fault sweeps (E20) at the first safety violation")
-		regModel = fs.String("registers", "atomic", "register consistency model for every consensus sweep: atomic, regular, or interposed (sim-only); E21 sweeps the models itself and ignores this")
+		regModel = fs.String("registers", "atomic", "register consistency model for every consensus sweep, including the -shards/-shard-run workload and the -bench-core/-bench-scaling cells: atomic, regular, or interposed (sim-only); E21 sweeps the models itself and ignores this")
 		progress = fs.Duration("progress", 0, "stream progress snapshots to stderr at this interval (0 = off)")
 		markdown = fs.Bool("markdown", false, "emit markdown instead of aligned text")
 		jsonOut  = fs.Bool("json", false, "emit a JSON object with a run manifest and the completed tables")
@@ -109,9 +117,24 @@ func run(args []string) error {
 		shards      = fs.Int("shards", 0, "fan the consensus sweep out over this many shard subprocesses and print the merged artifact (-trials is the full seed space; 0 = off)")
 		shardRun    = fs.String("shard-run", "", "run one shard i/M of the consensus sweep and print its artifact (used by -shards; usable by hand across machines)")
 		mergeShards = fs.String("merge-shards", "", "comma-separated shard artifact files to merge into one normalized report")
+
+		search          = fs.Bool("search", false, "search the parametric scheduler family for a worst-case adversary and print a JSON artifact (see the -search-* flags)")
+		searchPower     = fs.String("search-power", "value-oblivious", "adversary power class to search: oblivious, value-oblivious, location-oblivious, or adaptive")
+		searchAlgo      = fs.String("search-algo", "evolve", "search algorithm: random, evolve, or halving")
+		searchObjective = fs.String("search-objective", "work", "search objective: work (mean total work) or violations (safety-violation rate)")
+		searchBudget    = fs.Int("search-budget", 0, "total trial budget for the search (0 = 96 evaluations' worth of -search-trials)")
+		searchTrials    = fs.Int("search-trials", 48, "trials per candidate evaluation")
+		searchReplay    = fs.String("search-replay", "", "re-evaluate this parametric scheduler config instead of searching (bit-identical at any -workers)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// Every mode below — experiments, shard fan-out, bench baselines —
+	// honors -registers, parsed once so the manifests all attribute the
+	// same effective model.
+	registers, err := register.ParseSemantics(*regModel)
+	if err != nil {
+		return fmt.Errorf("-registers: %w", err)
 	}
 
 	// Profiling wraps whichever mode runs — the experiment loop or the
@@ -133,12 +156,25 @@ func run(args []string) error {
 		}
 		switch {
 		case *shardRun != "":
-			return runShardRun(*shardRun, total, *seed, *workers)
+			return runShardRun(*shardRun, total, *seed, *workers, registers)
 		case *mergeShards != "":
 			return runMergeShards(*mergeShards)
 		default:
-			return runShardFanout(*shards, total, *seed, *workers)
+			return runShardFanout(*shards, total, *seed, *workers, registers)
 		}
+	}
+
+	if *search || *searchReplay != "" {
+		return runSearch(searchFlags{
+			Power:     *searchPower,
+			Algo:      *searchAlgo,
+			Objective: *searchObjective,
+			Budget:    *searchBudget,
+			Trials:    *searchTrials,
+			Replay:    *searchReplay,
+			Seed:      *seed,
+			Workers:   *workers,
+		}, registers)
 	}
 
 	if *benchCore || *benchScaling {
@@ -161,6 +197,7 @@ func run(args []string) error {
 			ScalingTrials:  *scalingTrials,
 			ScalingWorkers: sw,
 			Seed:           *seed,
+			Registers:      registers,
 		})
 	}
 
@@ -204,10 +241,6 @@ func run(args []string) error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
-	}
-	registers, err := register.ParseSemantics(*regModel)
-	if err != nil {
-		return fmt.Errorf("-registers: %w", err)
 	}
 	cfg := exp.Config{Trials: *trials, Seed: *seed, Workers: *workers, Ctx: ctx, FailFast: *failFast, Registers: registers}
 	if *progress > 0 {

@@ -1,0 +1,113 @@
+package main
+
+// -search mode contract: the artifact carries full provenance, the winner
+// round-trips through the codec, and a replay of any config is bit-identical
+// across worker counts (the property the reproduction workflow rests on).
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/modular-consensus/modcon/internal/advsearch"
+	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/sched"
+)
+
+// searchOnce runs the engine directly against the CLI's workload target,
+// the same call path runSearch takes minus the JSON encoder.
+func searchOnce(t *testing.T, workers int) *advsearch.Report {
+	t.Helper()
+	rep, err := advsearch.Search(searchTarget(register.Atomic), advsearch.Options{
+		Power: sched.ValueOblivious, Budget: 48, TrialsPerEval: 8,
+		Seed: 5, Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestSearchTargetWinnerRoundTrips(t *testing.T) {
+	rep := searchOnce(t, 0)
+	if rep.Winner == nil {
+		t.Fatal("no winner on the benign CLI workload")
+	}
+	if !configRoundTrips(rep.Winner.Config) {
+		t.Fatalf("winner config %q does not round-trip", rep.Winner.Config)
+	}
+	if configRoundTrips("not-a-config") {
+		t.Fatal("roundTrip accepted garbage")
+	}
+}
+
+func TestSearchDeterministicAcrossWorkerCounts(t *testing.T) {
+	a, err := json.Marshal(searchOnce(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(searchOnce(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("search reports differ across worker counts:\n%s\n%s", a, b)
+	}
+}
+
+// TestSearchManifestProvenance: every flag that affects the result is
+// echoed in the manifest config, so the artifact reproduces itself.
+func TestSearchManifestProvenance(t *testing.T) {
+	flags := searchFlags{
+		Power: "location-oblivious", Algo: "halving", Objective: "violations",
+		Seed: 7, Workers: 3,
+	}
+	m := searchManifest(flags, register.Regular, 384, 48)
+	want := map[string]string{
+		"search":           "true",
+		"search-power":     "location-oblivious",
+		"search-algo":      "halving",
+		"search-objective": "violations",
+		"search-budget":    "384",
+		"search-trials":    "48",
+		"search-replay":    "",
+		"seed":             "7",
+		"workers":          "3",
+		"registers":        "regular",
+	}
+	for k, v := range want {
+		if m.Config[k] != v {
+			t.Errorf("manifest config[%q] = %q, want %q", k, m.Config[k], v)
+		}
+	}
+	if m.Registers != "regular" || m.Seed != 7 {
+		t.Errorf("manifest top-level fields off: %+v", m)
+	}
+	// Defaults fill in when the flag strings are empty.
+	m = searchManifest(searchFlags{}, register.Atomic, 8, 8)
+	if m.Config["search-algo"] != "evolve" || m.Config["search-objective"] != "work" {
+		t.Errorf("default algo/objective not stamped: %+v", m.Config)
+	}
+}
+
+// TestSearchReplayMatchesSearchEval: replaying the winner config through
+// EvaluateScheduler at the same seed reproduces the search's numbers.
+func TestSearchReplayMatchesSearchEval(t *testing.T) {
+	rep := searchOnce(t, 2)
+	if rep.Winner == nil {
+		t.Fatal("no winner")
+	}
+	opts := advsearch.Options{
+		Power: sched.ValueOblivious, Budget: 48, TrialsPerEval: 8, Seed: 5,
+	}
+	config := rep.Winner.Config
+	ev := advsearch.EvaluateScheduler(searchTarget(register.Atomic), opts, config,
+		func() (sched.Scheduler, error) { return sched.NewParametricFromString(config) })
+	if ev.Score != rep.Winner.Score {
+		t.Fatalf("replay score %v != search score %v", ev.Score, rep.Winner.Score)
+	}
+	aw, _ := json.Marshal(ev.Work)
+	bw, _ := json.Marshal(rep.Winner.Work)
+	if string(aw) != string(bw) {
+		t.Fatalf("replay work hist differs:\n%s\n%s", aw, bw)
+	}
+}

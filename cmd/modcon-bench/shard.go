@@ -50,11 +50,15 @@ type shardReport struct {
 	N        int          `json:"n"`
 	// Trials is the size of the FULL seed space, which every shard of a run
 	// shares; the shard's own share is Shard.Hi - Shard.Lo.
-	Trials int        `json:"trials"`
-	Seed   uint64     `json:"seed"`
-	Shard  shardSlice `json:"shard"`
-	Steps  *obs.Hist  `json:"steps"`
-	Work   *obs.Hist  `json:"work"`
+	Trials int    `json:"trials"`
+	Seed   uint64 `json:"seed"`
+	// Registers is the register model the shard's sweep ran under; shards of
+	// one run must agree on it, and the merge refuses mixed-model inputs.
+	// Empty (an artifact predating the field) normalizes to atomic.
+	Registers string     `json:"registers"`
+	Shard     shardSlice `json:"shard"`
+	Steps     *obs.Hist  `json:"steps"`
+	Work      *obs.Hist  `json:"work"`
 	// Decided counts trials where all n processes decided.
 	Decided int `json:"decided"`
 	// Digest is scalingDigest over (Steps, Work, Decided) — the same hash the
@@ -72,13 +76,13 @@ func shardSpan(index, of, trials int) (lo, hi int) {
 // returns the shard artifact. The sweep routes through the lane engine (the
 // workload is lane-eligible), but Offset guarantees the same aggregates on
 // any path.
-func runShardSlice(index, of, trials int, seed uint64, workers int) (*shardReport, error) {
+func runShardSlice(index, of, trials int, seed uint64, workers int, regs register.Semantics) (*shardReport, error) {
 	lo, hi := shardSpan(index, of, trials)
 	var steps, work obs.Hist
 	decided := 0
 	err := harness.SweepProtocol(
 		harness.Sweep{Trials: hi - lo, Offset: lo, Workers: workers, Seed: seed},
-		scalingSweep(),
+		scalingSweep(regs),
 		func(tr harness.Trial, run *harness.ProtocolRun) {
 			steps.AddInt(run.Result.TotalWork)
 			work.AddInt(run.Result.MaxIndividualWork())
@@ -96,24 +100,26 @@ func runShardSlice(index, of, trials int, seed uint64, workers int) (*shardRepor
 	manifest := obs.NewManifest("modcon-bench")
 	manifest.Seed = seed
 	manifest.Backend = "sim"
-	manifest.Registers = register.Atomic.String() // the sharded sweep is atomic-only
+	manifest.Registers = regs.String()
 	manifest.Config = map[string]string{
-		"shard":   fmt.Sprintf("%d/%d", index, of),
-		"trials":  fmt.Sprint(trials),
-		"seed":    fmt.Sprint(seed),
-		"workers": fmt.Sprint(workers),
+		"shard":     fmt.Sprintf("%d/%d", index, of),
+		"trials":    fmt.Sprint(trials),
+		"seed":      fmt.Sprint(seed),
+		"workers":   fmt.Sprint(workers),
+		"registers": regs.String(),
 	}
 	return &shardReport{
-		Manifest: manifest,
-		Workload: "consensus-sweep",
-		N:        scalingN,
-		Trials:   trials,
-		Seed:     seed,
-		Shard:    shardSlice{Index: index, Of: of, Lo: lo, Hi: hi},
-		Steps:    &steps,
-		Work:     &work,
-		Decided:  decided,
-		Digest:   digest,
+		Manifest:  manifest,
+		Workload:  "consensus-sweep",
+		N:         scalingN,
+		Trials:    trials,
+		Seed:      seed,
+		Registers: regs.String(),
+		Shard:     shardSlice{Index: index, Of: of, Lo: lo, Hi: hi},
+		Steps:     &steps,
+		Work:      &work,
+		Decided:   decided,
+		Digest:    digest,
 	}, nil
 }
 
@@ -138,6 +144,14 @@ func mergeShardReports(reports []*shardReport) (*shardReport, error) {
 	})
 
 	first := sorted[0]
+	// Artifacts predating the registers field carry ""; normalize to atomic
+	// (what those runs actually were) before the consistency check.
+	regsOf := func(r *shardReport) string {
+		if r.Registers == "" {
+			return register.Atomic.String()
+		}
+		return r.Registers
+	}
 	var steps, work obs.Hist
 	decided := 0
 	at := 0
@@ -145,6 +159,10 @@ func mergeShardReports(reports []*shardReport) (*shardReport, error) {
 		if r.Workload != first.Workload || r.N != first.N || r.Trials != first.Trials || r.Seed != first.Seed {
 			return nil, fmt.Errorf("merge-shards: shard %d/%d is from a different run (workload/n/trials/seed mismatch)",
 				r.Shard.Index, r.Shard.Of)
+		}
+		if regsOf(r) != regsOf(first) {
+			return nil, fmt.Errorf("merge-shards: shard %d/%d ran on %s registers, others on %s",
+				r.Shard.Index, r.Shard.Of, regsOf(r), regsOf(first))
 		}
 		if r.Shard.Lo != at {
 			return nil, fmt.Errorf("merge-shards: slices do not tile the seed space: want a shard starting at %d, got [%d,%d)",
@@ -168,23 +186,25 @@ func mergeShardReports(reports []*shardReport) (*shardReport, error) {
 	manifest := obs.NewManifest("modcon-bench")
 	manifest.Seed = first.Seed
 	manifest.Backend = "sim"
-	manifest.Registers = register.Atomic.String()
+	manifest.Registers = regsOf(first)
 	manifest.Config = map[string]string{
 		"merged-shards": fmt.Sprint(len(reports)),
 		"trials":        fmt.Sprint(first.Trials),
 		"seed":          fmt.Sprint(first.Seed),
+		"registers":     regsOf(first),
 	}
 	return &shardReport{
-		Manifest: manifest,
-		Workload: first.Workload,
-		N:        first.N,
-		Trials:   first.Trials,
-		Seed:     first.Seed,
-		Shard:    shardSlice{Index: 0, Of: 1, Lo: 0, Hi: first.Trials},
-		Steps:    &steps,
-		Work:     &work,
-		Decided:  decided,
-		Digest:   digest,
+		Manifest:  manifest,
+		Workload:  first.Workload,
+		N:         first.N,
+		Trials:    first.Trials,
+		Seed:      first.Seed,
+		Registers: regsOf(first),
+		Shard:     shardSlice{Index: 0, Of: 1, Lo: 0, Hi: first.Trials},
+		Steps:     &steps,
+		Work:      &work,
+		Decided:   decided,
+		Digest:    digest,
 	}, nil
 }
 
@@ -211,12 +231,12 @@ func parseShardRef(s string) (index, of int, err error) {
 // artifact. It exists for the fan-out below to invoke, but is equally usable
 // by hand for spreading shards across machines (save each shard's stdout,
 // then -merge-shards the files).
-func runShardRun(ref string, trials int, seed uint64, workers int) error {
+func runShardRun(ref string, trials int, seed uint64, workers int, regs register.Semantics) error {
 	index, of, err := parseShardRef(ref)
 	if err != nil {
 		return err
 	}
-	report, err := runShardSlice(index, of, trials, seed, workers)
+	report, err := runShardSlice(index, of, trials, seed, workers, regs)
 	if err != nil {
 		return err
 	}
@@ -229,7 +249,7 @@ func runShardRun(ref string, trials int, seed uint64, workers int) error {
 // the merge of a single full-space shard, so the output schema — and, by the
 // determinism contract, every byte outside the manifest — is independent
 // of M.
-func runShardFanout(shards, trials int, seed uint64, workers int) error {
+func runShardFanout(shards, trials int, seed uint64, workers int, regs register.Semantics) error {
 	if shards < 1 {
 		return fmt.Errorf("-shards: want ≥ 1, got %d", shards)
 	}
@@ -253,7 +273,8 @@ func runShardFanout(shards, trials int, seed uint64, workers int) error {
 				"-shard-run", fmt.Sprintf("%d/%d", i, shards),
 				"-trials", fmt.Sprint(trials),
 				"-seed", fmt.Sprint(seed),
-				"-workers", fmt.Sprint(workers))
+				"-workers", fmt.Sprint(workers),
+				"-registers", regs.String())
 			cmd.Stderr = os.Stderr
 			out, err := cmd.Output()
 			if err != nil {

@@ -13,6 +13,7 @@ import (
 
 	"github.com/modular-consensus/modcon/internal/harness"
 	"github.com/modular-consensus/modcon/internal/obs"
+	"github.com/modular-consensus/modcon/internal/register"
 )
 
 // reportKey flattens the determinism-relevant fields of a report — the
@@ -56,7 +57,7 @@ func TestShardSpanTiles(t *testing.T) {
 func TestShardMergeMatchesSingleRun(t *testing.T) {
 	const trials = 48
 	const seed = 9
-	full, err := runShardSlice(0, 1, trials, seed, 2)
+	full, err := runShardSlice(0, 1, trials, seed, 2, register.Atomic)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestShardMergeMatchesSingleRun(t *testing.T) {
 	for _, m := range []int{2, 3, 5} {
 		reports := make([]*shardReport, m)
 		for i := 0; i < m; i++ {
-			if reports[i], err = runShardSlice(i, m, trials, seed, 1); err != nil {
+			if reports[i], err = runShardSlice(i, m, trials, seed, 1, register.Atomic); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -103,6 +104,12 @@ func TestShardMergeRejectsBadTilings(t *testing.T) {
 		{"short", []*shardReport{mk(0, 8, 10, 1)}},
 		{"mixed-seed", []*shardReport{mk(0, 5, 10, 1), mk(5, 10, 10, 2)}},
 		{"mixed-trials", []*shardReport{mk(0, 5, 10, 1), mk(5, 12, 12, 1)}},
+		{"mixed-registers", func() []*shardReport {
+			a, b := mk(0, 5, 10, 1), mk(5, 10, 10, 1)
+			a.Registers = "atomic"
+			b.Registers = "regular"
+			return []*shardReport{a, b}
+		}()},
 	}
 	for _, tc := range cases {
 		if _, err := mergeShardReports(tc.reports); err == nil {
@@ -184,4 +191,69 @@ func FuzzShardMerge(f *testing.F) {
 			t.Fatalf("hist merge is grouping-sensitive:\n ltr %s\n rtl %s", lb, rb)
 		}
 	})
+}
+
+// TestShardRegistersAttributionAndMerge: a shard run on regular registers
+// stamps the model into its artifact and manifest, merging same-model
+// shards preserves the attribution, and the regular-model aggregates
+// genuinely differ from atomic (the stale-read resolution changes
+// schedules' outcomes, so identical digests would mean the flag was
+// dropped on the floor).
+func TestShardRegistersAttributionAndMerge(t *testing.T) {
+	const trials = 32
+	const seed = 9
+	atomic, err := runShardSlice(0, 1, trials, seed, 2, register.Atomic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regular, err := runShardSlice(0, 1, trials, seed, 2, register.Regular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atomic.Registers != "atomic" || regular.Registers != "regular" {
+		t.Fatalf("attribution: atomic=%q regular=%q", atomic.Registers, regular.Registers)
+	}
+	if regular.Manifest.Registers != "regular" || regular.Manifest.Config["registers"] != "regular" {
+		t.Fatalf("manifest attribution: %q / %q", regular.Manifest.Registers, regular.Manifest.Config["registers"])
+	}
+	if atomic.Digest == regular.Digest {
+		t.Fatal("atomic and regular runs produced identical digests — the register model is not reaching the sweep")
+	}
+
+	// Sharded regular-model runs must merge to the unsharded regular run.
+	base, err := mergeShardReports([]*shardReport{regular})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Registers != "regular" {
+		t.Fatalf("merged attribution %q", base.Registers)
+	}
+	parts := make([]*shardReport, 3)
+	for i := range parts {
+		if parts[i], err = runShardSlice(i, 3, trials, seed, 1, register.Regular); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := mergeShardReports(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := reportKey(t, merged), reportKey(t, base); got != want {
+		t.Errorf("regular-model shard merge diverged from the single-shard run\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestShardMergeNormalizesLegacyRegisters: artifacts predating the
+// registers field (empty string) merge as atomic rather than erroring.
+func TestShardMergeNormalizesLegacyRegisters(t *testing.T) {
+	legacy := synthShard(t, 0, 5, 10, 1) // Registers left ""
+	tagged := synthShard(t, 5, 10, 10, 1)
+	tagged.Registers = "atomic"
+	merged, err := mergeShardReports([]*shardReport{legacy, tagged})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Registers != "atomic" {
+		t.Fatalf("legacy merge attribution %q, want atomic", merged.Registers)
+	}
 }

@@ -242,6 +242,11 @@ type RunConfig struct {
 	// Registers selects the register consistency model (zero value Atomic;
 	// see RegisterModel). Interposed is Sim-only.
 	Registers RegisterModel
+	// Power caps the adversary information class (zero value: no cap, the
+	// scheduler runs at its declared MinPower). A scheduler whose MinPower
+	// exceeds the cap is rejected with ErrBadOption; Live rejects any cap
+	// with ErrOptionUnsupported. See WithPower for the option-form knob.
+	Power Power
 	// CrashAfter crashes pid after its given operation count (legacy sugar
 	// for a plan of crash faults; merged with Faults, smaller threshold
 	// wins).
@@ -332,7 +337,7 @@ func (c *Consensus) Solve(inputs []Value, s Scheduler, seed uint64, run ...RunCo
 	default:
 		return nil, errors.New("modcon: pass at most one RunConfig")
 	}
-	if err := rc.Backend.validateOptions(s, rc.Traced, rc.Registers); err != nil {
+	if err := rc.Backend.validateOptions(s, rc.Power, rc.Traced, rc.Registers); err != nil {
 		return nil, err
 	}
 	be, err := rc.Backend.impl()
@@ -426,7 +431,7 @@ func (c *Consensus) Sweep(trials int, newSched func() Scheduler, inputs func(t T
 	if newSched != nil {
 		probe = newSched()
 	}
-	if err := rc.backend.validateOptions(probe, rc.traced, rc.registers); err != nil {
+	if err := rc.backend.validateOptions(probe, rc.power, rc.traced, rc.registers); err != nil {
 		return err
 	}
 	be, err := rc.backend.impl()

@@ -1,0 +1,395 @@
+// Package advsearch synthesizes worst-case adversaries: a budgeted
+// black-box search over the parametric scheduler family (sched.Parametric)
+// that evaluates candidates on the robust trial engine and reports the
+// strongest adversary it found as a canonical config text any run can
+// replay.
+//
+// The search treats the protocol as a black box. A candidate is one point
+// in the parametric family — a base policy plus weights, phases, and
+// condition→action rules, all drawn from the feature pools of one declared
+// power class — and its fitness is measured by sweeping it over many
+// seeded trials and scoring the objective (mean total work, or the safety
+// violation rate). Three budget-bounded algorithms are provided: pure
+// random sampling, a (1+λ) evolutionary loop, and a successive-halving
+// bandit that spends few trials on many candidates and many trials on few.
+//
+// Graceful degradation is part of the contract, not an afterthought: every
+// candidate runs under harness.SweepProtocolRobust with a per-trial
+// deadline, panic containment, and bounded retries, so a candidate whose
+// scheduler panics, stalls, or cannot even be constructed scores worst and
+// is quarantined into the report instead of killing the search.
+//
+// Determinism: candidate generation and mutation draw from a single
+// xrand stream derived from Options.Seed, evaluations happen sequentially
+// on the calling goroutine (parallelism lives inside each sweep, whose
+// aggregates are bit-identical at any worker count), and reports carry no
+// wall-clock fields — so the same seed and budget reproduce the same
+// winner config and the same report bytes at any Options.Workers. The one
+// documented exception is shared with the harness: quarantine by deadline
+// timeout depends on wall time, and only pathological candidates (which
+// the real parametric family cannot express) ever reach it.
+package advsearch
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/modular-consensus/modcon/internal/core"
+	"github.com/modular-consensus/modcon/internal/harness"
+	"github.com/modular-consensus/modcon/internal/obs"
+	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/sched"
+	"github.com/modular-consensus/modcon/internal/value"
+)
+
+// Objective selects what the search maximizes.
+type Objective string
+
+const (
+	// MaximizeWork maximizes the mean total work per execution — the
+	// paper's complexity measure, and the natural fitness for adversaries
+	// attacking expected-work bounds.
+	MaximizeWork Objective = "work"
+	// MaximizeViolations maximizes the fraction of trials whose online
+	// safety monitor observed an agreement or validity violation. Against a
+	// correct protocol every candidate scores zero; a non-zero winner is a
+	// found bug, reproducible from its config and the trial seeds.
+	MaximizeViolations Objective = "violations"
+)
+
+// Algo selects the search algorithm.
+type Algo string
+
+const (
+	// AlgoRandom evaluates independent random candidates until the budget
+	// is spent.
+	AlgoRandom Algo = "random"
+	// AlgoEvolve runs a (1+λ) evolutionary loop: λ mutants per round, the
+	// best strictly-improving child replaces the parent. A quarantined
+	// parent restarts from a fresh random candidate.
+	AlgoEvolve Algo = "evolve"
+	// AlgoHalving runs a successive-halving bandit: a wide pool evaluated
+	// at few trials per candidate, the top 1/η survivors re-evaluated at η
+	// times the trials, until one candidate (or the budget) remains.
+	AlgoHalving Algo = "halving"
+)
+
+// Target is the protocol cell the search attacks. It deliberately does not
+// know about the experiment suite: callers (internal/exp, cmd/modcon-bench)
+// adapt their cells to this shape.
+type Target struct {
+	// Name labels the target in reports (e.g. "binary-consensus/n=8").
+	Name string
+	// N is the process count.
+	N int
+	// Registers is the register model trials run under (zero = Atomic).
+	Registers register.Semantics
+	// MaxSteps bounds each execution (0 = a generous default); executions
+	// the limit cuts down score at the cap under MaximizeWork.
+	MaxSteps int
+	// Build constructs a fresh protocol and its register file — called once
+	// per pooled session, like harness.ProtocolSweep.Build.
+	Build func() (*core.Protocol, *register.File)
+	// Inputs optionally varies inputs per trial (nil keeps a fixed
+	// all-zero assignment).
+	Inputs func(t harness.Trial) []value.Value
+}
+
+// defaultMaxSteps bounds an execution when the target does not: generous
+// enough that only a genuinely degenerate schedule hits it.
+const defaultMaxSteps = 1 << 20
+
+func (t Target) maxSteps() int {
+	if t.MaxSteps > 0 {
+		return t.MaxSteps
+	}
+	return defaultMaxSteps
+}
+
+// Options tunes a search. The zero value is not runnable: Power and Budget
+// are required.
+type Options struct {
+	// Algo is the search algorithm (empty = AlgoEvolve).
+	Algo Algo
+	// Objective is the fitness (empty = MaximizeWork).
+	Objective Objective
+	// Power is the adversary class searched within; candidate features are
+	// drawn only from this class's condition/action pools, and every
+	// candidate declares exactly this power. Required.
+	Power sched.Power
+	// Budget is the total number of trials the search may spend, across
+	// all candidate evaluations. Every evaluation charges TrialsPerEval
+	// against it — including evaluations quarantined before running, so a
+	// pathological candidate stream still terminates. Required.
+	Budget int
+	// TrialsPerEval is the sweep size of one candidate evaluation
+	// (0 = 16). Halving uses it as the lowest rung.
+	TrialsPerEval int
+	// Seed derives both the candidate-generation stream and the per-trial
+	// seeds (harness.TrialSeed), making the whole search reproducible.
+	Seed uint64
+	// Workers is the sweep parallelism per evaluation (0 = GOMAXPROCS).
+	// It cannot affect results, only wall time.
+	Workers int
+	// Deadline is the per-trial watchdog (0 = 5s). Candidates with a
+	// timed-out trial are quarantined.
+	Deadline time.Duration
+	// Lambda is AlgoEvolve's children per round (0 = 4).
+	Lambda int
+	// Eta is AlgoHalving's elimination factor (0 = 3).
+	Eta int
+	// NewScheduler builds a candidate's scheduler from its config text
+	// (nil = sched.NewParametricFromString). The injection seam the
+	// degradation tests use to plant panicking or stalling candidates.
+	NewScheduler func(config string) (sched.Scheduler, error)
+}
+
+func (o Options) algo() Algo {
+	if o.Algo == "" {
+		return AlgoEvolve
+	}
+	return o.Algo
+}
+
+func (o Options) objective() Objective {
+	if o.Objective == "" {
+		return MaximizeWork
+	}
+	return o.Objective
+}
+
+func (o Options) trialsPerEval() int {
+	if o.TrialsPerEval <= 0 {
+		return 16
+	}
+	return o.TrialsPerEval
+}
+
+func (o Options) deadline() time.Duration {
+	if o.Deadline <= 0 {
+		return 5 * time.Second
+	}
+	return o.Deadline
+}
+
+func (o Options) lambda() int {
+	if o.Lambda <= 0 {
+		return 4
+	}
+	return o.Lambda
+}
+
+func (o Options) eta() int {
+	if o.Eta <= 1 {
+		return 3
+	}
+	return o.Eta
+}
+
+func (o Options) newScheduler(config string) (sched.Scheduler, error) {
+	if o.NewScheduler != nil {
+		return o.NewScheduler(config)
+	}
+	return sched.NewParametricFromString(config)
+}
+
+func (o Options) validate(t Target) error {
+	if t.Build == nil {
+		return errors.New("advsearch: target has no Build")
+	}
+	if t.N < 1 {
+		return fmt.Errorf("advsearch: target needs n ≥ 1, got %d", t.N)
+	}
+	if o.Power < sched.Oblivious || o.Power > sched.Adaptive {
+		return fmt.Errorf("advsearch: invalid power class %d", int(o.Power))
+	}
+	switch o.algo() {
+	case AlgoRandom, AlgoEvolve, AlgoHalving:
+	default:
+		return fmt.Errorf("advsearch: unknown algorithm %q", o.Algo)
+	}
+	switch o.objective() {
+	case MaximizeWork, MaximizeViolations:
+	default:
+		return fmt.Errorf("advsearch: unknown objective %q", o.Objective)
+	}
+	if o.Budget < o.trialsPerEval() {
+		return fmt.Errorf("advsearch: budget %d below one evaluation (%d trials)",
+			o.Budget, o.trialsPerEval())
+	}
+	return nil
+}
+
+// Eval is one candidate evaluation. Quarantined evaluations rank below
+// every healthy one regardless of score.
+type Eval struct {
+	// Index is the evaluation's position in the search (0-based); ties in
+	// score resolve to the earlier index.
+	Index int `json:"index"`
+	// Config is the candidate's canonical text (sched.ParamConfig.String),
+	// or a caller-chosen label for baseline evaluations.
+	Config string `json:"config"`
+	// Trials counts classified trials (0 if quarantined before running).
+	Trials int `json:"trials"`
+	// Score is the objective value (0 for quarantined candidates).
+	Score float64 `json:"score"`
+	// Outcomes maps harness.TrialOutcome strings to counts.
+	Outcomes map[string]int `json:"outcomes,omitempty"`
+	// Work aggregates total work per completed execution (step-limited
+	// executions count at the cap).
+	Work *obs.Hist `json:"work,omitempty"`
+	// Quarantined marks a degraded candidate: its factory failed, a trial
+	// timed out, panicked, or exhausted retries, or nothing completed.
+	Quarantined bool `json:"quarantined,omitempty"`
+	// Reason explains the quarantine.
+	Reason string `json:"reason,omitempty"`
+}
+
+// Report is a completed search. It contains no wall-clock fields: the same
+// target, options, and seed reproduce it byte-for-byte at any worker count.
+type Report struct {
+	Target        string    `json:"target"`
+	N             int       `json:"n"`
+	Power         string    `json:"power"`
+	Registers     string    `json:"registers"`
+	Algo          Algo      `json:"algo"`
+	Objective     Objective `json:"objective"`
+	Seed          uint64    `json:"seed"`
+	Budget        int       `json:"budget"`
+	TrialsPerEval int       `json:"trialsPerEval"`
+	// TrialsSpent is the budget consumed (requested trials, charged even
+	// to evaluations quarantined before running).
+	TrialsSpent int `json:"trialsSpent"`
+	// Evaluations counts candidate evaluations (== len(Evals)).
+	Evaluations int `json:"evaluations"`
+	// Winner is the best healthy evaluation, nil if every candidate was
+	// quarantined. Winner.Config replays under any worker count via
+	// sched.NewParametricFromString (or modcon.WithSearchedScheduler).
+	Winner *Eval `json:"winner,omitempty"`
+	// Quarantined lists the degraded evaluations, in evaluation order.
+	Quarantined []Eval `json:"quarantined,omitempty"`
+	// Evals holds every evaluation, in evaluation order.
+	Evals []Eval `json:"evals"`
+}
+
+// better ranks evaluations: healthy beats quarantined, then higher score,
+// then the earlier index (callers only replace on strict improvement).
+func better(a, b Eval) bool {
+	if a.Quarantined != b.Quarantined {
+		return !a.Quarantined
+	}
+	if a.Quarantined {
+		return false
+	}
+	return a.Score > b.Score
+}
+
+// EvaluateScheduler measures one fixed scheduler on the target under the
+// search's exact evaluation protocol — same sweep seeds, trial count,
+// resilience, and scoring. The experiment drivers use it to put the attack
+// catalog's fixed adversaries on equal footing with searched winners.
+// label names the evaluation; factory builds a fresh scheduler per pooled
+// session.
+func EvaluateScheduler(target Target, opts Options, label string, factory func() (sched.Scheduler, error)) Eval {
+	return evaluate(target, opts, 0, label, factory, opts.trialsPerEval())
+}
+
+// preflight builds one scheduler to vet the factory, containing panics.
+func preflight(factory func() (sched.Scheduler, error)) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("factory panicked: %v", p)
+		}
+	}()
+	s, err := factory()
+	if err != nil {
+		return err
+	}
+	if s == nil {
+		return errors.New("factory returned a nil scheduler")
+	}
+	return nil
+}
+
+// evaluate sweeps one candidate over trials seeded executions and scores
+// the objective, quarantining any degradation instead of propagating it.
+func evaluate(target Target, opts Options, index int, config string,
+	factory func() (sched.Scheduler, error), trials int) Eval {
+	ev := Eval{Index: index, Config: config, Outcomes: map[string]int{}, Work: &obs.Hist{}}
+	if err := preflight(factory); err != nil {
+		ev.Quarantined = true
+		ev.Reason = "bad candidate: " + err.Error()
+		return ev
+	}
+	maxSteps := target.maxSteps()
+	spec := harness.ProtocolSweep{
+		Build: func() (*core.Protocol, harness.ObjectConfig) {
+			proto, file := target.Build()
+			s, err := factory()
+			if err != nil {
+				// The preflight vetted the factory once; a later failure is
+				// contained per trial like any other session-build panic.
+				panic(fmt.Sprintf("advsearch: candidate factory: %v", err))
+			}
+			return proto, harness.ObjectConfig{
+				N: target.N, File: file, Scheduler: s,
+				Inputs:    []value.Value{0},
+				Registers: target.Registers,
+				MaxSteps:  maxSteps,
+			}
+		},
+		Inputs: target.Inputs,
+	}
+	report, err := harness.SweepProtocolRobust(
+		harness.Sweep{Trials: trials, Workers: opts.Workers, Seed: opts.Seed},
+		harness.Resilience{Deadline: opts.deadline(), Grace: 100 * time.Millisecond, Retries: 1},
+		spec,
+		func(t harness.Trial, run *harness.ProtocolRun, rep harness.TrialReport) {
+			ev.Outcomes[string(rep.Outcome)]++
+			switch rep.Outcome {
+			case harness.OutcomeOK, harness.OutcomeViolated:
+				if run != nil && run.Result != nil {
+					ev.Work.AddInt(run.Result.TotalWork)
+				}
+			case harness.OutcomeCrashedShort:
+				// A step-limited execution did at least maxSteps work; an
+				// adversary that prevents any decision within the budget is
+				// at least as costly as one that merely spends it, so it
+				// counts at the cap rather than vanishing from the mean.
+				w := maxSteps
+				if run != nil && run.Result != nil && run.Result.TotalWork > 0 {
+					w = run.Result.TotalWork
+				}
+				ev.Work.AddInt(w)
+			}
+		})
+	if report != nil {
+		ev.Trials = report.Trials
+	}
+	if err != nil {
+		ev.Quarantined = true
+		ev.Reason = "sweep aborted: " + err.Error()
+		return ev
+	}
+	bad := report.Count(harness.OutcomeTimeout) +
+		report.Count(harness.OutcomePanicked) +
+		report.Count(harness.OutcomeFailed)
+	if bad > 0 {
+		ev.Quarantined = true
+		ev.Reason = fmt.Sprintf("%d/%d trials degraded (%s)", bad, report.Trials, report)
+		return ev
+	}
+	switch opts.objective() {
+	case MaximizeViolations:
+		ev.Score = float64(report.Violations()) / float64(report.Trials)
+	default:
+		if ev.Work.N() == 0 {
+			ev.Quarantined = true
+			ev.Reason = "no completed executions"
+			return ev
+		}
+		ev.Score = ev.Work.Mean()
+	}
+	return ev
+}

@@ -1,0 +1,217 @@
+package advsearch
+
+import (
+	"sort"
+
+	"github.com/modular-consensus/modcon/internal/sched"
+	"github.com/modular-consensus/modcon/internal/xrand"
+)
+
+// genStream separates the candidate-generation RNG stream from the trial
+// seeds (both derive from Options.Seed; the trials use it raw).
+const genStream = 0xad5eac4
+
+// searcher is one in-flight search: the evaluation log, the budget ledger,
+// and the candidate generator.
+type searcher struct {
+	target Target
+	opts   Options
+	gen    *generator
+	evals  []Eval
+	spent  int
+}
+
+// Search runs the configured algorithm until the trial budget cannot fund
+// another evaluation and reports every candidate it scored. The only error
+// cases are invalid inputs; degraded candidates are quarantined in the
+// report instead.
+func Search(target Target, opts Options) (*Report, error) {
+	if err := opts.validate(target); err != nil {
+		return nil, err
+	}
+	s := &searcher{
+		target: target,
+		opts:   opts,
+		gen:    newGenerator(xrand.New(opts.Seed).Split(genStream), opts.Power, target.N),
+	}
+	var winner int
+	switch opts.algo() {
+	case AlgoRandom:
+		winner = s.random()
+	case AlgoEvolve:
+		winner = s.evolve()
+	default:
+		winner = s.halving()
+	}
+	rep := &Report{
+		Target:        target.Name,
+		N:             target.N,
+		Power:         opts.Power.String(),
+		Registers:     target.Registers.String(),
+		Algo:          opts.algo(),
+		Objective:     opts.objective(),
+		Seed:          opts.Seed,
+		Budget:        opts.Budget,
+		TrialsPerEval: opts.trialsPerEval(),
+		TrialsSpent:   s.spent,
+		Evaluations:   len(s.evals),
+		Evals:         s.evals,
+	}
+	for _, ev := range s.evals {
+		if ev.Quarantined {
+			rep.Quarantined = append(rep.Quarantined, ev)
+		}
+	}
+	if winner >= 0 && !s.evals[winner].Quarantined {
+		w := s.evals[winner]
+		rep.Winner = &w
+	}
+	return rep, nil
+}
+
+// afford reports whether the budget funds another evaluation of t trials.
+func (s *searcher) afford(t int) bool { return s.spent+t <= s.opts.Budget }
+
+// evalCandidate scores one candidate and logs it. The evaluation charges
+// its requested trials against the budget even when quarantined before
+// running — otherwise a stream of unbuildable candidates would never
+// terminate the search.
+func (s *searcher) evalCandidate(cfg sched.ParamConfig, trials int) int {
+	config := cfg.String()
+	idx := len(s.evals)
+	ev := evaluate(s.target, s.opts, idx, config,
+		func() (sched.Scheduler, error) { return s.opts.newScheduler(config) }, trials)
+	s.spent += trials
+	s.evals = append(s.evals, ev)
+	return idx
+}
+
+// bestOverall returns the index of the best evaluation (earliest on ties),
+// or -1 if there are none.
+func (s *searcher) bestOverall() int {
+	best := -1
+	for i := range s.evals {
+		if best == -1 || better(s.evals[i], s.evals[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// random: independent samples until the budget runs out.
+func (s *searcher) random() int {
+	t := s.opts.trialsPerEval()
+	for s.afford(t) {
+		s.evalCandidate(s.gen.random(), t)
+	}
+	return s.bestOverall()
+}
+
+// evolveStallRounds is how many consecutive improvement-free (1+λ) rounds
+// the lineage tolerates before restarting from a fresh random parent.
+// Mutation explores the neighborhood of the incumbent; when that basin is
+// exhausted the remaining budget buys more from a jump than from further
+// local polish.
+const evolveStallRounds = 3
+
+// evolve: (1+λ) with strict-improvement replacement and restart-on-
+// stagnation. The winner is the best evaluation across every lineage, not
+// the final parent. A quarantined parent (possible only for the very first
+// draw of a lineage, or after an injection seam misbehaves) is replaced by
+// fresh random candidates.
+func (s *searcher) evolve() int {
+	t := s.opts.trialsPerEval()
+	if !s.afford(t) {
+		return -1
+	}
+	parentCfg := s.gen.random()
+	parent := s.evalCandidate(parentCfg, t)
+	stalled := 0
+	for s.afford(t) {
+		if stalled >= evolveStallRounds {
+			parentCfg = s.gen.random()
+			parent = s.evalCandidate(parentCfg, t)
+			stalled = 0
+			continue
+		}
+		bestChild := -1
+		var bestChildCfg sched.ParamConfig
+		for j := 0; j < s.opts.lambda() && s.afford(t); j++ {
+			var childCfg sched.ParamConfig
+			if s.evals[parent].Quarantined {
+				childCfg = s.gen.random()
+			} else {
+				childCfg = s.gen.mutate(parentCfg)
+			}
+			i := s.evalCandidate(childCfg, t)
+			if bestChild == -1 || better(s.evals[i], s.evals[bestChild]) {
+				bestChild, bestChildCfg = i, childCfg
+			}
+		}
+		if bestChild != -1 && better(s.evals[bestChild], s.evals[parent]) {
+			parent, parentCfg = bestChild, bestChildCfg
+			stalled = 0
+		} else {
+			stalled++
+		}
+	}
+	return s.bestOverall()
+}
+
+// halving: successive halving over a wide random pool. Rung 0 is sized to
+// spend about half the budget at TrialsPerEval trials per candidate; each
+// survivor rung multiplies the per-candidate trials by η and keeps the top
+// ⌈1/η⌉ fraction, ranked by better (stable, so ties keep rung order).
+func (s *searcher) halving() int {
+	t := s.opts.trialsPerEval()
+	eta := s.opts.eta()
+	n0 := s.opts.Budget / (2 * t)
+	if n0 < 2 {
+		n0 = 2
+	}
+	if n0 > 64 {
+		n0 = 64
+	}
+	pool := make([]sched.ParamConfig, n0)
+	for i := range pool {
+		pool[i] = s.gen.random()
+	}
+	var top []int // current pool's eval indices, best-first
+	for len(pool) > 0 {
+		afford := (s.opts.Budget - s.spent) / t
+		if afford == 0 {
+			break
+		}
+		if afford < len(pool) {
+			pool = pool[:afford]
+		}
+		idxs := make([]int, len(pool))
+		for i := range pool {
+			idxs[i] = s.evalCandidate(pool[i], t)
+		}
+		order := make([]int, len(pool))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return better(s.evals[idxs[order[a]]], s.evals[idxs[order[b]]])
+		})
+		ranked := make([]sched.ParamConfig, len(pool))
+		top = make([]int, len(pool))
+		for i, o := range order {
+			ranked[i] = pool[o]
+			top[i] = idxs[o]
+		}
+		pool = ranked
+		if len(pool) == 1 {
+			break
+		}
+		keep := (len(pool) + eta - 1) / eta
+		pool = pool[:keep]
+		t *= eta
+	}
+	if len(top) > 0 && !s.evals[top[0]].Quarantined {
+		return top[0]
+	}
+	return s.bestOverall()
+}

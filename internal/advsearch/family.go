@@ -1,0 +1,211 @@
+package advsearch
+
+import (
+	"github.com/modular-consensus/modcon/internal/sched"
+	"github.com/modular-consensus/modcon/internal/xrand"
+)
+
+// generator samples and mutates parametric adversary configs within one
+// power class. Every config it produces validates (the feature pools come
+// from sched.CondsFor/ActsFor at the class, and all numeric parameters stay
+// inside the codec's caps) and declares exactly the class searched, so the
+// runtime grants candidates no more visibility than the search promised.
+//
+// All randomness flows through one xrand stream owned by the single search
+// goroutine — generation order, and therefore the whole search, is a pure
+// function of the seed.
+type generator struct {
+	rng   *xrand.Source
+	power sched.Power
+	n     int
+	conds []sched.Cond
+	acts  []sched.Act
+}
+
+// Generation bounds: deliberately far inside the codec caps, keeping the
+// search space compact and every candidate cheap to interpret.
+const (
+	genMaxRules  = 8
+	genMaxWeight = 8
+	genMaxStepK  = 1024
+	genMaxPeriod = 16
+)
+
+func newGenerator(rng *xrand.Source, power sched.Power, n int) *generator {
+	return &generator{
+		rng:   rng,
+		power: power,
+		n:     n,
+		conds: sched.CondsFor(power),
+		acts:  sched.ActsFor(power),
+	}
+}
+
+var genBases = []sched.BasePolicy{
+	sched.BaseRoundRobin, sched.BaseLockstep, sched.BaseFrontrun,
+	sched.BaseRandom, sched.BaseWeighted,
+}
+
+func (g *generator) randomBase() sched.BasePolicy {
+	return genBases[g.rng.Intn(len(genBases))]
+}
+
+// randomWeights draws a short per-pid weight vector with at least one
+// positive entry.
+func (g *generator) randomWeights() []int {
+	max := g.n
+	if max > genMaxRules {
+		max = genMaxRules
+	}
+	if max < 2 {
+		max = 2
+	}
+	w := make([]int, 2+g.rng.Intn(max-1))
+	for i := range w {
+		w[i] = g.rng.Intn(genMaxWeight + 1)
+	}
+	w[g.rng.Intn(len(w))] = 1 + g.rng.Intn(genMaxWeight)
+	return w
+}
+
+func (g *generator) randomPhase(cfg *sched.ParamConfig) {
+	period := 2 + g.rng.Intn(genMaxPeriod-1) // [2, genMaxPeriod]
+	cfg.PhasePeriod = period
+	cfg.PhaseBurst = 1 + g.rng.Intn(period-1) // [1, period)
+	focus := g.n
+	if focus < 2 {
+		focus = 2
+	}
+	cfg.PhaseFocus = 1 + g.rng.Intn(focus) // [1, n]
+}
+
+func (g *generator) randomRule() sched.ParamRule {
+	r := sched.ParamRule{
+		When: g.conds[g.rng.Intn(len(g.conds))],
+		Do:   g.acts[g.rng.Intn(len(g.acts))],
+	}
+	if r.When == sched.CondStepGE || r.When == sched.CondStepLT {
+		r.K = g.rng.Intn(genMaxStepK)
+	}
+	return r
+}
+
+// fixWeights restores the invariants weight mutations can break: a config
+// using the weighted policy (as base or rule action) must carry a weight
+// vector, and any vector present must have a positive entry.
+func (g *generator) fixWeights(cfg *sched.ParamConfig) {
+	uses := cfg.Base == sched.BaseWeighted
+	for _, r := range cfg.Rules {
+		if r.Do == sched.ActWeighted {
+			uses = true
+		}
+	}
+	if uses && len(cfg.Weights) == 0 {
+		cfg.Weights = g.randomWeights()
+		return
+	}
+	allZero := len(cfg.Weights) > 0
+	for _, w := range cfg.Weights {
+		if w > 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		cfg.Weights[g.rng.Intn(len(cfg.Weights))] = 1 + g.rng.Intn(genMaxWeight)
+	}
+}
+
+// random draws a fresh candidate.
+func (g *generator) random() sched.ParamConfig {
+	cfg := sched.ParamConfig{Power: g.power, Base: g.randomBase()}
+	if cfg.Base == sched.BaseWeighted || g.rng.Intn(3) == 0 {
+		cfg.Weights = g.randomWeights()
+	}
+	if g.rng.Intn(3) == 0 {
+		g.randomPhase(&cfg)
+	}
+	for i, n := 0, g.rng.Intn(5); i < n; i++ {
+		cfg.Rules = append(cfg.Rules, g.randomRule())
+	}
+	g.fixWeights(&cfg)
+	return cfg
+}
+
+func cloneConfig(c sched.ParamConfig) sched.ParamConfig {
+	c.Weights = append([]int(nil), c.Weights...)
+	c.Rules = append([]sched.ParamRule(nil), c.Rules...)
+	return c
+}
+
+// mutate applies one structural edit to a copy of cfg: a new base, a
+// weight perturbation, a phase toggle, or a rule insert/delete/rewrite.
+// Moves whose precondition fails (deleting from an empty rule list, …)
+// fall through to the next draw; after a few misses the fallback is a rule
+// insert or, at the cap, a fresh random candidate.
+func (g *generator) mutate(cfg sched.ParamConfig) sched.ParamConfig {
+	out := cloneConfig(cfg)
+	for tries := 0; tries < 8; tries++ {
+		switch g.rng.Intn(7) {
+		case 0:
+			out.Base = g.randomBase()
+		case 1:
+			if len(out.Weights) == 0 {
+				out.Weights = g.randomWeights()
+			} else {
+				out.Weights[g.rng.Intn(len(out.Weights))] = g.rng.Intn(genMaxWeight + 1)
+			}
+		case 2:
+			if out.PhasePeriod == 0 {
+				g.randomPhase(&out)
+			} else if g.rng.Bool() {
+				out.PhasePeriod, out.PhaseBurst, out.PhaseFocus = 0, 0, 0
+			} else {
+				g.randomPhase(&out)
+			}
+		case 3:
+			if len(out.Rules) >= genMaxRules {
+				continue
+			}
+			at := g.rng.Intn(len(out.Rules) + 1)
+			out.Rules = append(out.Rules, sched.ParamRule{})
+			copy(out.Rules[at+1:], out.Rules[at:])
+			out.Rules[at] = g.randomRule()
+		case 4:
+			if len(out.Rules) == 0 {
+				continue
+			}
+			at := g.rng.Intn(len(out.Rules))
+			out.Rules = append(out.Rules[:at], out.Rules[at+1:]...)
+		case 5:
+			if len(out.Rules) == 0 {
+				continue
+			}
+			out.Rules[g.rng.Intn(len(out.Rules))] = g.randomRule()
+		case 6:
+			hasK := false
+			for _, r := range out.Rules {
+				if r.When == sched.CondStepGE || r.When == sched.CondStepLT {
+					hasK = true
+				}
+			}
+			if !hasK {
+				continue
+			}
+			for i := range out.Rules {
+				r := &out.Rules[i]
+				if r.When == sched.CondStepGE || r.When == sched.CondStepLT {
+					r.K = g.rng.Intn(genMaxStepK)
+					break
+				}
+			}
+		}
+		g.fixWeights(&out)
+		return out
+	}
+	if len(out.Rules) < genMaxRules {
+		out.Rules = append(out.Rules, g.randomRule())
+		g.fixWeights(&out)
+		return out
+	}
+	return g.random()
+}

@@ -1,4 +1,4 @@
-// Package exp implements the repo's experiment suite: E1–E20, each a
+// Package exp implements the repo's experiment suite: E1–E22, each a
 // reproducible measurement of one quantitative claim from the paper (see
 // EXPERIMENTS.md for the theorem↔experiment cross-reference).
 //
@@ -10,6 +10,6 @@
 // cmd/modcon-bench is the CLI driver.
 //
 // Sim-backed experiments are deterministic in (seed, trials) and
-// independent of the worker count; live-backed experiments (E18–E20) are
+// independent of the worker count; live-backed experiments (E18–E21) are
 // reproducible in their safety verdicts but not their interleavings.
 package exp

@@ -228,6 +228,7 @@ func All() []Experiment {
 		{ID: "E19", Title: "Live-backend wall-clock consensus cost", Live: true, Run: E19LiveWallClock},
 		{ID: "E20", Title: "Fault intensity vs termination and work (robust sweeps, both backends)", Live: true, Run: E20FaultIntensity},
 		{ID: "E21", Title: "Register semantics: agreement, termination, and work per model (both backends)", Live: true, Run: E21RegisterSemantics},
+		{ID: "E22", Title: "Adversary synthesis: searched schedulers vs the attack catalog", Run: E22AdversarySearch},
 	}
 }
 

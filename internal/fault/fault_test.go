@@ -58,19 +58,19 @@ func TestParseDefaultsAndForms(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	bad := []string{
-		"explode:pid=1",           // unknown kind
-		"crash",                   // missing ':'
-		"crash:pid=1",             // missing after=
-		"crash:pid=1,after=-1",    // negative threshold
-		"crash:pid=-2,after=1",    // bad pid
+		"explode:pid=1",               // unknown kind
+		"crash",                       // missing ':'
+		"crash:pid=1",                 // missing after=
+		"crash:pid=1,after=-1",        // negative threshold
+		"crash:pid=-2,after=1",        // bad pid
 		"crash:pid=1,after=1,after=2", // duplicate key
-		"crash:pid=1,round=3",     // key from wrong kind
-		"delay:pid=1,max=0s",      // non-positive jitter
-		"delay:pid=1,max=2s",      // beyond sanity cap
-		"losecoin:pid=1,p=5/4",    // p > 1
-		"losecoin:pid=1,p=1/0",    // zero denominator
-		"losecoin:pid=1,p=nope",   // unparseable
-		"stall:pid=x,after=1",     // bad pid literal
+		"crash:pid=1,round=3",         // key from wrong kind
+		"delay:pid=1,max=0s",          // non-positive jitter
+		"delay:pid=1,max=2s",          // beyond sanity cap
+		"losecoin:pid=1,p=5/4",        // p > 1
+		"losecoin:pid=1,p=1/0",        // zero denominator
+		"losecoin:pid=1,p=nope",       // unparseable
+		"stall:pid=x,after=1",         // bad pid literal
 	}
 	for _, s := range bad {
 		if _, err := Parse(s); err == nil {

@@ -39,10 +39,10 @@ type Injector struct {
 	crashStep []int
 	// jitter is the per-pid max per-op delay (0 = none); loseNum/loseDen
 	// the per-pid coin-loss probability (den 0 = none).
-	jitter  []time.Duration
-	lose    [][2]uint64
-	src     []*xrand.Source
-	anyStep bool
+	jitter   []time.Duration
+	lose     [][2]uint64
+	src      []*xrand.Source
+	anyStep  bool
 	anyStall bool
 }
 

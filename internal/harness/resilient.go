@@ -280,9 +280,15 @@ func runRobustTrial[T any](ctx context.Context, rz Resilience, t Trial, run func
 			rep.Err = fmt.Errorf("harness: trial failed after %d attempt(s): %w", attempt+1, err)
 			return r, rep, false
 		}
+		// Context-aware backoff: a stoppable timer rather than time.After,
+		// so cancellation mid-backoff returns immediately and releases the
+		// timer instead of leaving it live for the full (doubling, possibly
+		// long) backoff.
+		timer := time.NewTimer(backoff)
 		select {
-		case <-time.After(backoff):
+		case <-timer.C:
 		case <-ctx.Done():
+			timer.Stop()
 			return r, rep, true
 		}
 		backoff *= 2

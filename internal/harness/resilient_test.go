@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -261,6 +262,37 @@ func TestRobustRetriesExhaustedFails(t *testing.T) {
 	rep := report.Reports[0]
 	if rep.Outcome != OutcomeFailed || rep.Attempts != 2 || !errors.Is(rep.Err, infra) {
 		t.Fatalf("outcome=%s attempts=%d err=%v, want failed after 2 attempts", rep.Outcome, rep.Attempts, rep.Err)
+	}
+}
+
+// TestRobustBackoffCancellation: cancelling the sweep while a trial sits in
+// its retry backoff must return immediately with the cancellation error, not
+// after the full (here deliberately enormous) backoff.
+func TestRobustBackoffCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	infra := errors.New("transient infrastructure error")
+	attempted := make(chan struct{})
+	var once sync.Once
+	go func() {
+		// Cancel once the first attempt has failed and the trial is (about
+		// to be) parked in its hour-long backoff.
+		<-attempted
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := RunTrialsRobust(
+		Sweep{Trials: 1, Seed: 5, Workers: 1, Context: ctx},
+		Resilience{Retries: 3, Backoff: time.Hour},
+		func(tctx context.Context, tr Trial) (int, error) {
+			once.Do(func() { close(attempted) })
+			return 0, infra // unknown error: triggers the retry backoff
+		}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v: backoff is not context-aware", elapsed)
 	}
 }
 

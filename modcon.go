@@ -115,4 +115,19 @@ var (
 	// interleaving under which regular registers (WithRegisters(file,
 	// Regular)) may return stale values that atomic registers forbid.
 	NewStaleReadAttack = sched.NewStaleReadAttack
+	// NewParametric builds a configurable adversary from a
+	// ParametricConfig — the scheduler family the adversary search
+	// (cmd/modcon-bench -search) explores. For the text form, see
+	// NewSearchedScheduler and WithSearchedScheduler.
+	NewParametric = sched.NewParametric
+	// ParseParametric parses a parametric adversary config from its
+	// canonical text form (the form search reports and winner names use).
+	ParseParametric = sched.ParseParametric
 )
+
+// ParametricConfig describes one adversary in the parametric scheduler
+// family: a base policy plus per-pid weights, stall/burst phases, and
+// condition→action rules. Its String method emits the canonical text config
+// that ParseParametric, NewSearchedScheduler, and WithSearchedScheduler
+// accept.
+type ParametricConfig = sched.ParamConfig

@@ -128,7 +128,7 @@ func Simulate(n int, file *Registers, s Scheduler, seed uint64, proc Proc, run .
 	default:
 		return nil, errors.New("modcon: pass at most one RunConfig")
 	}
-	if err := rc.Backend.validateOptions(s, rc.Traced, rc.Registers); err != nil {
+	if err := rc.Backend.validateOptions(s, rc.Power, rc.Traced, rc.Registers); err != nil {
 		return nil, err
 	}
 	be, err := rc.Backend.impl()

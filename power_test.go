@@ -1,0 +1,169 @@
+package modcon
+
+import (
+	"errors"
+	"testing"
+)
+
+// attackCatalog lists every attack scheduler with its declared minimum
+// power class, for the MinPower-enforcement table tests.
+func attackCatalog() []struct {
+	name string
+	mk   func() Scheduler
+	min  Power
+} {
+	return []struct {
+		name string
+		mk   func() Scheduler
+		min  Power
+	}{
+		{"split-vote", func() Scheduler { return NewSplitVote() }, ValueOblivious},
+		{"stale-read-attack", func() Scheduler { return NewStaleReadAttack() }, ValueOblivious},
+		{"first-mover-attack", func() Scheduler { return NewFirstMoverAttack() }, LocationOblivious},
+		{"eager-write-attack", func() Scheduler { return NewEagerWriteAttack() }, LocationOblivious},
+		{"adaptive-spoiler", func() Scheduler { return NewAdaptiveSpoiler() }, Adaptive},
+	}
+}
+
+// TestAttackMinPowerRejection asserts every attack scheduler is rejected
+// with the typed ErrBadOption under every power cap below its declared
+// minimum — on the Sim backend via both the RunConfig.Power and the
+// WithPower paths — and accepted (running to a safe decision) at or above
+// it. On Live the cap itself is rejected with ErrOptionUnsupported: that
+// backend has no adversary whose class could be capped.
+func TestAttackMinPowerRejection(t *testing.T) {
+	c, err := NewBinary(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []Value{0, 1, 1, 0}
+	for _, att := range attackCatalog() {
+		for p := Oblivious; p <= Adaptive; p++ {
+			_, err := c.Solve(inputs, att.mk(), 7, RunConfig{Power: p})
+			if p < att.min {
+				if !errors.Is(err, ErrBadOption) {
+					t.Errorf("%s under %s cap: err = %v, want ErrBadOption", att.name, p, err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Errorf("%s under %s cap: unexpected error %v", att.name, p, err)
+			}
+		}
+	}
+}
+
+// TestAttackMinPowerRejectionRunPath drives the same enforcement through the
+// functional-option API (WithPower + WithScheduler on Run).
+func TestAttackMinPowerRejectionRunPath(t *testing.T) {
+	for _, att := range attackCatalog() {
+		for p := Oblivious; p < att.min; p++ {
+			file := NewRegisters()
+			r, err := NewRatifier(file, 2, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = Run(r,
+				WithRegisters(file), WithN(4), WithInputs(1),
+				WithScheduler(att.mk()), WithPower(p), WithSeed(3))
+			if !errors.Is(err, ErrBadOption) {
+				t.Errorf("%s under %s cap via WithPower: err = %v, want ErrBadOption", att.name, p, err)
+			}
+		}
+	}
+}
+
+// TestPowerCapLiveUnsupported: the live backend rejects any power cap with
+// ErrOptionUnsupported (with or without the — equally unsupported —
+// scheduler).
+func TestPowerCapLiveUnsupported(t *testing.T) {
+	c, err := NewBinary(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []Value{0, 1, 1, 0}
+	for p := Oblivious; p <= Adaptive; p++ {
+		if _, err := c.Solve(inputs, nil, 7, RunConfig{Backend: Live, Power: p}); !errors.Is(err, ErrOptionUnsupported) {
+			t.Errorf("live cap %s: err = %v, want ErrOptionUnsupported", p, err)
+		}
+	}
+	// A capped scheduler on live is doubly unsupported; the typed sentinel
+	// must still be ErrOptionUnsupported, never a panic or ErrBadOption.
+	for _, att := range attackCatalog() {
+		if _, err := c.Solve(inputs, att.mk(), 7, RunConfig{Backend: Live, Power: att.min}); !errors.Is(err, ErrOptionUnsupported) {
+			t.Errorf("live %s with cap: err = %v, want ErrOptionUnsupported", att.name, err)
+		}
+	}
+}
+
+// TestPowerCapValidation: out-of-range caps are ErrBadOption; a cap equal to
+// or above the scheduler's class is not an error; the zero value means no
+// cap.
+func TestPowerCapValidation(t *testing.T) {
+	c, err := NewBinary(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []Value{0, 1, 1, 0}
+	if _, err := c.Solve(inputs, NewRoundRobin(), 7, RunConfig{Power: Power(99)}); !errors.Is(err, ErrBadOption) {
+		t.Errorf("out-of-range cap: err = %v, want ErrBadOption", err)
+	}
+	if _, err := c.Solve(inputs, NewRoundRobin(), 7, RunConfig{Power: Adaptive}); err != nil {
+		t.Errorf("oblivious scheduler under adaptive cap: %v", err)
+	}
+	if _, err := c.Solve(inputs, NewAdaptiveSpoiler(), 7); err != nil {
+		t.Errorf("no cap: %v", err)
+	}
+}
+
+// TestSearchedSchedulerOption: WithSearchedScheduler accepts a canonical
+// parametric config (running it to a safe decision), rejects malformed ones
+// with ErrBadOption at run-build time, and NewSearchedScheduler exposes the
+// same codec as a factory.
+func TestSearchedSchedulerOption(t *testing.T) {
+	c, err := NewBinary(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const config = "adv:base=rr;rule:when=prob-pending,do=hold-prob;rule:when=always,do=fire-prob"
+	s, err := NewSearchedScheduler(config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MinPower() != ValueOblivious {
+		t.Fatalf("searched scheduler MinPower = %s, want value-oblivious", s.MinPower())
+	}
+	out, err := c.Solve([]Value{0, 1, 1, 0}, s, 7)
+	if err != nil {
+		t.Fatalf("Solve under searched scheduler: %v", err)
+	}
+	if out.Violation != nil {
+		t.Fatalf("violation: %v", out.Violation)
+	}
+	if _, err := NewSearchedScheduler("adv:base=bogus"); !errors.Is(err, ErrBadOption) {
+		t.Errorf("bad config factory err = %v, want ErrBadOption", err)
+	}
+
+	file := NewRegisters()
+	r, err := NewRatifier(file, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := Run(r,
+		WithRegisters(file), WithN(4), WithInputs(1),
+		WithSearchedScheduler(config), WithSeed(3))
+	if err != nil {
+		t.Fatalf("Run with searched scheduler: %v", err)
+	}
+	for pid, d := range run.Decisions {
+		if !d.Decided || d.V != 1 {
+			t.Fatalf("pid %d decision %s", pid, d)
+		}
+	}
+	_, err = Run(r,
+		WithRegisters(file), WithN(4), WithInputs(1),
+		WithSearchedScheduler("adv:nope"), WithSeed(3))
+	if !errors.Is(err, ErrBadOption) {
+		t.Errorf("malformed searched config err = %v, want ErrBadOption", err)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"github.com/modular-consensus/modcon/internal/fault"
 	"github.com/modular-consensus/modcon/internal/harness"
 	"github.com/modular-consensus/modcon/internal/obs"
+	"github.com/modular-consensus/modcon/internal/sched"
 )
 
 // This file is the package's top-level run API: single executions of objects
@@ -96,6 +97,8 @@ type runConfig struct {
 	inputs       []Value
 	backend      Backend
 	scheduler    Scheduler
+	schedErr     error
+	power        Power
 	seed         uint64
 	traced       bool
 	ctx          context.Context
@@ -159,6 +162,49 @@ func WithBackend(b Backend) RunOption {
 // a fresh one per execution.
 func WithScheduler(s Scheduler) RunOption {
 	return runOptionFunc(func(c *runConfig) { c.scheduler = s })
+}
+
+// WithSearchedScheduler sets the adversary from a parametric scheduler
+// config in the canonical text form emitted by the adversary search
+// (internal/advsearch via cmd/modcon-bench -search), e.g.
+//
+//	WithSearchedScheduler("adv:power=value-oblivious,base=lockstep;rule:when=prob-pending,do=hold-prob")
+//
+// It is WithScheduler for named, reproducible adversaries: the config string
+// is the scheduler's identity, so a found worst case can be replayed from a
+// report without any Go code. A malformed config is reported (wrapping
+// ErrBadOption) when the run is built, not here.
+func WithSearchedScheduler(config string) RunOption {
+	return runOptionFunc(func(c *runConfig) {
+		s, err := sched.NewParametricFromString(config)
+		if err != nil {
+			c.schedErr = err
+			return
+		}
+		c.scheduler = s
+	})
+}
+
+// WithPower caps the adversary information class of a Sim execution: a
+// scheduler whose MinPower exceeds the cap is rejected with ErrBadOption
+// before anything runs. The zero value means "no cap" (each scheduler runs
+// at exactly its declared MinPower); the Live backend rejects any cap with
+// ErrOptionUnsupported, having no adversary to cap.
+func WithPower(p Power) RunOption {
+	return runOptionFunc(func(c *runConfig) { c.power = p })
+}
+
+// NewSearchedScheduler builds a parametric adversary from its canonical
+// config text — the factory-shaped companion of WithSearchedScheduler for
+// APIs that take scheduler factories (Consensus.Sweep). The returned
+// scheduler is stateful like every adversary; build a fresh one per factory
+// call.
+func NewSearchedScheduler(config string) (Scheduler, error) {
+	s, err := sched.NewParametricFromString(config)
+	if err != nil {
+		return nil, fmt.Errorf("%v: %w", err, ErrBadOption)
+	}
+	return s, nil
 }
 
 // WithSeed sets the seed driving all randomness (for Trials, the root seed
@@ -311,10 +357,13 @@ func (c *runConfig) objectConfig() (harness.ObjectConfig, error) {
 	if c.file == nil {
 		return harness.ObjectConfig{}, fmt.Errorf("WithRegisters is required (objects run in the file they were built against): %w", ErrBadOption)
 	}
+	if c.schedErr != nil {
+		return harness.ObjectConfig{}, fmt.Errorf("WithSearchedScheduler: %v: %w", c.schedErr, ErrBadOption)
+	}
 	if c.backend == Sim && c.scheduler == nil {
 		return harness.ObjectConfig{}, fmt.Errorf("WithScheduler is required (the sim backend needs an explicit adversary; use WithBackend(Live) to run without one): %w", ErrBadOption)
 	}
-	if err := c.backend.validateOptions(c.scheduler, c.traced, c.registers); err != nil {
+	if err := c.backend.validateOptions(c.scheduler, c.power, c.traced, c.registers); err != nil {
 		return harness.ObjectConfig{}, err
 	}
 	if len(c.inputs) == 0 {
