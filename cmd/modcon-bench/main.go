@@ -1,11 +1,11 @@
 // Command modcon-bench regenerates the paper's quantitative claims.
 //
-// Each experiment (E1–E22, see DESIGN.md §3 and EXPERIMENTS.md) sweeps the
+// Each experiment (E1–E23, see DESIGN.md §3 and EXPERIMENTS.md) sweeps the
 // relevant parameter, runs many simulated executions per cell on the
 // parallel trial engine, and prints a table comparing measurements against
 // the corresponding theorem.
 //
-// Usage:
+// # Experiments and shared sweep knobs
 //
 //	modcon-bench                 # run every sim experiment at default scale
 //	modcon-bench -run E1,E6      # run selected experiments
@@ -14,6 +14,7 @@
 //	                             # the sim set
 //	modcon-bench -trials 50      # shrink/grow per-cell trial counts
 //	modcon-bench -workers 8      # cap concurrent trials (0 = GOMAXPROCS)
+//	modcon-bench -seed 1         # root seed (per-trial seeds derive from it)
 //	modcon-bench -timeout 2m     # wall-clock budget for the whole run
 //	modcon-bench -fail-fast      # stop a fault sweep at its first safety
 //	                             # violation instead of finishing the cell
@@ -25,9 +26,9 @@
 //	modcon-bench -markdown       # emit EXPERIMENTS.md-ready markdown
 //	modcon-bench -json           # emit a manifest + tables JSON object
 //	modcon-bench -list           # list experiments
-//	modcon-bench -cpuprofile p   # write a CPU profile of the run
-//	modcon-bench -memprofile p   # write a heap profile at exit
-//	modcon-bench -trace p        # write a runtime execution trace
+//
+// # Benchmarks and profiling
+//
 //	modcon-bench -bench-core     # microbenchmark the step engine itself,
 //	                             # writing BENCH_sim.json (see -bench-out,
 //	                             # -bench-budget, -bench-n)
@@ -37,6 +38,12 @@
 //	                             # speedup, aggregate digests) into the same
 //	                             # artifact (see -scaling-trials; combinable
 //	                             # with -bench-core)
+//	modcon-bench -cpuprofile p   # write a CPU profile of the run
+//	modcon-bench -memprofile p   # write a heap profile at exit
+//	modcon-bench -trace p        # write a runtime execution trace
+//
+// # Sharded fan-out
+//
 //	modcon-bench -shards 4       # split the consensus sweep's seed space over
 //	                             # 4 shard subprocesses and print the merged
 //	                             # artifact — byte-identical outside the
@@ -45,6 +52,9 @@
 //	                             # stdout; spread shards across machines and
 //	                             # reassemble with -merge-shards)
 //	modcon-bench -merge-shards a.json,b.json  # merge saved shard artifacts
+//
+// # Adversary search
+//
 //	modcon-bench -search         # search the parametric scheduler family for
 //	                             # a worst-case adversary and print a JSON
 //	                             # artifact with full provenance (see
@@ -53,6 +63,25 @@
 //	                             # -search-trials)
 //	modcon-bench -search-replay 'adv:…'  # re-evaluate a found adversary
 //	                             # config; bit-identical at any -workers
+//
+// # Open-loop workloads and trace replay
+//
+//	modcon-bench -workload 'poisson:rate=2000;serve:servers=4'
+//	                             # run the consensus sweep open-loop under a
+//	                             # declarative arrival process and print a
+//	                             # report with saturation metrics (offered vs
+//	                             # achieved rate, latency percentiles) and the
+//	                             # executed workload as an inline tracev1
+//	                             # recording; combinable with -shards (slice
+//	                             # traces merge exactly)
+//	modcon-bench -workload ... -trace-out run.trace  # also save the recording
+//	modcon-bench -trace-in run.trace                 # replay a recording and
+//	                             # verify per-trial work is bit-identical;
+//	                             # accepts comma-separated slice files, merged
+//	                             # before replay
+//	modcon-bench -pace 1000      # replay the arrival schedule on the wall
+//	                             # clock, 1000× faster than recorded virtual
+//	                             # time (0 = admit in order, full speed)
 //
 // Results are deterministic in (-seed, -trials) and independent of
 // -workers: trial seeds are derived per-trial and results are merged in
@@ -118,6 +147,11 @@ func run(args []string) error {
 		shardRun    = fs.String("shard-run", "", "run one shard i/M of the consensus sweep and print its artifact (used by -shards; usable by hand across machines)")
 		mergeShards = fs.String("merge-shards", "", "comma-separated shard artifact files to merge into one normalized report")
 
+		workloadSpec = fs.String("workload", "", "run the consensus sweep open-loop under this workload spec (e.g. 'poisson:rate=2000;serve:servers=4') and print a report with saturation metrics and the executed tracev1 recording; combinable with -shards")
+		traceOut     = fs.String("trace-out", "", "write the recorded workload trace (tracev1 text) to this file")
+		traceIn      = fs.String("trace-in", "", "replay these comma-separated workload trace files (merged when slices) and verify per-trial work against the recording")
+		pace         = fs.Float64("pace", 0, "map the workload's virtual arrival schedule onto the wall clock at this speedup factor (0 = admit in arrival order at full speed)")
+
 		search          = fs.Bool("search", false, "search the parametric scheduler family for a worst-case adversary and print a JSON artifact (see the -search-* flags)")
 		searchPower     = fs.String("search-power", "value-oblivious", "adversary power class to search: oblivious, value-oblivious, location-oblivious, or adaptive")
 		searchAlgo      = fs.String("search-algo", "evolve", "search algorithm: random, evolve, or halving")
@@ -145,6 +179,30 @@ func run(args []string) error {
 		return err
 	}
 	defer stopProfiles()
+
+	if *workloadSpec != "" || *traceIn != "" {
+		// Workload modes share the sweep knobs with the shard modes (and
+		// route -shard-run/-shards themselves when a workload is in play).
+		total := *trials
+		if total == 0 {
+			total = *scalingTrials
+		}
+		return runWorkloadMode(workloadFlags{
+			Spec:      *workloadSpec,
+			TraceOut:  *traceOut,
+			TraceIn:   *traceIn,
+			Pace:      *pace,
+			Trials:    total,
+			Seed:      *seed,
+			Workers:   *workers,
+			Shards:    *shards,
+			ShardRun:  *shardRun,
+			Registers: registers,
+		})
+	}
+	if *traceOut != "" {
+		return fmt.Errorf("-trace-out needs -workload (nothing to record)")
+	}
 
 	if *shardRun != "" || *shards > 0 || *mergeShards != "" {
 		// Shard modes share the sweep knobs: -trials is the FULL seed space

@@ -1,0 +1,158 @@
+package main
+
+// Workload-mode correctness: merged slice artifacts must equal the
+// unsharded run exactly (histograms, tally, digest, and the merged trace's
+// bytes), a recorded trace must replay to identical demands, and the flag
+// conflicts must error cleanly.
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/modular-consensus/modcon/internal/register"
+	"github.com/modular-consensus/modcon/internal/workload"
+)
+
+func workloadTestFlags(spec string, trials int, seed uint64) workloadFlags {
+	return workloadFlags{
+		Spec:      spec,
+		Trials:    trials,
+		Seed:      seed,
+		Workers:   2,
+		Registers: register.Atomic,
+	}
+}
+
+// workloadKey flattens a report's determinism-relevant body for comparison.
+func workloadKey(t testing.TB, r *workloadReport) string {
+	t.Helper()
+	b, err := json.Marshal(struct {
+		Workload string
+		Trials   int
+		Seed     uint64
+		Steps    interface{}
+		Work     interface{}
+		Decided  int
+		Trace    string
+		Digest   string
+	}{r.Workload, r.Trials, r.Seed, r.Steps, r.Work, r.Decided, r.Trace, r.Digest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestWorkloadSliceMergeMatchesSingleRun: in-process slices of an open-loop
+// run merge — aggregates and trace alike — to exactly the unsharded run.
+func TestWorkloadSliceMergeMatchesSingleRun(t *testing.T) {
+	const trials, seed = 48, 9
+	wf := workloadTestFlags("poisson:rate=100000", trials, seed)
+	spec, err := workload.Parse(wf.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := runWorkloadSlice(spec, wf, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []int{2, 3, 5} {
+		slices := make([]*workloadReport, m)
+		for i := range slices {
+			if slices[i], err = runWorkloadSlice(spec, wf, i, m); err != nil {
+				t.Fatalf("slice %d/%d: %v", i, m, err)
+			}
+		}
+		merged, err := mergeWorkloadReports(slices, wf)
+		if err != nil {
+			t.Fatalf("merge %d slices: %v", m, err)
+		}
+		if workloadKey(t, merged) != workloadKey(t, full) {
+			t.Fatalf("M=%d: merged report diverged from the unsharded run", m)
+		}
+	}
+}
+
+// TestWorkloadSliceRecordReplay: a recorded slice's trace verifies against
+// a re-execution of the same slice at a different worker count.
+func TestWorkloadSliceRecordReplay(t *testing.T) {
+	const trials, seed = 32, 4
+	wf := workloadTestFlags("burst:rate=200000,on=1ms,off=3ms", trials, seed)
+	spec, err := workload.Parse(wf.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := runWorkloadSlice(spec, wf, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf.Workers = 4
+	second, err := runWorkloadSlice(spec, wf, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Trace != second.Trace {
+		t.Fatal("trace differs across worker counts")
+	}
+	tr, err := workload.Decode(strings.NewReader(first.Trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Verify(mustDecodeTrace(t, second.Trace).Demands()); err != nil {
+		t.Fatalf("replayed demands diverged: %v", err)
+	}
+	// finishWorkloadReport derives metrics from the complete trace.
+	if err := finishWorkloadReport(first, ""); err != nil {
+		t.Fatal(err)
+	}
+	if first.Metrics == nil || first.Metrics.Trials != trials {
+		t.Fatalf("metrics not derived: %+v", first.Metrics)
+	}
+}
+
+func mustDecodeTrace(t testing.TB, text string) *workload.Trace {
+	t.Helper()
+	tr, err := workload.Decode(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestWorkloadClosedCohort: closed specs run unsharded (issue times come
+// from the cohort model) and refuse to shard.
+func TestWorkloadClosedCohort(t *testing.T) {
+	wf := workloadTestFlags("closed:clients=4,think=1ms", 24, 2)
+	spec, err := workload.Parse(wf.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := runWorkloadSlice(spec, wf, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := finishWorkloadReport(report, ""); err != nil {
+		t.Fatal(err)
+	}
+	if report.Metrics.OfferedPerSec != 0 || report.Metrics.AchievedPerSec <= 0 {
+		t.Fatalf("closed metrics off: %+v", report.Metrics)
+	}
+	if _, err := runWorkloadSlice(spec, wf, 0, 2); err == nil {
+		t.Fatal("closed workload sharded without error")
+	}
+}
+
+// TestWorkloadModeFlagConflicts pins the mode-routing errors.
+func TestWorkloadModeFlagConflicts(t *testing.T) {
+	for name, wf := range map[string]workloadFlags{
+		"trace-in with workload": {TraceIn: "x.trace", Spec: "poisson:rate=1", Registers: register.Atomic},
+		"trace-in with shards":   {TraceIn: "x.trace", Shards: 2, Registers: register.Atomic},
+		"negative pace":          {Spec: "poisson:rate=1", Pace: -1, Trials: 1, Registers: register.Atomic},
+		"bad spec":               {Spec: "warble:rate=1", Trials: 1, Registers: register.Atomic},
+		"bad shard ref":          {Spec: "poisson:rate=1", ShardRun: "9/4", Trials: 1, Registers: register.Atomic},
+	} {
+		if err := runWorkloadMode(wf); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

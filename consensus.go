@@ -310,6 +310,16 @@ func (o *Outcome) CutShort() bool {
 	return true
 }
 
+// SweepCost implements Metered: an Outcome contributes its total work and
+// max individual work to sweep histograms, progress accounting, and the
+// workload plane's per-trial demand measurements. Nil-receiver-safe.
+func (o *Outcome) SweepCost() (steps, work int) {
+	if o == nil {
+		return 0, 0
+	}
+	return o.TotalWork, o.MaxWork()
+}
+
 // MaxWork returns the individual work (max over processes).
 func (o *Outcome) MaxWork() int {
 	m := 0

@@ -1,4 +1,4 @@
-// Package exp implements the repo's experiment suite: E1–E22, each a
+// Package exp implements the repo's experiment suite: E1–E23, each a
 // reproducible measurement of one quantitative claim from the paper (see
 // EXPERIMENTS.md for the theorem↔experiment cross-reference).
 //

@@ -9,11 +9,11 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 22 {
-		t.Fatalf("registry has %d experiments, want 22", len(all))
+	if len(all) != 23 {
+		t.Fatalf("registry has %d experiments, want 23", len(all))
 	}
-	if sim, live := len(ByBackend(false)), len(ByBackend(true)); sim != 18 || live != 4 {
-		t.Fatalf("backend split sim=%d live=%d, want 18/4", sim, live)
+	if sim, live := len(ByBackend(false)), len(ByBackend(true)); sim != 19 || live != 4 {
+		t.Fatalf("backend split sim=%d live=%d, want 19/4", sim, live)
 	}
 	seen := make(map[string]bool)
 	for i, e := range all {

@@ -161,7 +161,8 @@ type Config struct {
 	FailFast bool
 	// Registers selects the register consistency model every consensus
 	// sweep runs under (zero value register.Atomic). E21 ignores it — that
-	// experiment sweeps over the models itself — but the rest of the suite
+	// experiment sweeps over the models itself, as does E23's saturation
+	// grid — but the rest of the suite
 	// honors it, which is how the CI determinism gate replays E6 under
 	// regular semantics.
 	Registers register.Semantics
@@ -229,6 +230,7 @@ func All() []Experiment {
 		{ID: "E20", Title: "Fault intensity vs termination and work (robust sweeps, both backends)", Live: true, Run: E20FaultIntensity},
 		{ID: "E21", Title: "Register semantics: agreement, termination, and work per model (both backends)", Live: true, Run: E21RegisterSemantics},
 		{ID: "E22", Title: "Adversary synthesis: searched schedulers vs the attack catalog", Run: E22AdversarySearch},
+		{ID: "E23", Title: "Workload saturation: offered load vs achieved decisions/sec", Run: E23WorkloadSaturation},
 	}
 }
 

@@ -311,6 +311,9 @@ func RunTrialsRobust[T any](s Sweep, rz Resilience, run func(ctx context.Context
 	if s.Trials <= 0 {
 		return report, nil
 	}
+	if err := s.admissionErr(); err != nil {
+		return report, err
+	}
 	parent := s.Context
 	if parent == nil {
 		parent = context.Background()
@@ -318,6 +321,7 @@ func RunTrialsRobust[T any](s Sweep, rz Resilience, run func(ctx context.Context
 	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 
+	sweepStart := time.Now()
 	workers := s.workers()
 	type robustOutcome struct {
 		trial   Trial
@@ -353,6 +357,13 @@ func RunTrialsRobust[T any](s Sweep, rz Resilience, run func(ctx context.Context
 				if !ok {
 					return
 				}
+				if !s.admit(ctx, t, sweepStart) {
+					// Cancelled while waiting for admission: report the trial
+					// as dropped so the fold's index sequence stays gap-free.
+					var zero T
+					results <- robustOutcome{trial: t, result: zero, dropped: true}
+					continue
+				}
 				r, rep, dropped := runRobustTrial(ctx, rz, t, run)
 				// Every claimed trial reports in — even dropped ones — so
 				// the fold below sees a gap-free index sequence. The
@@ -373,7 +384,7 @@ func RunTrialsRobust[T any](s Sweep, rz Resilience, run func(ctx context.Context
 	var (
 		start    = time.Now()
 		pending  = make(map[int]robustOutcome, workers)
-		nextFold = 0
+		nextFold = s.Offset // trial indices are global (shard offset applied)
 		prog     = Progress{Total: s.Trials}
 	)
 	for oc := range results {
@@ -408,7 +419,7 @@ func RunTrialsRobust[T any](s Sweep, rz Resilience, run func(ctx context.Context
 		}
 	}
 	s.observe(&prog, start, true)
-	if nextFold < s.Trials {
+	if nextFold < s.Offset+s.Trials {
 		report.StoppedEarly = true
 	}
 	if err := parent.Err(); err != nil {

@@ -33,6 +33,10 @@ type Manifest struct {
 	// sweeps used ("atomic", "regular", "interposed"), empty for tools that
 	// predate the semantics layer or artifacts that span models.
 	Registers string `json:"registers,omitempty"`
+	// Workload is the open-loop workload spec in its canonical grammar
+	// ("poisson:rate=2000;serve:servers=4"), empty for closed-loop runs
+	// (modcon-bench without -workload/-trace-in).
+	Workload string `json:"workload,omitempty"`
 	// GoVersion is runtime.Version() of the producing binary.
 	GoVersion string `json:"goVersion"`
 	// GOMAXPROCS is the worker-parallelism ceiling at process launch. Runs

@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParseRoundTrip pins the canonical text codec: every spec in the
+// table parses, re-renders to the expected canonical form, and survives
+// Parse∘String exactly.
+func TestParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		in        string
+		canonical string
+	}{
+		{"poisson:rate=500", "poisson:rate=500"},
+		{"poisson:rate=500.0", "poisson:rate=500"},
+		{" poisson : rate = 2.5 ", "poisson:rate=2.5"},
+		{"steady:rate=250", "steady:rate=250"},
+		{"burst:rate=800,on=50ms,off=150ms", "burst:rate=800,on=50ms,off=150ms"},
+		{"burst:on=1s,off=2s,rate=1", "burst:rate=1,on=1s,off=2s"},
+		{"periods:pattern=500x100ms/50x400ms", "periods:pattern=500x100ms/50x400ms"},
+		{"periods:pattern=0x1s/10x1s", "periods:pattern=0x1s/10x1s"},
+		{"closed:clients=16,think=2ms", "closed:clients=16,think=2ms"},
+		{"closed:clients=1,think=0s", "closed:clients=1,think=0s"},
+		{"poisson:rate=2000;serve:servers=4", "poisson:rate=2000;serve:servers=4"},
+		{"serve:step=500ns;poisson:rate=1", "poisson:rate=1;serve:step=500ns"},
+		{"closed:clients=8,think=1ms;serve:servers=2,step=2µs", "closed:clients=8,think=1ms;serve:servers=2,step=2µs"},
+		{"poisson:rate=1e6", "poisson:rate=1e+06"},
+	}
+	for _, c := range cases {
+		spec, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if got := spec.String(); got != c.canonical {
+			t.Fatalf("Parse(%q).String() = %q, want %q", c.in, got, c.canonical)
+		}
+		again, err := Parse(spec.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", spec.String(), err)
+		}
+		if again.String() != c.canonical {
+			t.Fatalf("round trip not canonical: %q -> %q", c.canonical, again.String())
+		}
+	}
+}
+
+// TestParseRejects pins the validator and grammar errors.
+func TestParseRejects(t *testing.T) {
+	cases := []string{
+		"poisson",                      // no params
+		"poisson:rate=0",               // zero rate
+		"poisson:rate=-1",              // negative rate
+		"poisson:rate=NaN",             // non-finite
+		"poisson:rate=2e9",             // over the cap
+		"poisson:rate=1,rate=2",        // duplicate key
+		"poisson:rate=1;steady:rate=2", // two arrival segments
+		"poisson:rate=1;serve:servers=1;serve:servers=2", // duplicate serve
+		"burst:rate=1,on=1s",                             // missing off
+		"burst:rate=1,on=0s,off=1s",                      // zero phase
+		"burst:rate=1,on=2h,off=1s",                      // span over cap
+		"periods:pattern=",                               // empty pattern
+		"periods:pattern=0x1s",                           // no positive rate
+		"periods:pattern=1z1s",                           // malformed item
+		"closed:clients=0,think=1ms",                     // no clients
+		"closed:clients=2000000,think=0",                 // over the client cap
+		"closed:think=1ms",                               // missing clients... accepted? no: clients=0 invalid
+		"steady:rate=1,on=1s",                            // key from another kind
+		"serve:servers=1",                                // serve without an arrival segment
+		"poisson:rate=1;serve:servers=-1",
+		"poisson:rate=1;serve:servers=5000",
+		"poisson:rate=1;serve:step=2s",
+		"poisson:rate=1;serve:lanes=2", // unknown serve key
+		"warble:rate=1",                // unknown kind
+		"poisson rate=1",               // missing colon
+		"poisson:rate",                 // not key=value
+	}
+	for _, in := range cases {
+		if spec, err := Parse(in); err == nil {
+			t.Fatalf("Parse(%q) accepted invalid spec %+v", in, spec)
+		}
+	}
+}
+
+// TestParseEmpty pins the fault.Parse-style nil contract for "".
+func TestParseEmpty(t *testing.T) {
+	for _, in := range []string{"", "   ", ";;"} {
+		spec, err := Parse(in)
+		if in == ";;" {
+			// all-empty segments still mean "no arrival segment": an error,
+			// not a silent nil, because ";;" is not the documented empty form
+			if err == nil {
+				t.Fatalf("Parse(%q) = %v, want error", in, spec)
+			}
+			continue
+		}
+		if err != nil || spec != nil {
+			t.Fatalf("Parse(%q) = %v, %v; want nil, nil", in, spec, err)
+		}
+	}
+	var nilSpec *Spec
+	if nilSpec.String() != "" {
+		t.Fatalf("nil spec renders %q", nilSpec.String())
+	}
+}
+
+// TestJSONRoundTrip pins the JSON transport: the canonical text embedded
+// as a JSON string, identical after a marshal/unmarshal cycle.
+func TestJSONRoundTrip(t *testing.T) {
+	spec, err := Parse("burst:rate=800,on=50ms,off=150ms;serve:servers=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `"burst:rate=800,on=50ms,off=150ms;serve:servers=4"`; string(b) != want {
+		t.Fatalf("MarshalJSON = %s, want %s", b, want)
+	}
+	var back Spec
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != spec.String() {
+		t.Fatalf("JSON round trip: %q -> %q", spec.String(), back.String())
+	}
+	var bad Spec
+	if err := json.Unmarshal([]byte(`"poisson:rate=-3"`), &bad); err == nil {
+		t.Fatal("UnmarshalJSON accepted an invalid spec")
+	}
+	if err := json.Unmarshal([]byte(`""`), &bad); err == nil {
+		t.Fatal("UnmarshalJSON accepted an empty spec")
+	}
+}
+
+// TestValidateLiterals covers validation paths a hand-built literal can
+// reach that the grammar cannot express.
+func TestValidateLiterals(t *testing.T) {
+	good := &Spec{Kind: Closed, Clients: 4, Think: time.Millisecond}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid literal rejected: %v", err)
+	}
+	bad := []*Spec{
+		nil,
+		{},                              // zero value has no kind
+		{Kind: Kind(99), Rate: 1},       // unknown kind
+		{Kind: Poisson, Rate: 1, On: 1}, // cross-kind field
+		{Kind: Poisson, Rate: 1, Step: -1},
+		{Kind: Periods, Periods: make([]Period, MaxPeriods+1)},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("bad literal %d accepted", i)
+		}
+	}
+}
+
+// TestOfferedRate pins the nominal-load arithmetic per kind.
+func TestOfferedRate(t *testing.T) {
+	cases := []struct {
+		spec string
+		want float64
+	}{
+		{"poisson:rate=500", 500},
+		{"steady:rate=250", 250},
+		{"burst:rate=800,on=50ms,off=150ms", 200}, // 25% duty cycle
+		{"periods:pattern=500x100ms/50x400ms", (500*100 + 50*400) / 500.0},
+		{"closed:clients=4,think=1ms", 0},
+	}
+	for _, c := range cases {
+		spec, err := Parse(c.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := spec.OfferedRate(); got != c.want {
+			t.Fatalf("%s: OfferedRate = %v, want %v", c.spec, got, c.want)
+		}
+	}
+}
+
+// TestSpecStringNoWhitespace guards the trace header's tokenization: no
+// canonical spec may contain whitespace.
+func TestSpecStringNoWhitespace(t *testing.T) {
+	for _, in := range []string{
+		"poisson:rate=12345.678",
+		"burst:rate=1e-3,on=1h,off=59m59s",
+		"periods:pattern=1x1ns/2x1h/0x30m",
+		"closed:clients=1048576,think=1h",
+	} {
+		spec, err := Parse(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := spec.String(); strings.ContainsAny(s, " \t\n") {
+			t.Fatalf("canonical form %q contains whitespace", s)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package workload
+
+// Arrival-schedule generation. A schedule is a pure function of
+// (spec, seed, n): one xrand stream, split off the root seed with this
+// package's reserved stream index, is consumed sequentially, so every
+// caller — one process, sixteen workers, four shard subprocesses — derives
+// the identical byte sequence and therefore the identical arrival times.
+// Shards slice the full schedule rather than generating their own.
+
+import (
+	"math"
+
+	"github.com/modular-consensus/modcon/internal/xrand"
+)
+
+// arrivalStream is the reserved xrand split index for arrival generation.
+// The repo partitions the seed's stream space by subsystem — faults use
+// 2_000_000+pid, register semantics 3_000_000(+pid) — and the workload
+// plane claims 4_000_000, so attaching a workload never perturbs any coin
+// or scheduler stream.
+const arrivalStream = 4_000_000
+
+// Schedule returns the first n arrival times of the spec's arrival
+// process, in nanoseconds from the start of the run, non-decreasing. The
+// schedule is a pure function of (spec, seed, n): generating 10_000
+// arrivals and slicing [lo, hi) yields exactly what any other caller
+// computes for those indices, which is how sharded runs stay
+// byte-identical. Closed specs return (nil, nil): their issue times are
+// assigned by the service model from completions, not drawn up front.
+// Invalid specs return an error.
+func (s *Spec) Schedule(seed uint64, n int) ([]int64, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if s.Kind == Closed {
+		return nil, nil
+	}
+	if n <= 0 {
+		return []int64{}, nil
+	}
+	out := make([]int64, n)
+	switch s.Kind {
+	case Steady:
+		// Deterministic spacing, consuming no randomness: arrival i at
+		// i/Rate seconds, computed per-index (not accumulated) so slices
+		// of long schedules carry no rounding drift.
+		for i := range out {
+			out[i] = int64(float64(i) * 1e9 / s.Rate)
+		}
+	case Poisson:
+		rng := xrand.New(seed).Split(arrivalStream)
+		var t int64
+		for i := range out {
+			t += expGap(rng, s.Rate)
+			out[i] = t
+		}
+	case Burst:
+		s.burstSchedule(xrand.New(seed).Split(arrivalStream), out)
+	case Periods:
+		s.periodsSchedule(xrand.New(seed).Split(arrivalStream), out)
+	}
+	return out, nil
+}
+
+// expGap draws one exponential inter-arrival gap at rate arrivals/sec,
+// in nanoseconds. Float64 returns u in [0, 1), so 1-u is in (0, 1] and
+// the log is finite; the gap is computed in two statements so no
+// architecture can contract the arithmetic differently.
+func expGap(rng *xrand.Source, rate float64) int64 {
+	g := -math.Log(1-rng.Float64()) / rate
+	return int64(g * 1e9)
+}
+
+// burstSchedule fills out with on/off-modulated Poisson arrivals. The
+// process is Poisson at s.Rate inside each on phase and silent otherwise;
+// when a drawn arrival lands past the current on phase's end, time jumps
+// to the next on phase and the gap is redrawn — exact by memorylessness
+// (the residual exponential restarts for free).
+func (s *Spec) burstSchedule(rng *xrand.Source, out []int64) {
+	cycle := int64(s.On) + int64(s.Off)
+	onStart, onEnd := int64(0), int64(s.On)
+	t := int64(0)
+	for i := range out {
+		for {
+			cand := t + expGap(rng, s.Rate)
+			if cand < onEnd {
+				t = cand
+				out[i] = t
+				break
+			}
+			onStart += cycle
+			onEnd = onStart + int64(s.On)
+			t = onStart
+		}
+	}
+}
+
+// periodsSchedule fills out with cycling piecewise-constant-rate Poisson
+// arrivals: period p runs at its rate for its span, then the next begins
+// (wrapping). Zero-rate periods pass silently; boundary crossings redraw
+// the gap at the new period's rate, exact by memorylessness.
+func (s *Spec) periodsSchedule(rng *xrand.Source, out []int64) {
+	p := 0
+	segStart := int64(0)
+	segEnd := int64(s.Periods[0].Span)
+	t := int64(0)
+	advance := func() {
+		p = (p + 1) % len(s.Periods)
+		segStart = segEnd
+		segEnd = segStart + int64(s.Periods[p].Span)
+		t = segStart
+	}
+	for i := range out {
+		for {
+			if s.Periods[p].Rate == 0 {
+				advance()
+				continue
+			}
+			cand := t + expGap(rng, s.Periods[p].Rate)
+			if cand < segEnd {
+				t = cand
+				out[i] = t
+				break
+			}
+			advance()
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func mustParse(t *testing.T, s string) *Spec {
+	t.Helper()
+	spec, err := Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestSchedulePrefixProperty pins the property sharding rests on: the
+// schedule for n trials is a prefix of the schedule for any larger n, so
+// a shard can generate the full schedule and slice its [lo, hi) without
+// any cross-shard coordination.
+func TestSchedulePrefixProperty(t *testing.T) {
+	for _, spec := range []string{
+		"poisson:rate=5000",
+		"steady:rate=1234.5",
+		"burst:rate=9000,on=3ms,off=7ms",
+		"periods:pattern=4000x2ms/0x1ms/800x5ms",
+	} {
+		s := mustParse(t, spec)
+		full, err := s.Schedule(42, 500)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		short, err := s.Schedule(42, 120)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(short, full[:120]) {
+			t.Fatalf("%s: Schedule(seed, 120) is not a prefix of Schedule(seed, 500)", spec)
+		}
+		again, err := s.Schedule(42, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(again, full) {
+			t.Fatalf("%s: schedule not deterministic across calls", spec)
+		}
+	}
+}
+
+// TestScheduleSeedSensitivity: distinct seeds give distinct Poisson
+// schedules (while Steady ignores the seed entirely).
+func TestScheduleSeedSensitivity(t *testing.T) {
+	p := mustParse(t, "poisson:rate=1000")
+	a, _ := p.Schedule(1, 64)
+	b, _ := p.Schedule(2, 64)
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("poisson schedules identical across seeds")
+	}
+	st := mustParse(t, "steady:rate=1000")
+	sa, _ := st.Schedule(1, 64)
+	sb, _ := st.Schedule(2, 64)
+	if !reflect.DeepEqual(sa, sb) {
+		t.Fatal("steady schedule depends on the seed")
+	}
+	// 1000/sec = exactly 1ms spacing.
+	for i, at := range sa {
+		if at != int64(i)*1_000_000 {
+			t.Fatalf("steady arrival %d at %dns, want %dns", i, at, int64(i)*1_000_000)
+		}
+	}
+}
+
+// TestScheduleSorted: every generator yields non-decreasing times.
+func TestScheduleSorted(t *testing.T) {
+	for _, spec := range []string{
+		"poisson:rate=1e6",
+		"burst:rate=1e6,on=100µs,off=900µs",
+		"periods:pattern=1e6x1ms/1x1s",
+	} {
+		s := mustParse(t, spec)
+		sched, err := s.Schedule(7, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(sched); i++ {
+			if sched[i] < sched[i-1] {
+				t.Fatalf("%s: arrivals out of order at %d", spec, i)
+			}
+		}
+	}
+}
+
+// TestBurstArrivalsInOnWindows: a burst schedule never places an arrival
+// inside an off phase.
+func TestBurstArrivalsInOnWindows(t *testing.T) {
+	s := mustParse(t, "burst:rate=50000,on=2ms,off=8ms")
+	sched, err := s.Schedule(9, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle := int64(10_000_000) // 10ms
+	on := int64(2_000_000)     // 2ms
+	for i, at := range sched {
+		if at%cycle >= on {
+			t.Fatalf("arrival %d at %dns lands %dns into the cycle, past the %dns on window", i, at, at%cycle, on)
+		}
+	}
+}
+
+// TestPeriodsSilence: zero-rate periods admit no arrivals.
+func TestPeriodsSilence(t *testing.T) {
+	// Cycle: 1ms at 100k/sec, then 1ms of silence.
+	s := mustParse(t, "periods:pattern=100000x1ms/0x1ms")
+	sched, err := s.Schedule(11, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle := int64(2_000_000)
+	active := int64(1_000_000)
+	for i, at := range sched {
+		if at%cycle >= active {
+			t.Fatalf("arrival %d at %dns inside the silent period", i, at)
+		}
+	}
+}
+
+// TestScheduleClosedAndEdgeCases: closed specs have no precomputed
+// schedule; invalid specs and degenerate n are handled.
+func TestScheduleClosedAndEdgeCases(t *testing.T) {
+	c := mustParse(t, "closed:clients=4,think=1ms")
+	sched, err := c.Schedule(1, 100)
+	if err != nil || sched != nil {
+		t.Fatalf("closed Schedule = %v, %v; want nil, nil", sched, err)
+	}
+	p := mustParse(t, "poisson:rate=100")
+	empty, err := p.Schedule(1, 0)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("Schedule(seed, 0) = %v, %v", empty, err)
+	}
+	var bad Spec
+	if _, err := bad.Schedule(1, 10); err == nil {
+		t.Fatal("invalid spec scheduled without error")
+	}
+}
+
+// TestPoissonMeanGap sanity-checks the exponential sampler: the mean gap
+// over many arrivals should be within a few percent of 1/rate.
+func TestPoissonMeanGap(t *testing.T) {
+	s := mustParse(t, "poisson:rate=1000") // mean gap 1ms
+	const n = 50_000
+	sched, err := s.Schedule(3, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := float64(sched[n-1]) / float64(n-1)
+	if mean < 950_000 || mean > 1_050_000 {
+		t.Fatalf("mean gap %.0fns, want within 5%% of 1ms", mean)
+	}
+}

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestServeSingleServerFIFO hand-computes a tiny open-loop run: one
+// server, 1µs steps, queueing pushing latency up as arrivals outpace
+// service.
+func TestServeSingleServerFIFO(t *testing.T) {
+	s := mustParse(t, "poisson:rate=1000") // arrival process irrelevant here
+	arrivals := []int64{0, 1000, 2000, 10_000}
+	demands := []int64{3, 3, 3, 1} // 3µs, 3µs, 3µs, 1µs of service
+
+	served, err := s.Serve(arrivals, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t=0: starts 0, done 3000. t=1000: queued to 3000, done 6000.
+	// t=2000: queued to 6000, done 9000. t=10000: idle, done 11000.
+	want := []int64{3000, 6000, 9000, 11_000}
+	if !reflect.DeepEqual(served.Completions, want) {
+		t.Fatalf("completions %v, want %v", served.Completions, want)
+	}
+	if served.Metrics.MakespanNs != 11_000 {
+		t.Fatalf("makespan %d", served.Metrics.MakespanNs)
+	}
+	// Latencies µs: 3, 5, 7, 1.
+	if got := served.Metrics.LatencyUs.Max(); got != 7 {
+		t.Fatalf("max latency %dµs, want 7", got)
+	}
+	if got := served.Metrics.LatencyUs.Sum(); got != 3+5+7+1 {
+		t.Fatalf("latency sum %dµs, want 16", got)
+	}
+}
+
+// TestServeMultiServer: a second server removes the queueing entirely for
+// the same input.
+func TestServeMultiServer(t *testing.T) {
+	s := mustParse(t, "poisson:rate=1000;serve:servers=2")
+	arrivals := []int64{0, 1000, 2000}
+	demands := []int64{3, 3, 3}
+	served, err := s.Serve(arrivals, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Server A: 0→3000; server B: 1000→4000; A again: max(2000,3000)→6000.
+	want := []int64{3000, 4000, 6000}
+	if !reflect.DeepEqual(served.Completions, want) {
+		t.Fatalf("completions %v, want %v", served.Completions, want)
+	}
+}
+
+// TestServeClosedCohort hand-computes the cohort model: two clients, one
+// server, think time between operations.
+func TestServeClosedCohort(t *testing.T) {
+	s := mustParse(t, "closed:clients=2,think=1µs")
+	demands := []int64{2, 2, 2, 2} // 2µs service each
+	served, err := s.Serve(nil, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both clients issue at 0; client 0 wins the tie.
+	// op0: c0 issues 0, starts 0, done 2000; next issue 3000.
+	// op1: c1 issued 0, starts 2000 (server busy), done 4000; next 5000.
+	// op2: c0 issues 3000, starts 4000, done 6000.
+	// op3: c1 issues 5000, starts 6000, done 8000.
+	wantIssue := []int64{0, 0, 3000, 5000}
+	wantDone := []int64{2000, 4000, 6000, 8000}
+	if !reflect.DeepEqual(served.Arrivals, wantIssue) {
+		t.Fatalf("issue times %v, want %v", served.Arrivals, wantIssue)
+	}
+	if !reflect.DeepEqual(served.Completions, wantDone) {
+		t.Fatalf("completions %v, want %v", served.Completions, wantDone)
+	}
+	if served.Metrics.OfferedPerSec != 0 {
+		t.Fatalf("closed offered rate %v, want 0", served.Metrics.OfferedPerSec)
+	}
+}
+
+// TestServeDeterminism: serving the same inputs twice gives identical
+// structures, including the histogram state.
+func TestServeDeterminism(t *testing.T) {
+	s := mustParse(t, "burst:rate=200000,on=1ms,off=1ms;serve:servers=3")
+	arrivals, err := s.Schedule(5, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demands := make([]int64, 400)
+	for i := range demands {
+		demands[i] = int64(100 + i%57)
+	}
+	a, err := s.Serve(arrivals, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Serve(arrivals, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Serve is not deterministic")
+	}
+}
+
+// TestServeRejects pins the input validation.
+func TestServeRejects(t *testing.T) {
+	open := mustParse(t, "poisson:rate=1")
+	if _, err := open.Serve([]int64{0}, []int64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := open.Serve([]int64{5, 3}, []int64{1, 1}); err == nil {
+		t.Fatal("unsorted arrivals accepted")
+	}
+	if _, err := open.Serve([]int64{0}, []int64{-1}); err == nil {
+		t.Fatal("negative demand accepted")
+	}
+	closed := mustParse(t, "closed:clients=1,think=0s")
+	if _, err := closed.Serve([]int64{0}, []int64{1}); err == nil {
+		t.Fatal("closed spec accepted explicit arrivals")
+	}
+}
+
+// TestServeSaturation: pushing offered load past capacity plateaus the
+// achieved rate at the service capacity and blows up the latency tail —
+// the shape the knee detector keys on.
+func TestServeSaturation(t *testing.T) {
+	demands := make([]int64, 2000)
+	for i := range demands {
+		demands[i] = 500 // 500µs service → capacity 2000/sec on one server
+	}
+	var offered, achieved []float64
+	var p99 []int64
+	for _, rate := range []float64{500, 1000, 1500, 4000, 8000} {
+		s := &Spec{Kind: Poisson, Rate: rate}
+		arrivals, err := s.Schedule(13, len(demands))
+		if err != nil {
+			t.Fatal(err)
+		}
+		served, err := s.Serve(arrivals, demands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offered = append(offered, served.Metrics.OfferedPerSec)
+		achieved = append(achieved, served.Metrics.AchievedPerSec)
+		p99 = append(p99, served.Metrics.LatencyUs.P99())
+	}
+	knee := Knee(offered, achieved, 0)
+	// 500, 1000, 1500/sec are under the 2000/sec capacity; 4000+ saturate.
+	if knee != 2 {
+		t.Fatalf("knee at index %d (offered %v, achieved %v), want 2", knee, offered, achieved)
+	}
+	if p99[4] <= p99[0] {
+		t.Fatalf("latency tail did not grow past saturation: p99 %v", p99)
+	}
+	if achieved[4] > 2100 {
+		t.Fatalf("achieved %v/sec exceeds the 2000/sec capacity", achieved[4])
+	}
+}
+
+// TestKneeEdgeCases: empty ladders and fully saturated ladders.
+func TestKneeEdgeCases(t *testing.T) {
+	if got := Knee(nil, nil, 0); got != -1 {
+		t.Fatalf("empty ladder knee %d", got)
+	}
+	if got := Knee([]float64{100, 200}, []float64{10, 10}, 0.95); got != -1 {
+		t.Fatalf("saturated ladder knee %d, want -1", got)
+	}
+	if got := Knee([]float64{100, 200}, []float64{100, 199}, 0.95); got != 1 {
+		t.Fatalf("healthy ladder knee %d, want 1", got)
+	}
+}

@@ -117,6 +117,9 @@ type runConfig struct {
 	retries      int
 	failFast     bool
 	laneWidth    int
+	workloadSpec *WorkloadSpec
+	traceRecord  *WorkloadTrace
+	traceReplay  *WorkloadTrace
 }
 
 // WithN sets the process count (required for Run and RunProtocol).
@@ -466,15 +469,41 @@ func RunProtocol(p *Protocol, opts ...RunOption) (*ProtocolRun, error) {
 //
 // Recognized options: WithSeed, WithWorkers, WithContext, WithProgress,
 // WithProgressSink, WithHistograms, WithMeter, WithTrialDeadline,
-// WithRetries, WithFailFast. The error is nil unless the sweep's context
-// was cancelled externally.
+// WithRetries, WithFailFast, WithWorkload, WithTraceRecord,
+// WithTraceReplay. The error is nil unless the sweep's context was
+// cancelled externally, a workload option conflicted, or a trace replay
+// diverged from its recording (ErrTraceDiverged).
 func Trials[T any](trials int, run func(ctx context.Context, t Trial) (T, error), merge func(t Trial, result T, rep TrialReport), opts ...RunOption) (*SweepReport, error) {
 	c := buildRunConfig(opts)
-	return harness.RunTrialsRobust(c.sweep(trials), harness.Resilience{
+	wl, err := c.workloadPlan(trials)
+	if err != nil {
+		return nil, err
+	}
+	s := c.sweep(trials)
+	if wl != nil {
+		s.Arrivals = wl.arrivals
+	}
+	mergeFn := merge
+	if wl != nil && wl.demands != nil {
+		mergeFn = func(t Trial, result T, rep TrialReport) {
+			wl.observe(t.Index, any(result))
+			if merge != nil {
+				merge(t, result, rep)
+			}
+		}
+	}
+	report, err := harness.RunTrialsRobust(s, harness.Resilience{
 		Deadline: c.deadline,
 		Retries:  c.retries,
 		FailFast: c.failFast,
-	}, run, merge)
+	}, run, mergeFn)
+	if err != nil {
+		return report, err
+	}
+	if err := wl.finish(report); err != nil {
+		return report, err
+	}
+	return report, nil
 }
 
 // TrialsRobust is the former name of the classified sweep engine.
@@ -494,5 +523,8 @@ func TrialsRobust[T any](trials int, run func(ctx context.Context, t Trial) (T, 
 // WithFailFast(true) if a violation should still stop the sweep early.
 func TrialsStrict[T any](trials int, run func(ctx context.Context, t Trial) (T, error), merge func(t Trial, result T), opts ...RunOption) error {
 	c := buildRunConfig(opts)
+	if c.workloadOptionsSet() {
+		return fmt.Errorf("TrialsStrict does not support workload options; call Trials: %w", ErrOptionUnsupported)
+	}
 	return harness.RunTrials(c.sweep(trials), run, merge)
 }
